@@ -1,0 +1,124 @@
+// Ablation studies of design choices called out in DESIGN.md:
+//
+//  1. Snap policy: the paper snaps the ideal frequency *up* to the next
+//     gear (never slower than the target allows). Nearest snapping saves
+//     more energy but stretches the critical path.
+//  2. Per-phase frequencies: PEPC has two computation phases with
+//     different imbalance; one DVFS setting per rank (the paper's choice)
+//     causes its slowdown. A per-phase assignment removes most of it.
+//  3. Bus contention: how sensitive the results are to the platform's
+//     shared-bus count.
+#include <iostream>
+#include <vector>
+
+#include "analysis/experiments.hpp"
+#include "util/strings.hpp"
+#include "workloads/registry.hpp"
+
+namespace pals {
+namespace {
+
+int run() {
+  TraceCache cache;
+
+  {
+    std::vector<ExperimentRow> rows;
+    for (const char* name : {"BT-MZ-32", "MG-32", "WRF-128", "PEPC-128"}) {
+      const auto inst = benchmark_by_name(name);
+      const Trace& trace = cache.get(*inst);
+      PipelineConfig up = default_pipeline_config(paper_uniform(6));
+      rows.push_back(run_experiment(trace, name, "snap-up", up));
+      PipelineConfig nearest = default_pipeline_config(paper_uniform(6));
+      nearest.algorithm.snap_policy = SnapPolicy::kNearest;
+      rows.push_back(run_experiment(trace, name, "snap-nearest", nearest));
+    }
+    print_rows(rows, "Ablation 1: gear snap policy (uniform-6, MAX)",
+               "ablation_snap.csv");
+  }
+
+  {
+    std::vector<ExperimentRow> rows;
+    const auto inst = benchmark_by_name("PEPC-128");
+    const Trace& trace = cache.get(*inst);
+    PipelineConfig single = default_pipeline_config(paper_uniform(6));
+    rows.push_back(
+        run_experiment(trace, "PEPC-128", "single-setting", single));
+    PipelineConfig per_phase = default_pipeline_config(paper_uniform(6));
+    per_phase.per_phase = true;
+    rows.push_back(run_experiment(trace, "PEPC-128", "per-phase", per_phase));
+    print_rows(rows,
+               "Ablation 2: one frequency per rank vs per phase (PEPC)",
+               "ablation_per_phase.csv");
+  }
+
+  {
+    // MAX picks the lowest feasible gear — provably energy-optimal under
+    // the paper's model where waiting CPUs stay fully powered. With
+    // C-states (idle_scale < 1) and real static power, race-to-idle wins
+    // and the energy-optimal refinement diverges from MAX.
+    std::vector<ExperimentRow> rows;
+    const auto inst = benchmark_by_name("BT-MZ-32");
+    const Trace& trace = cache.get(*inst);
+    for (const double idle : {1.0, 0.3, 0.05}) {
+      for (const Algorithm algorithm :
+           {Algorithm::kMax, Algorithm::kEnergyOptimalMax}) {
+        PipelineConfig config =
+            default_pipeline_config(paper_uniform(6), algorithm);
+        config.power.static_fraction = 0.6;
+        config.power.idle_scale = idle;
+        rows.push_back(run_experiment(
+            trace, "BT-MZ-32",
+            to_string(algorithm) + " idle=" + format_fixed(idle, 2),
+            config));
+      }
+    }
+    print_rows(rows,
+               "Ablation 4: MAX vs energy-optimal gear choice under "
+               "C-states (static 0.6)",
+               "ablation_energy_optimal.csv");
+  }
+
+  {
+    // Collective implementation choice: IS is all-to-all bound, so a
+    // Bruck-style logarithmic alltoall (tree) instead of pairwise
+    // exchange changes its efficiency — and thereby how much slack DVFS
+    // can harvest.
+    std::vector<ExperimentRow> rows;
+    const auto inst = benchmark_by_name("IS-64");
+    const Trace& trace = cache.get(*inst);
+    for (const CollectiveAlgo algo :
+         {CollectiveAlgo::kDefault, CollectiveAlgo::kTree}) {
+      PipelineConfig config = default_pipeline_config(paper_uniform(6));
+      config.replay.platform.collective_algorithms[CollectiveOp::kAlltoall] =
+          algo;
+      rows.push_back(run_experiment(trace, "IS-64",
+                                    "alltoall=" + to_string(algo), config));
+    }
+    print_rows(rows, "Ablation 5: collective algorithm choice (IS-64, MAX)",
+               "ablation_collective_algo.csv");
+  }
+
+  {
+    // CG-64 is point-to-point heavy (collectives use closed-form costs and
+    // never touch the buses), so it exposes the contention model.
+    std::vector<ExperimentRow> rows;
+    const auto inst = benchmark_by_name("CG-64");
+    const Trace& trace = cache.get(*inst);
+    for (const int buses : {0, 64, 16, 4}) {
+      PipelineConfig config = default_pipeline_config(paper_uniform(6));
+      config.replay.platform.buses = buses;
+      rows.push_back(run_experiment(
+          trace, "CG-64",
+          buses == 0 ? "buses=unlimited" : "buses=" + std::to_string(buses),
+          config));
+    }
+    print_rows(rows, "Ablation 3: shared-bus contention (CG-64, MAX)",
+               "ablation_buses.csv");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace pals
+
+int main() { return pals::run(); }

@@ -1,0 +1,56 @@
+// Extension study: how close do the realizable algorithms get to the
+// energy-saving *bound* (continuous per-rank frequencies, perfect
+// balance, Rountree-style allowable-delay formulation)?
+#include <iostream>
+
+#include "analysis/experiments.hpp"
+#include "core/bound.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+#include "workloads/registry.hpp"
+
+namespace pals {
+namespace {
+
+int run() {
+  TraceCache cache;
+  TextTable table({"instance", "LB", "bound d=0%", "bound d=5%",
+                   "MAX unlimited", "MAX uniform-6", "gap to bound"});
+  for (const BenchmarkInstance& inst : paper_benchmarks()) {
+    const Trace& trace = cache.get(inst);
+    const PipelineResult unlimited = run_pipeline(
+        trace, default_pipeline_config(paper_unlimited_continuous()));
+    const PipelineResult uniform6 =
+        run_pipeline(trace, default_pipeline_config(paper_uniform(6)));
+
+    EnergyBoundConfig bound_config;
+    const EnergyBound tight = energy_saving_bound(
+        unlimited.computation_time, unlimited.baseline_time, 0.0,
+        bound_config);
+    const EnergyBound relaxed = energy_saving_bound(
+        unlimited.computation_time, unlimited.baseline_time, 0.05,
+        bound_config);
+
+    table.add_row(
+        {inst.name, format_percent(unlimited.load_balance),
+         format_percent(tight.normalized_energy),
+         format_percent(relaxed.normalized_energy),
+         format_percent(unlimited.normalized_energy()),
+         format_percent(uniform6.normalized_energy()),
+         format_percent(unlimited.normalized_energy() -
+                        tight.normalized_energy)});
+  }
+  std::cout << "== Extension: energy-saving bound vs realizable algorithms "
+               "==\n";
+  table.print(std::cout);
+  std::cout << "\nThe MAX algorithm with the unlimited continuous set "
+               "tracks the zero-delay bound closely;\nthe residual gap is "
+               "per-iteration slack a single whole-run frequency cannot "
+               "recover.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace pals
+
+int main() { return pals::run(); }

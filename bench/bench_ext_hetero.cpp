@@ -1,0 +1,57 @@
+// Extension study: DVFS as heterogeneity compensation. A perfectly
+// balanced application on a machine with mixed CPU speeds behaves exactly
+// like an imbalanced application on a homogeneous machine — the slow
+// nodes define the critical path and the fast nodes idle in MPI waits.
+// The MAX algorithm then down-clocks the *fast* nodes to the slow nodes'
+// pace, recovering the energy their headroom wastes.
+#include <iostream>
+#include <vector>
+
+#include "analysis/experiments.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+#include "workloads/apps.hpp"
+
+namespace pals {
+namespace {
+
+int run() {
+  TextTable table({"machine", "observed LB", "PE", "energy", "time"});
+  // A balanced CG-like workload.
+  WorkloadConfig workload;
+  workload.ranks = 32;
+  workload.iterations = 4;
+  workload.target_lb = 0.99;
+  const Trace trace = make_cg(workload);
+
+  for (const auto& [label, slow_fraction, slow_speed] :
+       {std::tuple<const char*, int, double>{"homogeneous", 0, 1.0},
+        std::tuple<const char*, int, double>{"1/8 nodes at 0.7x", 4, 0.7},
+        std::tuple<const char*, int, double>{"1/4 nodes at 0.7x", 8, 0.7},
+        std::tuple<const char*, int, double>{"1/4 nodes at 0.5x", 8, 0.5}}) {
+    PipelineConfig config = default_pipeline_config(paper_uniform(6));
+    config.replay.relative_speed.assign(32, 1.0);
+    for (int i = 0; i < slow_fraction; ++i) {
+      // Spread the slow nodes through the rank space.
+      config.replay.relative_speed[static_cast<std::size_t>(
+          i * 32 / std::max(slow_fraction, 1))] = slow_speed;
+    }
+    const PipelineResult r = run_pipeline(trace, config);
+    table.add_row({label, format_percent(r.load_balance),
+                   format_percent(r.parallel_efficiency),
+                   format_percent(r.normalized_energy()),
+                   format_percent(r.normalized_time())});
+  }
+  std::cout << "== Extension: DVFS on a heterogeneous machine (balanced "
+               "CG-32, MAX uniform-6) ==\n";
+  table.print(std::cout);
+  std::cout << "\nSlow nodes manufacture load imbalance; the MAX algorithm "
+               "recovers the fast nodes'\nwasted headroom as energy "
+               "savings without extending the critical path.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace pals
+
+int main() { return pals::run(); }

@@ -1,0 +1,12 @@
+// Figure 10 of the paper: comparison of the MAX and AVG algorithms
+// (energy, time, EDP). MAX wins on CPU energy; AVG wins on execution
+// time, and therefore on whole-system energy potential.
+#include "analysis/figures.hpp"
+
+int main() {
+  pals::TraceCache cache;
+  pals::print_rows(pals::figure10_rows(cache),
+                   "Figure 10: comparison of MAX and AVG algorithms",
+                   "fig10_max_vs_avg.csv");
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Figure 2 of the paper: normalized CPU energy and EDP under the MAX
+// algorithm for the unlimited/limited continuous sets and evenly
+// distributed discrete sets with 2..15 gears, for the five applications
+// the paper shows (space-limited subset).
+#include "analysis/figures.hpp"
+
+int main() {
+  pals::TraceCache cache;
+  pals::print_rows(pals::figure2_rows(cache),
+                   "Figure 2: normalized energy and EDP vs gear set (MAX)",
+                   "fig2_gearset_size.csv");
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Figure 3 of the paper: normalized energy as a function of the
+// application's load balance, for the unlimited continuous set and the
+// 2- and 6-gear evenly distributed sets (MAX algorithm). More imbalance
+// (lower LB) means more energy saved; two gears already help very
+// imbalanced codes, while the most balanced (CG-32) saves nothing.
+#include <iostream>
+#include <map>
+
+#include "analysis/figures.hpp"
+#include "analysis/svg_chart.hpp"
+
+int main() {
+  pals::TraceCache cache;
+  const auto rows = pals::figure3_rows(cache);
+  pals::print_rows(rows,
+                   "Figure 3: energy as a function of load balance (MAX)",
+                   "fig3_energy_vs_lb.csv");
+
+  // Render the scatter like the paper's figure: one series per gear set.
+  std::map<std::string, pals::ChartSeries> by_variant;
+  for (const pals::ExperimentRow& row : rows) {
+    pals::ChartSeries& s = by_variant[row.variant];
+    s.label = row.variant;
+    s.connect = true;  // rows come LB-sorted, so lines read as trends
+    s.x.push_back(row.load_balance * 100.0);
+    s.y.push_back(row.normalized_energy * 100.0);
+  }
+  std::vector<pals::ChartSeries> series;
+  for (auto& [variant, s] : by_variant) series.push_back(std::move(s));
+  pals::ChartOptions chart;
+  chart.title = "Figure 3: energy as a function of load balance";
+  chart.x_label = "load balance (%)";
+  chart.y_label = "normalized energy (%)";
+  pals::write_chart_file(series, "fig3_energy_vs_lb.svg", chart);
+  std::cout << "chart written to fig3_energy_vs_lb.svg\n";
+  return 0;
+}

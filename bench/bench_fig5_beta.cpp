@@ -1,0 +1,14 @@
+// Figure 5 of the paper: impact of the beta (memory-boundedness)
+// parameter, swept 0.3..1.0, with the evenly distributed 6-gear set (MAX).
+// Lower beta = more memory bound = deeper frequency reduction for the same
+// target time = more savings — unless the application is clamped at the
+// lowest gear (BT-MZ, IS) or too balanced to exploit it.
+#include "analysis/figures.hpp"
+
+int main() {
+  pals::TraceCache cache;
+  pals::print_rows(pals::figure5_rows(cache),
+                   "Figure 5: impact of the beta parameter (uniform-6, MAX)",
+                   "fig5_beta.csv");
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Figure 7 of the paper: impact of the computation-to-communication
+// activity factor ratio, swept 1.5..3.0 (uniform 6-gear set, MAX). The
+// effect depends on the load balance degree: imbalanced applications have
+// much baseline wait time whose cost shrinks as the ratio grows.
+#include "analysis/figures.hpp"
+
+int main() {
+  pals::TraceCache cache;
+  pals::print_rows(
+      pals::figure7_rows(cache),
+      "Figure 7: impact of the activity factor (uniform-6, MAX)",
+      "fig7_activity.csv");
+  return 0;
+}

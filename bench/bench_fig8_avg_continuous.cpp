@@ -1,0 +1,14 @@
+// Figure 8 of the paper: the AVG algorithm with the limited continuous
+// frequency set, allowing the top frequency to be exceeded by 10 % and
+// 20 % (over-clocking). Energy drops for every application by an amount
+// that depends on the load balance degree (0.5 % for CG-32 up to ~63 %
+// for BT-MZ in the paper).
+#include "analysis/figures.hpp"
+
+int main() {
+  pals::TraceCache cache;
+  pals::print_rows(pals::figure8_rows(cache),
+                   "Figure 8: AVG algorithm with continuous set",
+                   "fig8_avg_continuous.csv");
+  return 0;
+}

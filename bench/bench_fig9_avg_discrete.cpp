@@ -1,0 +1,15 @@
+// Figure 9 of the paper: the AVG algorithm with the discrete evenly
+// distributed 6-gear set extended by the (2.6 GHz, 1.6 V) over-clock
+// gear. Reports normalized time, energy, EDP and the percentage of
+// processors that need over-clocking: very imbalanced applications need
+// only a few over-clocked CPUs, well-balanced ones (e.g. SPECFEM3D-32)
+// over half.
+#include "analysis/figures.hpp"
+
+int main() {
+  pals::TraceCache cache;
+  pals::print_rows(pals::figure9_rows(cache),
+                   "Figure 9: AVG algorithm with discrete set",
+                   "fig9_avg_discrete.csv");
+  return 0;
+}

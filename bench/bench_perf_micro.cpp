@@ -1,0 +1,141 @@
+// Micro-benchmarks of the simulation infrastructure itself
+// (google-benchmark): replay throughput, frequency assignment, energy
+// integration, trace generation and serialization.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "power/power_model.hpp"
+#include "replay/replay.hpp"
+#include "analysis/critical_path.hpp"
+#include "trace/binary_io.hpp"
+#include "trace/io.hpp"
+#include "util/rng.hpp"
+#include "workloads/registry.hpp"
+
+namespace pals {
+namespace {
+
+const Trace& cached_trace(const char* name) {
+  static std::map<std::string, Trace> cache;
+  auto it = cache.find(name);
+  if (it == cache.end()) {
+    const auto inst = benchmark_by_name(name, 4);
+    it = cache.emplace(name, inst->make()).first;
+  }
+  return it->second;
+}
+
+void BM_ReplayWrf128(benchmark::State& state) {
+  const Trace& trace = cached_trace("WRF-128");
+  std::size_t events = 0;
+  for (auto _ : state) {
+    const ReplayResult r = replay(trace, ReplayConfig{});
+    benchmark::DoNotOptimize(r.makespan);
+    events = r.simulated_events;
+  }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_ReplayWrf128)->Unit(benchmark::kMillisecond);
+
+void BM_ReplayIs64(benchmark::State& state) {
+  const Trace& trace = cached_trace("IS-64");
+  for (auto _ : state) {
+    const ReplayResult r = replay(trace, ReplayConfig{});
+    benchmark::DoNotOptimize(r.makespan);
+  }
+}
+BENCHMARK(BM_ReplayIs64)->Unit(benchmark::kMillisecond);
+
+void BM_FullPipelinePepc128(benchmark::State& state) {
+  const Trace& trace = cached_trace("PEPC-128");
+  const PipelineConfig config = [] {
+    PipelineConfig c;
+    c.algorithm.gear_set = paper_uniform(6);
+    return c;
+  }();
+  for (auto _ : state) {
+    const PipelineResult r = run_pipeline(trace, config);
+    benchmark::DoNotOptimize(r.scaled_energy);
+  }
+}
+BENCHMARK(BM_FullPipelinePepc128)->Unit(benchmark::kMillisecond);
+
+void BM_FrequencyAssignment(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(42);
+  std::vector<Seconds> times(n);
+  for (auto& t : times) t = rng.uniform(0.1, 1.0);
+  AlgorithmConfig config;
+  config.gear_set = paper_uniform(6);
+  for (auto _ : state) {
+    const FrequencyAssignment a = assign_frequencies(times, config);
+    benchmark::DoNotOptimize(a.gears.data());
+  }
+}
+BENCHMARK(BM_FrequencyAssignment)->Range(32, 8192);
+
+void BM_EnergyIntegration(benchmark::State& state) {
+  const Trace& trace = cached_trace("WRF-128");
+  const ReplayResult r = replay(trace, ReplayConfig{});
+  const PowerModel pm(PowerModelConfig{});
+  const std::vector<Gear> gears(static_cast<std::size_t>(r.timeline.n_ranks()),
+                                Gear{2.3, 1.5});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pm.total_energy(r.timeline, gears));
+  }
+}
+BENCHMARK(BM_EnergyIntegration)->Unit(benchmark::kMicrosecond);
+
+void BM_TraceGeneration(benchmark::State& state) {
+  const auto inst = benchmark_by_name("MG-64", 4);
+  for (auto _ : state) {
+    const Trace t = inst->make();
+    benchmark::DoNotOptimize(t.total_events());
+  }
+}
+BENCHMARK(BM_TraceGeneration)->Unit(benchmark::kMillisecond);
+
+void BM_TraceSerialization(benchmark::State& state) {
+  const Trace& trace = cached_trace("CG-32");
+  for (auto _ : state) {
+    std::stringstream buffer;
+    write_trace(trace, buffer);
+    const Trace restored = read_trace(buffer);
+    benchmark::DoNotOptimize(restored.total_events());
+  }
+}
+BENCHMARK(BM_TraceSerialization)->Unit(benchmark::kMillisecond);
+
+void BM_TraceSerializationBinary(benchmark::State& state) {
+  const Trace& trace = cached_trace("CG-32");
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const auto buffer = write_trace_binary(trace);
+    bytes = buffer.size();
+    const Trace restored = read_trace_binary(buffer);
+    benchmark::DoNotOptimize(restored.total_events());
+  }
+  state.counters["bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_TraceSerializationBinary)->Unit(benchmark::kMillisecond);
+
+void BM_CriticalPath(benchmark::State& state) {
+  const Trace& trace = cached_trace("PEPC-128");
+  const ReplayResult r = replay(trace, ReplayConfig{});
+  for (auto _ : state) {
+    const CriticalPath path = critical_path(r);
+    benchmark::DoNotOptimize(path.segments.size());
+  }
+}
+BENCHMARK(BM_CriticalPath)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace pals
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// Section 1 claim of the paper: load imbalance — and therefore the
+// potential for DVFS energy savings — grows with cluster size. We sweep
+// each application family from 8 to 128 ranks using the family's
+// characteristic imbalance growth (interpolated from Table 3 endpoints)
+// and report LB, PE and the MAX-algorithm energy on the unlimited
+// continuous set.
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "analysis/experiments.hpp"
+#include "workloads/apps.hpp"
+#include "workloads/registry.hpp"
+
+namespace pals {
+namespace {
+
+struct FamilySpec {
+  const char* family;
+  double lb_at_32;
+  double lb_slope_per_doubling;  // LB change per rank-count doubling
+};
+
+// Slopes estimated from the paper's Table 3 pairs (CG 32->64: -4.4 pts,
+// MG: -3.1, IS: +5.8 (bucket skew softens), SPECFEM3D 32->96: -8.7/1.58
+// doublings, WRF 32->128: +1.5/2 doublings).
+constexpr FamilySpec kFamilies[] = {
+    {"cg", 0.9782, -0.0436},      {"mg", 0.9455, -0.0305},
+    {"specfem3d", 0.9280, -0.0551}, {"wrf", 0.9060, 0.0153},
+    {"pepc", 0.8200, -0.0294},
+};
+
+int run() {
+  TraceCache cache;
+  std::vector<ExperimentRow> rows;
+  for (const FamilySpec& family : kFamilies) {
+    const auto factory = workload_factory(family.family);
+    for (const Rank ranks : {8, 16, 32, 64, 128}) {
+      const double doublings = std::log2(static_cast<double>(ranks) / 32.0);
+      const double lb = std::clamp(
+          family.lb_at_32 + family.lb_slope_per_doubling * doublings, 0.3,
+          0.995);
+      WorkloadConfig config;
+      config.ranks = ranks;
+      config.iterations = 4;
+      config.target_lb = lb;
+      const Trace trace = factory(config);
+      rows.push_back(run_experiment(
+          trace,
+          std::string(family.family) + "-" + std::to_string(ranks),
+          "continuous-unlimited",
+          default_pipeline_config(paper_unlimited_continuous())));
+    }
+  }
+  print_rows(rows,
+             "Scaling study: imbalance and energy savings vs cluster size",
+             "scaling_imbalance.csv");
+  return 0;
+}
+
+}  // namespace
+}  // namespace pals
+
+int main() { return pals::run(); }

@@ -1,0 +1,36 @@
+// Tables 1 and 2 of the paper: the 6-gear evenly distributed and the
+// 6-gear exponential frequency/voltage sets derived from the linear DVFS
+// model through (0.8 GHz, 1.0 V) and (2.3 GHz, 1.5 V).
+#include <iostream>
+
+#include "power/gearset.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+
+namespace pals {
+namespace {
+
+void print_set(const std::string& title, const GearSet& set) {
+  std::cout << "\n== " << title << " ==\n";
+  TextTable table({"Frequency (GHz)", "Voltage (V)"});
+  for (const Gear& g : set.gears())
+    table.add_row({format_fixed(g.frequency_ghz, 2),
+                   format_fixed(g.voltage_v, 2)});
+  table.print(std::cout);
+}
+
+int run() {
+  print_set("Table 1: 6 gear evenly distributed set", paper_uniform(6));
+  print_set("Table 2: 6 gear exponential set", paper_exponential(6));
+  print_set("AVG discrete set (uniform-6 + over-clock gear)",
+            paper_avg_discrete());
+  std::cout << "\nContinuous sets: " << paper_unlimited_continuous().describe()
+            << " GHz and " << paper_limited_continuous().describe()
+            << " GHz\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace pals
+
+int main() { return pals::run(); }

@@ -1,0 +1,35 @@
+// Table 3 of the paper: load balance and parallel efficiency of every
+// benchmark instance, measured by replaying the generated traces on the
+// default platform model.
+#include <iostream>
+
+#include "core/pipeline.hpp"
+#include "replay/replay.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+#include "workloads/registry.hpp"
+
+namespace pals {
+namespace {
+
+int run() {
+  std::cout << "== Table 3: Application characteristics ==\n";
+  TextTable table({"Application", "Load balance", "Parallel efficiency",
+                   "paper LB", "paper PE"});
+  for (const BenchmarkInstance& inst : paper_benchmarks()) {
+    const Trace trace = inst.make();
+    const ReplayResult r = replay(trace, ReplayConfig{});
+    const double lb = load_balance(r.compute_time);
+    const double pe = parallel_efficiency(r.compute_time, r.makespan);
+    table.add_row({inst.name, format_percent(lb), format_percent(pe),
+                   format_percent(inst.paper_lb),
+                   format_percent(inst.paper_pe)});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace pals
+
+int main() { return pals::run(); }

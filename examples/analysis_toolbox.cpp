@@ -1,0 +1,85 @@
+// Analysis toolbox: everything the library can tell you about one
+// application in a single pass — characterization, critical path, the
+// theoretical energy bound, the realizable algorithms, and the
+// whole-system view.
+//
+// Run: ./build/examples/analysis_toolbox [--app=PEPC-128]
+#include <iostream>
+
+#include "analysis/comm_stats.hpp"
+#include "analysis/critical_path.hpp"
+#include "analysis/experiments.hpp"
+#include "analysis/iteration_stats.hpp"
+#include "core/bound.hpp"
+#include "core/system_energy.hpp"
+#include "util/cli.hpp"
+#include "util/strings.hpp"
+#include "workloads/registry.hpp"
+
+namespace pals {
+namespace {
+
+int run(int argc, char** argv) {
+  CliParser cli;
+  cli.add_option("app", "benchmark instance from Table 3", "PEPC-128");
+  cli.parse(argc, argv);
+  const auto inst = benchmark_by_name(cli.get("app"));
+  if (!inst) {
+    std::cerr << "unknown instance '" << cli.get("app") << "'\n";
+    return 1;
+  }
+  const Trace trace = inst->make();
+
+  // 1. Characterization: where does the time go, does the pattern drift?
+  const IterationStats drift = analyze_iterations(trace);
+  const CommStats comm = analyze_communication(trace);
+  std::cout << "== " << inst->name << " ==\n"
+            << "iterations " << drift.iterations << ", total LB "
+            << format_percent(drift.total_load_balance)
+            << ", mean per-iteration LB "
+            << format_percent(drift.mean_iteration_load_balance)
+            << ", drift index " << format_fixed(drift.drift_index, 3) << '\n'
+            << "p2p traffic " << comm.total_p2p_bytes() << " bytes over "
+            << comm.total_messages() << " messages, channel concentration "
+            << format_percent(comm.channel_concentration()) << "\n\n";
+
+  // 2. Critical path of the unmodified execution.
+  const PipelineResult max_result =
+      run_pipeline(trace, default_pipeline_config(paper_uniform(6)));
+  const CriticalPath path = critical_path(max_result.baseline_replay);
+  std::cout << render_critical_path(path, 8) << '\n';
+
+  // 3. The theoretical bound vs what MAX and AVG actually reach.
+  const EnergyBound bound = energy_saving_bound(
+      max_result.computation_time, max_result.baseline_time, 0.0,
+      EnergyBoundConfig{});
+  const PipelineResult avg_result = run_pipeline(
+      trace, default_pipeline_config(paper_avg_discrete(), Algorithm::kAvg));
+  std::cout << "energy bound (continuous, zero delay): "
+            << format_percent(bound.normalized_energy) << '\n'
+            << "MAX  uniform-6: "
+            << format_percent(max_result.normalized_energy()) << " energy, "
+            << format_percent(max_result.normalized_time()) << " time\n"
+            << "AVG  +2.6 GHz:  "
+            << format_percent(avg_result.normalized_energy()) << " energy, "
+            << format_percent(avg_result.normalized_time()) << " time\n\n";
+
+  // 4. System-level verdict.
+  SystemEnergyConfig system;
+  const SystemView max_view = system_view(max_result, system);
+  const SystemView avg_view = system_view(avg_result, system);
+  std::cout << "system energy (CPU = 50% of node power): MAX "
+            << format_percent(max_view.normalized_system_energy) << ", AVG "
+            << format_percent(avg_view.normalized_system_energy) << " -> "
+            << (avg_view.normalized_system_energy <
+                        max_view.normalized_system_energy
+                    ? "AVG"
+                    : "MAX")
+            << " wins at the system level\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace pals
+
+int main(int argc, char** argv) { return pals::run(argc, argv); }

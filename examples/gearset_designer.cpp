@@ -1,0 +1,66 @@
+// Gear-set designer: given a target application, compare candidate DVFS
+// gear sets (size x distribution) and report which gets closest to the
+// continuous-frequency ideal — the question the paper answers with
+// "six gears suffice, exponential helps balanced codes".
+//
+// Run: ./build/examples/gearset_designer [--app=WRF-32]
+#include <iostream>
+#include <vector>
+
+#include "analysis/experiments.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+#include "workloads/registry.hpp"
+
+namespace pals {
+namespace {
+
+int run(int argc, char** argv) {
+  CliParser cli;
+  cli.add_option("app", "benchmark instance from Table 3", "WRF-32");
+  cli.parse(argc, argv);
+
+  const auto inst = benchmark_by_name(cli.get("app"));
+  if (!inst) {
+    std::cerr << "unknown instance '" << cli.get("app")
+              << "'; valid names come from Table 3 (e.g. CG-32, PEPC-128)\n";
+    return 1;
+  }
+  const Trace trace = inst->make();
+
+  const double ideal =
+      run_pipeline(trace, default_pipeline_config(paper_limited_continuous()))
+          .normalized_energy();
+
+  struct Candidate {
+    std::string label;
+    GearSet set;
+  };
+  std::vector<Candidate> candidates;
+  for (int n : {2, 3, 4, 6, 8, 10, 15})
+    candidates.push_back({"uniform-" + std::to_string(n), paper_uniform(n)});
+  for (int n : {3, 4, 5, 6, 7})
+    candidates.push_back(
+        {"exponential-" + std::to_string(n), paper_exponential(n)});
+
+  TextTable table({"gear set", "energy", "gap to continuous", "time"});
+  for (const Candidate& c : candidates) {
+    const PipelineResult r =
+        run_pipeline(trace, default_pipeline_config(c.set));
+    table.add_row({c.label, format_percent(r.normalized_energy()),
+                   format_percent(r.normalized_energy() - ideal),
+                   format_percent(r.normalized_time())});
+  }
+
+  std::cout << "application " << inst->name << " (paper LB "
+            << format_percent(inst->paper_lb) << ")\n"
+            << "continuous-set energy: " << format_percent(ideal) << "\n\n";
+  table.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace pals
+
+int main(int argc, char** argv) { return pals::run(argc, argv); }

@@ -1,0 +1,130 @@
+#include "analysis/comm_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace pals {
+namespace {
+
+std::size_t size_bucket(Bytes bytes) {
+  if (bytes <= 1) return 0;
+  return static_cast<std::size_t>(
+      std::floor(std::log2(static_cast<double>(bytes))));
+}
+
+}  // namespace
+
+Bytes CommStats::total_p2p_bytes() const {
+  return std::accumulate(bytes.begin(), bytes.end(), Bytes{0});
+}
+
+std::uint64_t CommStats::total_messages() const {
+  return std::accumulate(messages.begin(), messages.end(),
+                         std::uint64_t{0});
+}
+
+Bytes CommStats::bytes_between(Rank src, Rank dst) const {
+  PALS_CHECK_MSG(src >= 0 && src < n_ranks && dst >= 0 && dst < n_ranks,
+                 "rank out of range");
+  return bytes[static_cast<std::size_t>(src) *
+                   static_cast<std::size_t>(n_ranks) +
+               static_cast<std::size_t>(dst)];
+}
+
+double CommStats::channel_concentration() const {
+  double total = 0.0;
+  std::size_t senders = 0;
+  for (Rank src = 0; src < n_ranks; ++src) {
+    Bytes row_total = 0;
+    Bytes row_max = 0;
+    for (Rank dst = 0; dst < n_ranks; ++dst) {
+      const Bytes b = bytes_between(src, dst);
+      row_total += b;
+      row_max = std::max(row_max, b);
+    }
+    if (row_total == 0) continue;
+    total += static_cast<double>(row_max) / static_cast<double>(row_total);
+    ++senders;
+  }
+  return senders == 0 ? 0.0 : total / static_cast<double>(senders);
+}
+
+std::string CommStats::render_matrix(Rank max_ranks) const {
+  PALS_CHECK_MSG(max_ranks > 0, "need at least one matrix bucket");
+  const Rank groups = std::min(max_ranks, n_ranks);
+  std::vector<double> grouped(
+      static_cast<std::size_t>(groups) * static_cast<std::size_t>(groups),
+      0.0);
+  for (Rank src = 0; src < n_ranks; ++src) {
+    for (Rank dst = 0; dst < n_ranks; ++dst) {
+      const auto gs = static_cast<std::size_t>(
+          static_cast<long long>(src) * groups / n_ranks);
+      const auto gd = static_cast<std::size_t>(
+          static_cast<long long>(dst) * groups / n_ranks);
+      grouped[gs * static_cast<std::size_t>(groups) + gd] +=
+          static_cast<double>(bytes_between(src, dst));
+    }
+  }
+  const double peak = *std::max_element(grouped.begin(), grouped.end());
+  std::ostringstream os;
+  os << "src\\dst ";
+  for (Rank g = 0; g < groups; ++g) os << g % 10;
+  os << '\n';
+  for (Rank gs = 0; gs < groups; ++gs) {
+    os << "  " << gs << (gs < 10 ? "     " : "    ");
+    for (Rank gd = 0; gd < groups; ++gd) {
+      const double v =
+          grouped[static_cast<std::size_t>(gs) *
+                      static_cast<std::size_t>(groups) +
+                  static_cast<std::size_t>(gd)];
+      if (peak <= 0.0 || v <= 0.0) {
+        os << '.';
+      } else {
+        os << std::min(9, static_cast<int>(v / peak * 9.0 + 0.999));
+      }
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+CommStats analyze_communication(const Trace& trace) {
+  CommStats stats;
+  stats.n_ranks = trace.n_ranks();
+  const auto n = static_cast<std::size_t>(trace.n_ranks());
+  stats.bytes.assign(n * n, 0);
+  stats.messages.assign(n * n, 0);
+  stats.size_histogram.assign(64, 0);
+  stats.collective_bytes.assign(n, 0);
+
+  for (Rank r = 0; r < trace.n_ranks(); ++r) {
+    for (const Event& e : trace.events(r)) {
+      Rank peer = -1;
+      Bytes payload = 0;
+      if (const auto* s = std::get_if<SendEvent>(&e)) {
+        peer = s->peer;
+        payload = s->bytes;
+      } else if (const auto* is = std::get_if<IsendEvent>(&e)) {
+        peer = is->peer;
+        payload = is->bytes;
+      } else if (const auto* c = std::get_if<CollectiveEvent>(&e)) {
+        stats.collective_bytes[static_cast<std::size_t>(r)] += c->bytes;
+        continue;
+      } else {
+        continue;
+      }
+      const std::size_t index =
+          static_cast<std::size_t>(r) * n + static_cast<std::size_t>(peer);
+      stats.bytes[index] += payload;
+      ++stats.messages[index];
+      ++stats.size_histogram[size_bucket(payload)];
+    }
+  }
+  return stats;
+}
+
+}  // namespace pals

@@ -1,0 +1,43 @@
+// Communication statistics of a logical trace: rank-to-rank traffic
+// matrix, message-size distribution, collective payload totals.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace pals {
+
+struct CommStats {
+  Rank n_ranks = 0;
+  /// bytes[src * n_ranks + dst]: point-to-point payload totals.
+  std::vector<Bytes> bytes;
+  /// messages[src * n_ranks + dst]: point-to-point message counts.
+  std::vector<std::uint64_t> messages;
+  /// Message sizes in log2 buckets: histogram[k] counts messages with
+  /// size in [2^k, 2^(k+1)) bytes; bucket 0 also holds zero-byte sends.
+  std::vector<std::uint64_t> size_histogram;
+  /// Per-rank collective payload contribution (sum of CollectiveEvent
+  /// bytes).
+  std::vector<Bytes> collective_bytes;
+
+  Bytes total_p2p_bytes() const;
+  std::uint64_t total_messages() const;
+  Bytes bytes_between(Rank src, Rank dst) const;
+
+  /// Neighbour concentration: fraction of traffic on each rank's single
+  /// busiest outgoing channel, averaged over ranks that send at all.
+  /// ~1 for ring/halo codes, ~1/(n-1) for uniform all-to-all patterns.
+  double channel_concentration() const;
+
+  /// Render the matrix (bucketed to at most `max_ranks` groups) as an
+  /// aligned text heat table using digits 0-9 proportional to traffic.
+  std::string render_matrix(Rank max_ranks = 16) const;
+};
+
+/// Scan all send-type events (send/isend) of the trace.
+CommStats analyze_communication(const Trace& trace);
+
+}  // namespace pals

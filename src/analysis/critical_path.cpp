@@ -1,0 +1,261 @@
+#include "analysis/critical_path.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace pals {
+namespace {
+
+constexpr double kTimeEps = 1e-9;
+
+/// The interval of `rank` that contains the instant just before `t`.
+const StateInterval* interval_before(const Timeline& timeline, Rank rank,
+                                     Seconds t) {
+  const auto lane = timeline.intervals(rank);
+  for (auto it = lane.rbegin(); it != lane.rend(); ++it) {
+    if (it->begin < t - kTimeEps && it->end >= t - kTimeEps) return &*it;
+    if (it->end < t - kTimeEps) break;
+  }
+  return nullptr;
+}
+
+/// Message delivered to `rank` at (approximately) time `t`, preferring the
+/// latest delivery at or before t.
+const MessageRecord* delivery_at(const ReplayResult& result, Rank rank,
+                                 Seconds t) {
+  const MessageRecord* best = nullptr;
+  for (const MessageRecord& m : result.messages) {
+    if (m.dst != rank) continue;
+    if (m.recv_time > t + kTimeEps) continue;
+    if (!best || m.recv_time > best->recv_time) best = &m;
+  }
+  return best;
+}
+
+/// Message the waiting *sender* `rank` completed at time `t` (rendezvous
+/// isend waits resolve through the receiver side).
+const MessageRecord* send_completion_at(const ReplayResult& result, Rank rank,
+                                        Seconds t) {
+  const MessageRecord* best = nullptr;
+  for (const MessageRecord& m : result.messages) {
+    if (m.src != rank) continue;
+    if (m.recv_time > t + kTimeEps) continue;
+    if (!best || m.recv_time > best->recv_time) best = &m;
+  }
+  return best;
+}
+
+/// When the receiver was blocked in a recv that completed at
+/// `recv_time`, return the time it posted (the begin of that blocked
+/// interval); otherwise (non-blocking receive) return `recv_time`.
+Seconds receiver_post_time(const Timeline& timeline, Rank dst,
+                           Seconds recv_time) {
+  for (const StateInterval& iv : timeline.intervals(dst)) {
+    if (iv.begin > recv_time + kTimeEps) break;
+    if ((iv.state == RankState::kRecv || iv.state == RankState::kWait) &&
+        std::abs(iv.end - recv_time) <= 1e-6)
+      return iv.begin;
+  }
+  return recv_time;
+}
+
+/// Collective whose completion is (approximately) `t`.
+const CollectiveRecord* collective_completing_at(const ReplayResult& result,
+                                                 Seconds t) {
+  const CollectiveRecord* best = nullptr;
+  for (const CollectiveRecord& c : result.collectives) {
+    if (c.completion > t + kTimeEps) continue;
+    if (!best || c.completion > best->completion) best = &c;
+  }
+  return best;
+}
+
+}  // namespace
+
+std::string to_string(PathActivity activity) {
+  switch (activity) {
+    case PathActivity::kCompute: return "compute";
+    case PathActivity::kTransfer: return "transfer";
+    case PathActivity::kCollective: return "collective";
+    case PathActivity::kOverhead: return "overhead";
+  }
+  return "unknown";
+}
+
+Seconds CriticalPath::total() const {
+  Seconds t = 0.0;
+  for (const PathSegment& s : segments) t += s.duration();
+  return t;
+}
+
+CriticalPath critical_path(const ReplayResult& result) {
+  const Timeline& timeline = result.timeline;
+  PALS_CHECK_MSG(timeline.n_ranks() > 0, "empty timeline");
+  const Seconds makespan = timeline.makespan();
+  PALS_CHECK_MSG(makespan > 0.0, "zero-length execution");
+
+  // Start from the rank whose non-idle work ends last.
+  Rank rank = 0;
+  Seconds best_end = -1.0;
+  for (Rank r = 0; r < timeline.n_ranks(); ++r) {
+    const auto lane = timeline.intervals(r);
+    for (auto it = lane.rbegin(); it != lane.rend(); ++it) {
+      if (it->state == RankState::kIdle) continue;
+      if (it->end > best_end) {
+        best_end = it->end;
+        rank = r;
+      }
+      break;
+    }
+  }
+
+  CriticalPath path;
+  path.rank_share.assign(static_cast<std::size_t>(timeline.n_ranks()), 0.0);
+  Seconds t = best_end;
+  // Each step consumes at least one interval, so lanes bound the count.
+  const std::size_t step_limit = 16 + 2 * result.simulated_events;
+
+  std::vector<PathSegment> reversed;
+  for (std::size_t step = 0; step < step_limit && t > kTimeEps; ++step) {
+    const StateInterval* iv = interval_before(timeline, rank, t);
+    if (iv == nullptr) break;  // lane starts later than t: chain grounded
+    const Seconds seg_end = std::min(t, iv->end);
+
+    switch (iv->state) {
+      case RankState::kCompute:
+      case RankState::kIdle:  // treat stray idle as local time
+        reversed.push_back(
+            {rank, iv->begin, seg_end, PathActivity::kCompute});
+        t = iv->begin;
+        break;
+
+      case RankState::kSend: {
+        // Blocking rendezvous send: released by the receiver's post; the
+        // receiver's activity *before* that post is the real cause, and
+        // its post time is the begin of its blocked-recv interval.
+        const MessageRecord* m = send_completion_at(result, rank, seg_end);
+        if (m == nullptr || m->send_time >= seg_end - kTimeEps) {
+          reversed.push_back(
+              {rank, iv->begin, seg_end, PathActivity::kOverhead});
+          t = iv->begin;
+          break;
+        }
+        const Seconds post =
+            receiver_post_time(timeline, m->dst, m->recv_time);
+        if (post <= m->send_time + kTimeEps) {
+          // Receiver was already waiting: the send blocked on the
+          // transfer itself; the chain continues on this rank.
+          reversed.push_back(
+              {-1, iv->begin, seg_end, PathActivity::kTransfer});
+          t = iv->begin;
+          break;
+        }
+        const Seconds jump = std::min(post, seg_end);
+        reversed.push_back({-1, jump, seg_end, PathActivity::kTransfer});
+        rank = m->dst;
+        t = jump;
+        break;
+      }
+
+      case RankState::kRecv:
+      case RankState::kWait: {
+        const MessageRecord* m = delivery_at(result, rank, seg_end);
+        if (m == nullptr || m->send_time >= seg_end - kTimeEps) {
+          // No resolvable dependency (e.g. wait on own eager isend):
+          // charge the wait locally and continue backwards.
+          reversed.push_back(
+              {rank, iv->begin, seg_end, PathActivity::kOverhead});
+          t = iv->begin;
+          break;
+        }
+        reversed.push_back(
+            {-1, m->send_time, seg_end, PathActivity::kTransfer});
+        rank = m->src;
+        t = m->send_time;
+        break;
+      }
+
+      case RankState::kCollective: {
+        const CollectiveRecord* c =
+            collective_completing_at(result, seg_end);
+        if (c == nullptr || c->arrivals.empty()) {
+          reversed.push_back(
+              {rank, iv->begin, seg_end, PathActivity::kOverhead});
+          t = iv->begin;
+          break;
+        }
+        Rank last_rank = c->arrivals.front().first;
+        Seconds last_arrival = c->arrivals.front().second;
+        for (const auto& [r, arrival] : c->arrivals) {
+          if (arrival > last_arrival) {
+            last_arrival = arrival;
+            last_rank = r;
+          }
+        }
+        if (last_arrival >= seg_end - kTimeEps) {
+          reversed.push_back(
+              {rank, iv->begin, seg_end, PathActivity::kOverhead});
+          t = iv->begin;
+          break;
+        }
+        reversed.push_back(
+            {-1, last_arrival, seg_end, PathActivity::kCollective});
+        rank = last_rank;
+        t = last_arrival;
+        break;
+      }
+    }
+  }
+
+  std::reverse(reversed.begin(), reversed.end());
+  path.segments = std::move(reversed);
+
+  Seconds compute = 0.0;
+  Seconds network = 0.0;
+  Rank previous = -2;
+  for (const PathSegment& s : path.segments) {
+    if (s.rank >= 0) {
+      path.rank_share[static_cast<std::size_t>(s.rank)] += s.duration();
+      if (previous >= -1 && s.rank != previous) ++path.rank_switches;
+      previous = s.rank;
+    }
+    if (s.activity == PathActivity::kCompute ||
+        s.activity == PathActivity::kOverhead)
+      compute += s.activity == PathActivity::kCompute ? s.duration() : 0.0;
+    else
+      network += s.duration();
+  }
+  const Seconds total = path.total();
+  if (total > 0.0) {
+    path.compute_fraction = compute / total;
+    path.network_fraction = network / total;
+  }
+  return path;
+}
+
+std::string render_critical_path(const CriticalPath& path,
+                                 std::size_t max_segments) {
+  std::ostringstream os;
+  os << "critical path: " << format_fixed(path.total() * 1e3, 3) << " ms, "
+     << format_percent(path.compute_fraction) << " compute, "
+     << format_percent(path.network_fraction) << " network, "
+     << path.rank_switches << " rank switches\n";
+  const std::size_t n = std::min(max_segments, path.segments.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const PathSegment& s = path.segments[i];
+    os << "  [" << format_fixed(s.begin * 1e3, 3) << ", "
+       << format_fixed(s.end * 1e3, 3) << "] ms  ";
+    if (s.rank >= 0)
+      os << "rank " << s.rank << ' ';
+    os << to_string(s.activity) << '\n';
+  }
+  if (path.segments.size() > n)
+    os << "  ... " << path.segments.size() - n << " more segments\n";
+  return os.str();
+}
+
+}  // namespace pals

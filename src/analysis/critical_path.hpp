@@ -1,0 +1,62 @@
+// Critical-path extraction from a replayed execution.
+//
+// The makespan is determined by a chain of activities: the last-finishing
+// rank's final computation, the message or collective that released it,
+// the sender's computation before that, and so on back to t = 0. This
+// module reconstructs that chain from the replay's timeline plus its
+// message/collective records and reports where the critical time is
+// spent — the complement of the slack the MAX/AVG algorithms harvest
+// (DVFS must never slow a rank while it is *on* this path).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "replay/replay.hpp"
+
+namespace pals {
+
+enum class PathActivity {
+  kCompute,     ///< the critical rank was computing
+  kTransfer,    ///< waiting on an in-flight message (network time)
+  kCollective,  ///< collective cost after the last arrival
+  kOverhead,    ///< sender-side send overhead and other busy comm time
+};
+
+std::string to_string(PathActivity activity);
+
+struct PathSegment {
+  Rank rank = -1;  ///< -1 for pure network (transfer) segments
+  Seconds begin = 0.0;
+  Seconds end = 0.0;
+  PathActivity activity = PathActivity::kCompute;
+
+  Seconds duration() const { return end - begin; }
+};
+
+struct CriticalPath {
+  /// Chronological segments covering (approximately) [0, makespan].
+  std::vector<PathSegment> segments;
+  /// Seconds each rank spends on the path (compute + overhead).
+  std::vector<Seconds> rank_share;
+  /// Fraction of the path spent computing.
+  double compute_fraction = 0.0;
+  /// Fraction spent in transfers + collective costs (network-bound time).
+  double network_fraction = 0.0;
+  /// Number of times the path hops between ranks.
+  std::size_t rank_switches = 0;
+
+  Seconds total() const;
+};
+
+/// Walk the wait-for chain backwards from the last-finishing rank.
+/// Wait attribution uses the replay's message records (delivery matched
+/// by timestamp) and collective records (last arrival), so the input must
+/// come from `replay()` unmodified.
+CriticalPath critical_path(const ReplayResult& result);
+
+/// One-line-per-segment rendering for reports.
+std::string render_critical_path(const CriticalPath& path,
+                                 std::size_t max_segments = 40);
+
+}  // namespace pals

@@ -1,0 +1,118 @@
+#include "analysis/experiments.hpp"
+
+#include <fstream>
+#include <iostream>
+
+#include "util/csv.hpp"
+#include "util/kvconfig.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace pals {
+
+PipelineConfig default_pipeline_config(const GearSet& gear_set,
+                                       Algorithm algorithm) {
+  PipelineConfig config;
+  config.algorithm.algorithm = algorithm;
+  config.algorithm.gear_set = gear_set;
+  config.algorithm.beta = 0.5;
+  config.algorithm.nominal_fmax_ghz = kPaperFmaxGhz;
+  config.power.activity_ratio = 1.5;
+  config.power.static_fraction = 0.2;
+  config.power.beta = 0.5;
+  config.power.reference =
+      VoltageModel::paper_default().gear(kPaperFmaxGhz);
+  return config;
+}
+
+void set_beta(PipelineConfig& config, double beta) {
+  config.algorithm.beta = beta;
+  config.power.beta = beta;
+}
+
+void apply_config_file(PipelineConfig& config, const std::string& path) {
+  const KvConfig kv = KvConfig::parse_file(path);
+  kv.require_known_keys({"latency", "bandwidth", "eager_threshold", "buses",
+                         "links_per_node", "collective_scale", "beta",
+                         "static_fraction", "activity_ratio", "idle_scale"});
+  PlatformModel& platform = config.replay.platform;
+  platform.latency = kv.get_double_or("latency", platform.latency);
+  platform.bandwidth = kv.get_double_or("bandwidth", platform.bandwidth);
+  platform.eager_threshold = static_cast<Bytes>(kv.get_int_or(
+      "eager_threshold", static_cast<long long>(platform.eager_threshold)));
+  platform.buses =
+      static_cast<std::int32_t>(kv.get_int_or("buses", platform.buses));
+  platform.links_per_node = static_cast<std::int32_t>(
+      kv.get_int_or("links_per_node", platform.links_per_node));
+  platform.collective_scale =
+      kv.get_double_or("collective_scale", platform.collective_scale);
+  if (kv.has("beta")) set_beta(config, kv.get_double("beta"));
+  config.power.static_fraction =
+      kv.get_double_or("static_fraction", config.power.static_fraction);
+  config.power.activity_ratio =
+      kv.get_double_or("activity_ratio", config.power.activity_ratio);
+  config.power.idle_scale =
+      kv.get_double_or("idle_scale", config.power.idle_scale);
+  config.validate();
+}
+
+ExperimentRow run_experiment(const Trace& trace, const std::string& instance,
+                             const std::string& variant,
+                             const PipelineConfig& config) {
+  const PipelineResult result = run_pipeline(trace, config);
+  ExperimentRow row;
+  row.instance = instance;
+  row.variant = variant;
+  row.load_balance = result.load_balance;
+  row.parallel_efficiency = result.parallel_efficiency;
+  row.normalized_energy = result.normalized_energy();
+  row.normalized_time = result.normalized_time();
+  row.normalized_edp = result.normalized_edp();
+  row.overclocked_fraction = result.overclocked_fraction;
+  return row;
+}
+
+const Trace& TraceCache::get(const BenchmarkInstance& instance) {
+  const auto it = traces_.find(instance.name);
+  if (it != traces_.end()) return it->second;
+  return traces_.emplace(instance.name, instance.make()).first->second;
+}
+
+void print_rows(const std::vector<ExperimentRow>& rows,
+                const std::string& title, const std::string& csv_path) {
+  std::cout << "\n== " << title << " ==\n";
+  TextTable table({"instance", "variant", "LB", "PE", "energy", "time", "EDP",
+                   "overclocked"});
+  for (const ExperimentRow& r : rows) {
+    table.add_row({r.instance, r.variant, format_percent(r.load_balance),
+                   format_percent(r.parallel_efficiency),
+                   format_percent(r.normalized_energy),
+                   format_percent(r.normalized_time),
+                   format_percent(r.normalized_edp),
+                   format_percent(r.overclocked_fraction)});
+  }
+  table.print(std::cout);
+
+  if (!csv_path.empty()) {
+    std::ofstream out(csv_path);
+    PALS_CHECK_MSG(out.good(), "cannot open " << csv_path);
+    CsvWriter csv(out);
+    csv.row({"instance", "variant", "load_balance", "parallel_efficiency",
+             "normalized_energy", "normalized_time", "normalized_edp",
+             "overclocked_fraction"});
+    for (const ExperimentRow& r : rows) {
+      csv.field(r.instance)
+          .field(r.variant)
+          .field(r.load_balance)
+          .field(r.parallel_efficiency)
+          .field(r.normalized_energy)
+          .field(r.normalized_time)
+          .field(r.normalized_edp)
+          .field(r.overclocked_fraction);
+      csv.end_row();
+    }
+    std::cout << "csv written to " << csv_path << '\n';
+  }
+}
+
+}  // namespace pals

@@ -1,0 +1,65 @@
+// Experiment-runner helpers shared by the bench binaries.
+//
+// Every figure/table in the paper is a sweep of run_pipeline over the
+// benchmark set with one knob varied. These helpers build configurations,
+// run sweeps (with trace caching per instance) and format result rows.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "workloads/registry.hpp"
+
+namespace pals {
+
+/// Pipeline configuration with the paper's default parameters:
+/// MAX algorithm, beta 0.5, static fraction 0.2, activity ratio 1.5,
+/// reference gear (2.3 GHz, 1.5 V), default platform model.
+PipelineConfig default_pipeline_config(const GearSet& gear_set,
+                                       Algorithm algorithm = Algorithm::kMax);
+
+/// Set beta consistently in both the algorithm and the power model.
+void set_beta(PipelineConfig& config, double beta);
+
+/// Overlay a key = value config file (util/kvconfig.hpp) onto a pipeline
+/// configuration. Recognized keys: latency, bandwidth, eager_threshold,
+/// buses, collective_scale, beta, static_fraction, activity_ratio.
+/// Unknown keys throw (typo detection).
+void apply_config_file(PipelineConfig& config, const std::string& path);
+
+/// One measured row of an experiment.
+struct ExperimentRow {
+  std::string instance;     ///< e.g. "CG-32"
+  std::string variant;      ///< e.g. gear-set label or parameter value
+  double load_balance = 0.0;
+  double parallel_efficiency = 0.0;
+  double normalized_energy = 0.0;
+  double normalized_time = 0.0;
+  double normalized_edp = 0.0;
+  double overclocked_fraction = 0.0;
+};
+
+/// Runs `config` on a prebuilt trace and flattens the result.
+ExperimentRow run_experiment(const Trace& trace, const std::string& instance,
+                             const std::string& variant,
+                             const PipelineConfig& config);
+
+/// Caches generated traces by instance name so multi-variant sweeps build
+/// each workload once.
+class TraceCache {
+public:
+  const Trace& get(const BenchmarkInstance& instance);
+
+private:
+  std::map<std::string, Trace> traces_;
+};
+
+/// Render rows as an aligned table (one line per row) to stdout and, when
+/// `csv_path` is non-empty, as CSV.
+void print_rows(const std::vector<ExperimentRow>& rows,
+                const std::string& title, const std::string& csv_path = "");
+
+}  // namespace pals

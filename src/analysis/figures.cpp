@@ -1,0 +1,182 @@
+#include "analysis/figures.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "replay/replay.hpp"
+#include "util/strings.hpp"
+
+namespace pals {
+
+std::vector<ExperimentRow> table3_rows(TraceCache& cache, int iterations) {
+  std::vector<ExperimentRow> rows;
+  for (const BenchmarkInstance& inst : paper_benchmarks(iterations)) {
+    const Trace& trace = cache.get(inst);
+    const ReplayResult r = replay(trace, ReplayConfig{});
+    ExperimentRow row;
+    row.instance = inst.name;
+    row.variant = "paper LB " + format_percent(inst.paper_lb) + ", PE " +
+                  format_percent(inst.paper_pe);
+    row.load_balance = load_balance(r.compute_time);
+    row.parallel_efficiency =
+        parallel_efficiency(r.compute_time, r.makespan);
+    row.normalized_energy = 1.0;
+    row.normalized_time = 1.0;
+    row.normalized_edp = 1.0;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::vector<ExperimentRow> figure2_rows(TraceCache& cache) {
+  std::vector<ExperimentRow> rows;
+  for (const BenchmarkInstance& inst : figure2_benchmarks()) {
+    const Trace& trace = cache.get(inst);
+    const auto measure = [&](const GearSet& set, const std::string& label) {
+      rows.push_back(run_experiment(trace, inst.name, label,
+                                    default_pipeline_config(set)));
+    };
+    measure(paper_unlimited_continuous(), "continuous-unlimited");
+    measure(paper_limited_continuous(), "continuous-limited");
+    for (int gears = 2; gears <= 15; ++gears)
+      measure(paper_uniform(gears), "uniform-" + std::to_string(gears));
+  }
+  return rows;
+}
+
+std::vector<ExperimentRow> figure3_rows(TraceCache& cache) {
+  std::vector<ExperimentRow> rows;
+  for (const BenchmarkInstance& inst : paper_benchmarks()) {
+    const Trace& trace = cache.get(inst);
+    rows.push_back(run_experiment(
+        trace, inst.name, "continuous-unlimited",
+        default_pipeline_config(paper_unlimited_continuous())));
+    rows.push_back(run_experiment(trace, inst.name, "uniform-2",
+                                  default_pipeline_config(paper_uniform(2))));
+    rows.push_back(run_experiment(trace, inst.name, "uniform-6",
+                                  default_pipeline_config(paper_uniform(6))));
+  }
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const ExperimentRow& a, const ExperimentRow& b) {
+                     return a.load_balance < b.load_balance;
+                   });
+  return rows;
+}
+
+std::vector<ExperimentRow> figure4_rows(TraceCache& cache) {
+  std::vector<ExperimentRow> rows;
+  for (const BenchmarkInstance& inst : paper_benchmarks()) {
+    const Trace& trace = cache.get(inst);
+    for (int gears = 3; gears <= 7; ++gears) {
+      rows.push_back(
+          run_experiment(trace, inst.name,
+                         "exponential-" + std::to_string(gears),
+                         default_pipeline_config(paper_exponential(gears))));
+    }
+  }
+  return rows;
+}
+
+std::vector<ExperimentRow> figure5_rows(TraceCache& cache) {
+  std::vector<ExperimentRow> rows;
+  for (const BenchmarkInstance& inst : paper_benchmarks()) {
+    const Trace& trace = cache.get(inst);
+    for (const double beta : {0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}) {
+      PipelineConfig config = default_pipeline_config(paper_uniform(6));
+      set_beta(config, beta);
+      rows.push_back(run_experiment(trace, inst.name,
+                                    "beta=" + format_fixed(beta, 1), config));
+    }
+  }
+  return rows;
+}
+
+std::vector<ExperimentRow> figure6_rows(TraceCache& cache) {
+  std::vector<ExperimentRow> rows;
+  for (const BenchmarkInstance& inst : paper_benchmarks()) {
+    const Trace& trace = cache.get(inst);
+    for (int percent = 0; percent <= 90; percent += 10) {
+      PipelineConfig config = default_pipeline_config(paper_uniform(6));
+      config.power.static_fraction = percent / 100.0;
+      rows.push_back(run_experiment(
+          trace, inst.name, "static=" + std::to_string(percent) + "%",
+          config));
+    }
+  }
+  return rows;
+}
+
+std::vector<ExperimentRow> figure7_rows(TraceCache& cache) {
+  std::vector<ExperimentRow> rows;
+  for (const BenchmarkInstance& inst : paper_benchmarks()) {
+    const Trace& trace = cache.get(inst);
+    for (const double ratio : {1.5, 1.75, 2.0, 2.25, 2.5, 2.75, 3.0}) {
+      PipelineConfig config = default_pipeline_config(paper_uniform(6));
+      config.power.activity_ratio = ratio;
+      rows.push_back(run_experiment(
+          trace, inst.name, "ratio=" + format_fixed(ratio, 2), config));
+    }
+  }
+  return rows;
+}
+
+std::vector<ExperimentRow> figure8_rows(TraceCache& cache) {
+  std::vector<ExperimentRow> rows;
+  for (const BenchmarkInstance& inst : paper_benchmarks()) {
+    const Trace& trace = cache.get(inst);
+    for (const double oc : {1.1, 1.2}) {
+      const GearSet set = paper_limited_continuous().with_fmax_scaled(oc);
+      rows.push_back(run_experiment(
+          trace, inst.name,
+          "overclock+" +
+              std::to_string(static_cast<int>((oc - 1.0) * 100.0 + 0.5)) +
+              "%",
+          default_pipeline_config(set, Algorithm::kAvg)));
+    }
+  }
+  return rows;
+}
+
+std::vector<ExperimentRow> figure9_rows(TraceCache& cache) {
+  std::vector<ExperimentRow> rows;
+  for (const BenchmarkInstance& inst : paper_benchmarks()) {
+    const Trace& trace = cache.get(inst);
+    rows.push_back(run_experiment(
+        trace, inst.name, "uniform-6+2.6GHz",
+        default_pipeline_config(paper_avg_discrete(), Algorithm::kAvg)));
+  }
+  return rows;
+}
+
+std::vector<ExperimentRow> figure10_rows(TraceCache& cache) {
+  std::vector<ExperimentRow> rows;
+  for (const BenchmarkInstance& inst : paper_benchmarks()) {
+    const Trace& trace = cache.get(inst);
+    rows.push_back(
+        run_experiment(trace, inst.name, "MAX uniform-6",
+                       default_pipeline_config(paper_uniform(6))));
+    rows.push_back(run_experiment(
+        trace, inst.name, "AVG uniform-6+2.6GHz",
+        default_pipeline_config(paper_avg_discrete(), Algorithm::kAvg)));
+  }
+  return rows;
+}
+
+std::string rows_to_markdown(const std::vector<ExperimentRow>& rows) {
+  std::ostringstream os;
+  os << "| instance | variant | LB | PE | energy | time | EDP | "
+        "overclocked |\n"
+     << "|---|---|---|---|---|---|---|---|\n";
+  for (const ExperimentRow& r : rows) {
+    os << "| " << r.instance << " | " << r.variant << " | "
+       << format_percent(r.load_balance) << " | "
+       << format_percent(r.parallel_efficiency) << " | "
+       << format_percent(r.normalized_energy) << " | "
+       << format_percent(r.normalized_time) << " | "
+       << format_percent(r.normalized_edp) << " | "
+       << format_percent(r.overclocked_fraction) << " |\n";
+  }
+  return os.str();
+}
+
+}  // namespace pals

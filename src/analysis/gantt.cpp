@@ -1,0 +1,76 @@
+#include "analysis/gantt.hpp"
+
+#include <algorithm>
+#include <array>
+#include <sstream>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace pals {
+namespace {
+
+char state_char(RankState state) {
+  switch (state) {
+    case RankState::kCompute: return '#';
+    case RankState::kSend: return '<';
+    case RankState::kRecv: return '>';
+    case RankState::kWait: return 'w';
+    case RankState::kCollective: return '*';
+    case RankState::kIdle: return '.';
+  }
+  return '?';
+}
+
+}  // namespace
+
+std::string render_gantt(const Timeline& timeline, const GanttOptions& options) {
+  PALS_CHECK_MSG(options.width > 0, "gantt width must be positive");
+  const Seconds span = timeline.makespan();
+  PALS_CHECK_MSG(span > 0.0, "cannot render an empty timeline");
+  const double cell = span / options.width;
+
+  std::vector<Rank> rows;
+  const Rank n = timeline.n_ranks();
+  if (options.max_ranks <= 0 || options.max_ranks >= n) {
+    for (Rank r = 0; r < n; ++r) rows.push_back(r);
+  } else {
+    for (Rank i = 0; i < options.max_ranks; ++i)
+      rows.push_back(static_cast<Rank>(
+          static_cast<long long>(i) * n / options.max_ranks));
+  }
+
+  std::ostringstream os;
+  for (const Rank r : rows) {
+    os << "r";
+    const std::string label = std::to_string(r);
+    os << label << std::string(5 - std::min<std::size_t>(5, label.size()), ' ')
+       << '|';
+    std::string row(static_cast<std::size_t>(options.width), '.');
+    for (const StateInterval& iv : timeline.intervals(r)) {
+      auto first = static_cast<long long>(iv.begin / cell);
+      auto last = static_cast<long long>(iv.end / cell);
+      first = std::clamp<long long>(first, 0, options.width - 1);
+      last = std::clamp<long long>(last, 0, options.width - 1);
+      for (long long cidx = first; cidx <= last; ++cidx) {
+        // Majority rule per cell: compute wins over short comm slivers,
+        // approximated by overlap length.
+        const double cell_begin = static_cast<double>(cidx) * cell;
+        const double cell_end = cell_begin + cell;
+        const double overlap =
+            std::min(iv.end, cell_end) - std::max(iv.begin, cell_begin);
+        if (overlap >= 0.5 * cell || row[static_cast<std::size_t>(cidx)] == '.')
+          row[static_cast<std::size_t>(cidx)] = state_char(iv.state);
+      }
+    }
+    os << row << "|\n";
+  }
+  if (options.show_legend) {
+    os << "      time -> 0.." << format_fixed(span * 1e3, 2) << " ms; "
+       << "# compute  < send  > recv  w wait  * collective  . idle\n";
+  }
+  return os.str();
+}
+
+}  // namespace pals

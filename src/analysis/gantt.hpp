@@ -1,0 +1,23 @@
+// ASCII Gantt rendering of rank timelines (the paper's Figure 1 view).
+#pragma once
+
+#include <string>
+
+#include "trace/timeline.hpp"
+
+namespace pals {
+
+struct GanttOptions {
+  int width = 100;          ///< characters per rank row
+  bool show_legend = true;
+  /// Render at most this many ranks (evenly sampled); 0 = all.
+  Rank max_ranks = 0;
+};
+
+/// One character per time cell: '#' compute, '<' send, '>' recv, 'w' wait,
+/// '*' collective, '.' idle. The state covering the majority of a cell
+/// wins.
+std::string render_gantt(const Timeline& timeline,
+                         const GanttOptions& options = {});
+
+}  // namespace pals

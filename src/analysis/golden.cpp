@@ -1,0 +1,139 @@
+#include "analysis/golden.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace pals {
+namespace {
+
+constexpr const char* kHeader =
+    "instance,variant,load_balance,parallel_efficiency,normalized_energy,"
+    "normalized_time,normalized_edp,overclocked_fraction";
+
+using RowKey = std::pair<std::string, std::string>;
+
+RowKey key_of(const ExperimentRow& row) {
+  return {row.instance, row.variant};
+}
+
+}  // namespace
+
+std::vector<ExperimentRow> load_rows_csv(const std::string& path) {
+  std::ifstream in(path);
+  PALS_CHECK_MSG(in.good(), "cannot open '" << path << "'");
+  std::string line;
+  PALS_CHECK_MSG(static_cast<bool>(std::getline(in, line)),
+                 "empty results csv '" << path << "'");
+  PALS_CHECK_MSG(trim(line) == kHeader,
+                 "unexpected results csv header in '" << path << "'");
+  std::vector<ExperimentRow> rows;
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (trim(line).empty()) continue;
+    const auto fields = parse_csv_line(std::string(trim(line)));
+    PALS_CHECK_MSG(fields.size() == 8, "results csv line "
+                                           << line_no << ": expected 8 "
+                                           << "fields, got "
+                                           << fields.size());
+    ExperimentRow row;
+    row.instance = fields[0];
+    row.variant = fields[1];
+    row.load_balance = parse_double(fields[2]);
+    row.parallel_efficiency = parse_double(fields[3]);
+    row.normalized_energy = parse_double(fields[4]);
+    row.normalized_time = parse_double(fields[5]);
+    row.normalized_edp = parse_double(fields[6]);
+    row.overclocked_fraction = parse_double(fields[7]);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+void save_rows_csv(const std::vector<ExperimentRow>& rows,
+                   const std::string& path) {
+  std::ofstream out(path);
+  PALS_CHECK_MSG(out.good(), "cannot open '" << path << "' for writing");
+  out << kHeader << '\n';
+  CsvWriter csv(out);
+  for (const ExperimentRow& r : rows) {
+    csv.field(r.instance)
+        .field(r.variant)
+        .field(r.load_balance)
+        .field(r.parallel_efficiency)
+        .field(r.normalized_energy)
+        .field(r.normalized_time)
+        .field(r.normalized_edp)
+        .field(r.overclocked_fraction);
+    csv.end_row();
+  }
+  PALS_CHECK_MSG(out.good(), "write failure on '" << path << "'");
+}
+
+std::vector<RowDifference> compare_rows(
+    const std::vector<ExperimentRow>& expected,
+    const std::vector<ExperimentRow>& actual, double tolerance) {
+  PALS_CHECK_MSG(tolerance >= 0.0, "negative tolerance");
+  std::map<RowKey, const ExperimentRow*> actual_by_key;
+  for (const ExperimentRow& row : actual) {
+    PALS_CHECK_MSG(actual_by_key.emplace(key_of(row), &row).second,
+                   "duplicate row (" << row.instance << ", " << row.variant
+                                     << ") in actual results");
+  }
+  std::vector<RowDifference> diffs;
+  const auto check = [&](const ExperimentRow& e, const ExperimentRow& a,
+                         const char* field, double ev, double av) {
+    if (std::abs(ev - av) > tolerance)
+      diffs.push_back({e.instance, e.variant, field, ev, av});
+  };
+  std::map<RowKey, bool> seen;
+  for (const ExperimentRow& e : expected) {
+    seen[key_of(e)] = true;
+    const auto it = actual_by_key.find(key_of(e));
+    if (it == actual_by_key.end()) {
+      diffs.push_back({e.instance, e.variant, "missing", 0.0, 0.0});
+      continue;
+    }
+    const ExperimentRow& a = *it->second;
+    check(e, a, "load_balance", e.load_balance, a.load_balance);
+    check(e, a, "parallel_efficiency", e.parallel_efficiency,
+          a.parallel_efficiency);
+    check(e, a, "normalized_energy", e.normalized_energy,
+          a.normalized_energy);
+    check(e, a, "normalized_time", e.normalized_time, a.normalized_time);
+    check(e, a, "normalized_edp", e.normalized_edp, a.normalized_edp);
+    check(e, a, "overclocked_fraction", e.overclocked_fraction,
+          a.overclocked_fraction);
+  }
+  for (const ExperimentRow& a : actual) {
+    if (!seen.count(key_of(a)))
+      diffs.push_back({a.instance, a.variant, "unexpected", 0.0, 0.0});
+  }
+  return diffs;
+}
+
+std::string describe_differences(const std::vector<RowDifference>& diffs,
+                                 std::size_t max_lines) {
+  if (diffs.empty()) return "";
+  std::ostringstream os;
+  os << diffs.size() << " difference(s):\n";
+  const std::size_t n = std::min(max_lines, diffs.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const RowDifference& d = diffs[i];
+    os << "  (" << d.instance << ", " << d.variant << ") " << d.field;
+    if (d.field != "missing" && d.field != "unexpected")
+      os << ": expected " << format_fixed(d.expected, 4) << ", got "
+         << format_fixed(d.actual, 4);
+    os << '\n';
+  }
+  if (diffs.size() > n) os << "  ... " << diffs.size() - n << " more\n";
+  return os.str();
+}
+
+}  // namespace pals

@@ -1,0 +1,46 @@
+// Golden-result regression harness.
+//
+// Experiment outputs are numeric and model-derived: a refactor that
+// changes them silently is a correctness bug, not noise. Sweeps can be
+// saved as CSV (analysis/experiments.hpp writes them), reloaded, and
+// compared row-by-row with a relative tolerance; the repository pins the
+// key paper results under golden/ and the integration tests diff fresh
+// runs against them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/experiments.hpp"
+
+namespace pals {
+
+/// Load rows from a CSV produced by print_rows(). Throws on malformed
+/// input or unknown headers.
+std::vector<ExperimentRow> load_rows_csv(const std::string& path);
+
+/// Write rows in the same CSV schema (no console table).
+void save_rows_csv(const std::vector<ExperimentRow>& rows,
+                   const std::string& path);
+
+struct RowDifference {
+  std::string instance;
+  std::string variant;
+  std::string field;
+  double expected = 0.0;
+  double actual = 0.0;
+};
+
+/// Compare two row sets matched by (instance, variant). Numeric fields
+/// must agree within `tolerance` (absolute, on the 0..1 normalized
+/// scales). Rows present in only one set are reported with field
+/// "missing"/"unexpected". Order does not matter.
+std::vector<RowDifference> compare_rows(
+    const std::vector<ExperimentRow>& expected,
+    const std::vector<ExperimentRow>& actual, double tolerance);
+
+/// Human-readable summary of differences ("" when empty).
+std::string describe_differences(const std::vector<RowDifference>& diffs,
+                                 std::size_t max_lines = 20);
+
+}  // namespace pals

@@ -1,0 +1,62 @@
+#include "analysis/iteration_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/pipeline.hpp"
+#include "trace/transform.hpp"
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace pals {
+
+bool IterationStats::static_assignment_sufficient(double tolerance) const {
+  return drift_index <= tolerance &&
+         total_load_balance <= mean_iteration_load_balance + tolerance;
+}
+
+double pearson_correlation(std::span<const double> a,
+                           std::span<const double> b) {
+  PALS_CHECK_MSG(a.size() == b.size() && !a.empty(),
+                 "correlation needs equal-length, non-empty samples");
+  const double mean_a = mean(a);
+  const double mean_b = mean(b);
+  double cov = 0.0;
+  double var_a = 0.0;
+  double var_b = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double da = a[i] - mean_a;
+    const double db = b[i] - mean_b;
+    cov += da * db;
+    var_a += da * da;
+    var_b += db * db;
+  }
+  if (var_a == 0.0 || var_b == 0.0) return 0.0;
+  return cov / std::sqrt(var_a * var_b);
+}
+
+IterationStats analyze_iterations(const Trace& trace) {
+  const auto per_iteration = iteration_computation_times(trace);
+  PALS_CHECK_MSG(!per_iteration.empty(), "trace carries no iterations");
+
+  IterationStats stats;
+  stats.iterations = per_iteration.size();
+  const std::vector<Seconds> totals = trace.computation_times();
+  stats.total_load_balance = load_balance(totals);
+
+  double min_corr = 1.0;
+  for (const auto& iteration : per_iteration) {
+    stats.per_iteration_load_balance.push_back(load_balance(iteration));
+    const double corr = pearson_correlation(iteration, totals);
+    stats.iteration_correlation.push_back(corr);
+    min_corr = std::min(min_corr, corr);
+  }
+  stats.mean_iteration_load_balance =
+      mean(stats.per_iteration_load_balance);
+  stats.min_iteration_load_balance =
+      min_value(stats.per_iteration_load_balance);
+  stats.drift_index = std::clamp(1.0 - min_corr, 0.0, 2.0);
+  return stats;
+}
+
+}  // namespace pals

@@ -1,0 +1,91 @@
+#include "analysis/svg.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace pals {
+namespace {
+
+const char* state_color(RankState state) {
+  switch (state) {
+    case RankState::kCompute: return "#2e9e4f";
+    case RankState::kSend: return "#2b6fb3";
+    case RankState::kRecv: return "#6db3e8";
+    case RankState::kWait: return "#e8a33d";
+    case RankState::kCollective: return "#8659b5";
+    case RankState::kIdle: return "#d0d0d0";
+  }
+  return "#000000";
+}
+
+}  // namespace
+
+std::string render_svg(const Timeline& timeline, const SvgOptions& options) {
+  PALS_CHECK_MSG(options.width_px > 0 && options.lane_height_px > 0 &&
+                     options.lane_gap_px >= 0,
+                 "invalid SVG geometry");
+  const Seconds span = timeline.makespan();
+  PALS_CHECK_MSG(span > 0.0, "cannot render an empty timeline");
+
+  const int label_width = 56;
+  const int header = options.title.empty() ? 8 : 28;
+  const int lane_stride = options.lane_height_px + options.lane_gap_px;
+  const int legend_height = options.show_legend ? 28 : 0;
+  const int total_width = label_width + options.width_px + 8;
+  const int total_height =
+      header + timeline.n_ranks() * lane_stride + legend_height + 8;
+  const double x_scale = static_cast<double>(options.width_px) / span;
+
+  std::ostringstream svg;
+  svg << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << total_width
+      << "\" height=\"" << total_height << "\" font-family=\"monospace\" "
+      << "font-size=\"10\">\n";
+  if (!options.title.empty()) {
+    svg << "  <text x=\"" << label_width << "\" y=\"16\" font-size=\"13\">"
+        << options.title << "</text>\n";
+  }
+  for (Rank r = 0; r < timeline.n_ranks(); ++r) {
+    const int y = header + r * lane_stride;
+    svg << "  <text x=\"2\" y=\""
+        << y + options.lane_height_px - 2 << "\">r" << r << "</text>\n";
+    for (const StateInterval& iv : timeline.intervals(r)) {
+      const double x = label_width + iv.begin * x_scale;
+      const double w = iv.duration() * x_scale;
+      if (w < 0.05) continue;  // sub-pixel slivers
+      svg << "  <rect x=\"" << format_fixed(x, 2) << "\" y=\"" << y
+          << "\" width=\"" << format_fixed(w, 2) << "\" height=\""
+          << options.lane_height_px << "\" fill=\"" << state_color(iv.state)
+          << "\"><title>rank " << r << ' ' << to_string(iv.state) << " ["
+          << format_fixed(iv.begin * 1e3, 3) << ", "
+          << format_fixed(iv.end * 1e3, 3) << "] ms</title></rect>\n";
+    }
+  }
+  if (options.show_legend) {
+    int x = label_width;
+    const int y = header + timeline.n_ranks() * lane_stride + 8;
+    for (const RankState state :
+         {RankState::kCompute, RankState::kSend, RankState::kRecv,
+          RankState::kWait, RankState::kCollective, RankState::kIdle}) {
+      svg << "  <rect x=\"" << x << "\" y=\"" << y
+          << "\" width=\"10\" height=\"10\" fill=\"" << state_color(state)
+          << "\"/>\n  <text x=\"" << x + 14 << "\" y=\"" << y + 9 << "\">"
+          << to_string(state) << "</text>\n";
+      x += 14 + 10 * static_cast<int>(to_string(state).size()) + 16;
+    }
+  }
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+void write_svg_file(const Timeline& timeline, const std::string& path,
+                    const SvgOptions& options) {
+  std::ofstream out(path);
+  PALS_CHECK_MSG(out.good(), "cannot open '" << path << "' for writing");
+  out << render_svg(timeline, options);
+  PALS_CHECK_MSG(out.good(), "write failure on '" << path << "'");
+}
+
+}  // namespace pals

@@ -1,0 +1,29 @@
+// SVG rendering of rank timelines — a publication-quality counterpart to
+// the ASCII Gantt (Figure 1), viewable in any browser.
+#pragma once
+
+#include <string>
+
+#include "trace/timeline.hpp"
+
+namespace pals {
+
+struct SvgOptions {
+  int width_px = 1000;      ///< drawing width of the time axis
+  int lane_height_px = 12;  ///< height of one rank's lane
+  int lane_gap_px = 2;
+  bool show_legend = true;
+  std::string title;
+};
+
+/// Render the timeline as a standalone SVG document. States are colored
+/// (compute green, send/recv blues, wait amber, collective purple, idle
+/// grey); hovering an interval shows its state and time span.
+std::string render_svg(const Timeline& timeline,
+                       const SvgOptions& options = {});
+
+/// Convenience: write render_svg() output to `path`.
+void write_svg_file(const Timeline& timeline, const std::string& path,
+                    const SvgOptions& options = {});
+
+}  // namespace pals

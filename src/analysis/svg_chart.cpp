@@ -1,0 +1,170 @@
+#include "analysis/svg_chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace pals {
+namespace {
+
+constexpr const char* kPalette[] = {"#2b6fb3", "#d1495b", "#2e9e4f",
+                                    "#e8a33d", "#8659b5", "#4ab8b8",
+                                    "#7a7a7a", "#b07aa1"};
+
+struct Range {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+
+  void include(double v) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  void pad() {
+    if (lo == hi) {
+      lo -= 0.5;
+      hi += 0.5;
+    }
+  }
+  double span() const { return hi - lo; }
+};
+
+/// A "nice" tick step covering the range with 4-8 ticks.
+double nice_step(double span) {
+  const double raw = span / 5.0;
+  const double magnitude = std::pow(10.0, std::floor(std::log10(raw)));
+  for (const double m : {1.0, 2.0, 5.0, 10.0}) {
+    if (raw <= m * magnitude) return m * magnitude;
+  }
+  return 10.0 * magnitude;
+}
+
+std::string trim_number(double v) {
+  std::string s = format_fixed(v, 3);
+  while (!s.empty() && s.back() == '0') s.pop_back();
+  if (!s.empty() && s.back() == '.') s.pop_back();
+  return s.empty() ? "0" : s;
+}
+
+}  // namespace
+
+std::string render_chart(const std::vector<ChartSeries>& series,
+                         const ChartOptions& options) {
+  PALS_CHECK_MSG(!series.empty(), "chart needs at least one series");
+  PALS_CHECK_MSG(options.width_px > 120 && options.height_px > 80,
+                 "chart too small to render");
+  Range xr;
+  Range yr;
+  for (const ChartSeries& s : series) {
+    PALS_CHECK_MSG(s.x.size() == s.y.size(),
+                   "series '" << s.label << "' has mismatched x/y sizes");
+    PALS_CHECK_MSG(!s.x.empty(), "series '" << s.label << "' is empty");
+    for (double v : s.x) xr.include(v);
+    for (double v : s.y) yr.include(v);
+  }
+  if (options.y_from_zero) yr.include(0.0);
+  xr.pad();
+  yr.pad();
+
+  const int margin_left = 56;
+  const int margin_right = 12;
+  const int margin_top = options.title.empty() ? 14 : 30;
+  const int margin_bottom = 42;
+  const double plot_w =
+      options.width_px - margin_left - margin_right;
+  const double plot_h =
+      options.height_px - margin_top - margin_bottom;
+  const auto sx = [&](double v) {
+    return margin_left + (v - xr.lo) / xr.span() * plot_w;
+  };
+  const auto sy = [&](double v) {
+    return margin_top + plot_h - (v - yr.lo) / yr.span() * plot_h;
+  };
+
+  std::ostringstream svg;
+  svg << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\""
+      << options.width_px << "\" height=\"" << options.height_px
+      << "\" font-family=\"sans-serif\" font-size=\"10\">\n";
+  if (!options.title.empty())
+    svg << "  <text x=\"" << margin_left << "\" y=\"18\" font-size=\"13\">"
+        << options.title << "</text>\n";
+
+  // Axes box and grid/ticks.
+  svg << "  <rect x=\"" << margin_left << "\" y=\"" << margin_top
+      << "\" width=\"" << plot_w << "\" height=\"" << plot_h
+      << "\" fill=\"none\" stroke=\"#444\"/>\n";
+  const double x_step = nice_step(xr.span());
+  for (double v = std::ceil(xr.lo / x_step) * x_step; v <= xr.hi + 1e-12;
+       v += x_step) {
+    svg << "  <line x1=\"" << format_fixed(sx(v), 1) << "\" y1=\""
+        << margin_top << "\" x2=\"" << format_fixed(sx(v), 1) << "\" y2=\""
+        << margin_top + plot_h
+        << "\" stroke=\"#ddd\"/>\n  <text text-anchor=\"middle\" x=\""
+        << format_fixed(sx(v), 1) << "\" y=\""
+        << margin_top + plot_h + 14 << "\">" << trim_number(v)
+        << "</text>\n";
+  }
+  const double y_step = nice_step(yr.span());
+  for (double v = std::ceil(yr.lo / y_step) * y_step; v <= yr.hi + 1e-12;
+       v += y_step) {
+    svg << "  <line x1=\"" << margin_left << "\" y1=\""
+        << format_fixed(sy(v), 1) << "\" x2=\"" << margin_left + plot_w
+        << "\" y2=\"" << format_fixed(sy(v), 1)
+        << "\" stroke=\"#ddd\"/>\n  <text text-anchor=\"end\" x=\""
+        << margin_left - 4 << "\" y=\"" << format_fixed(sy(v) + 3, 1)
+        << "\">" << trim_number(v) << "</text>\n";
+  }
+  if (!options.x_label.empty())
+    svg << "  <text text-anchor=\"middle\" x=\""
+        << margin_left + plot_w / 2 << "\" y=\""
+        << options.height_px - 6 << "\">" << options.x_label
+        << "</text>\n";
+  if (!options.y_label.empty())
+    svg << "  <text text-anchor=\"middle\" transform=\"rotate(-90 12 "
+        << margin_top + plot_h / 2 << ")\" x=\"12\" y=\""
+        << margin_top + plot_h / 2 << "\">" << options.y_label
+        << "</text>\n";
+
+  // Series.
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const ChartSeries& s = series[i];
+    const char* color = kPalette[i % std::size(kPalette)];
+    if (s.connect && s.x.size() > 1) {
+      svg << "  <polyline fill=\"none\" stroke=\"" << color
+          << "\" stroke-width=\"1.5\" points=\"";
+      for (std::size_t k = 0; k < s.x.size(); ++k)
+        svg << format_fixed(sx(s.x[k]), 1) << ','
+            << format_fixed(sy(s.y[k]), 1) << ' ';
+      svg << "\"/>\n";
+    }
+    for (std::size_t k = 0; k < s.x.size(); ++k) {
+      svg << "  <circle cx=\"" << format_fixed(sx(s.x[k]), 1) << "\" cy=\""
+          << format_fixed(sy(s.y[k]), 1) << "\" r=\"2.5\" fill=\"" << color
+          << "\"><title>" << s.label << " (" << trim_number(s.x[k]) << ", "
+          << trim_number(s.y[k]) << ")</title></circle>\n";
+    }
+    // Legend entry.
+    const int ly = margin_top + 6 + static_cast<int>(i) * 14;
+    svg << "  <rect x=\"" << margin_left + plot_w - 110 << "\" y=\""
+        << ly - 8 << "\" width=\"10\" height=\"10\" fill=\"" << color
+        << "\"/>\n  <text x=\"" << margin_left + plot_w - 96 << "\" y=\""
+        << ly << "\">" << s.label << "</text>\n";
+  }
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+void write_chart_file(const std::vector<ChartSeries>& series,
+                      const std::string& path,
+                      const ChartOptions& options) {
+  std::ofstream out(path);
+  PALS_CHECK_MSG(out.good(), "cannot open '" << path << "' for writing");
+  out << render_chart(series, options);
+  PALS_CHECK_MSG(out.good(), "write failure on '" << path << "'");
+}
+
+}  // namespace pals

@@ -1,0 +1,39 @@
+// Minimal SVG chart rendering: line charts (power profiles, sweeps) and
+// scatter plots (energy vs load balance, Figure 3). Self-contained SVG
+// documents with axes, ticks, legends and tooltips — no external
+// dependencies, viewable in any browser.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pals {
+
+struct ChartSeries {
+  std::string label;
+  std::vector<double> x;
+  std::vector<double> y;
+  /// Draw straight segments between points; false = markers only.
+  bool connect = true;
+};
+
+struct ChartOptions {
+  int width_px = 640;
+  int height_px = 360;
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+  /// Force the y axis to start at zero (typical for normalized energy).
+  bool y_from_zero = true;
+};
+
+/// Render one or more series into a standalone SVG document. Series get
+/// distinct colors; every point carries a hover tooltip.
+std::string render_chart(const std::vector<ChartSeries>& series,
+                         const ChartOptions& options = {});
+
+void write_chart_file(const std::vector<ChartSeries>& series,
+                      const std::string& path,
+                      const ChartOptions& options = {});
+
+}  // namespace pals

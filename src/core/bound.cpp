@@ -1,0 +1,100 @@
+#include "core/bound.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/algorithms.hpp"
+#include "util/error.hpp"
+
+namespace pals {
+
+void EnergyBoundConfig::validate() const {
+  power.validate();
+  PALS_CHECK_MSG(fmin_ghz > 0.0 && fmin_ghz <= fmax_ghz,
+                 "bound needs 0 < fmin <= fmax");
+  PALS_CHECK_MSG(fmax_ghz <= power.reference.frequency_ghz + 1e-12,
+                 "the bound does not model over-clocking");
+}
+
+namespace {
+
+/// Rank energy over a fixed interval of length `total` when computing for
+/// `compute_time` at gear implied by frequency f (linear paper V(f)).
+double rank_energy_at(const PowerModel& power, const VoltageModel& vm,
+                      double f_ghz, Seconds compute_time, Seconds total) {
+  const Gear gear = vm.gear(f_ghz);
+  return compute_time * power.total_power(gear, /*computing=*/true) +
+         (total - compute_time) * power.total_power(gear, /*computing=*/false);
+}
+
+}  // namespace
+
+EnergyBound energy_saving_bound(std::span<const Seconds> computation_time,
+                                Seconds total_time, double allowed_slowdown,
+                                const EnergyBoundConfig& config) {
+  config.validate();
+  PALS_CHECK_MSG(!computation_time.empty(), "no ranks");
+  PALS_CHECK_MSG(allowed_slowdown >= 0.0, "negative allowed slowdown");
+  const Seconds t_max =
+      *std::max_element(computation_time.begin(), computation_time.end());
+  PALS_CHECK_MSG(t_max > 0.0, "all ranks have zero computation");
+  PALS_CHECK_MSG(total_time >= t_max,
+                 "total time below the critical computation time");
+
+  const PowerModel power(config.power);
+  const VoltageModel vm = VoltageModel::paper_default();
+  const double fref = config.power.reference.frequency_ghz;
+  const double beta = config.power.beta;
+
+  // Communication/synchronization outside computation is frequency
+  // independent; the computation budget absorbs the whole allowed delay.
+  const Seconds comm = total_time - t_max;
+  const Seconds compute_budget =
+      (1.0 + allowed_slowdown) * total_time - comm;
+  const Seconds new_total = compute_budget + comm;
+
+  EnergyBound bound;
+  bound.predicted_time = new_total;
+  bound.frequency_ghz.reserve(computation_time.size());
+
+  double energy = 0.0;
+  double baseline_energy = 0.0;
+  for (const Seconds t : computation_time) {
+    baseline_energy += rank_energy_at(power, vm, fref, t, total_time);
+    if (t == 0.0) {
+      bound.frequency_ghz.push_back(config.fmin_ghz);
+      energy +=
+          rank_energy_at(power, vm, config.fmin_ghz, 0.0, new_total);
+      continue;
+    }
+    // Lowest admissible frequency: computation must fit the budget
+    // (ideal_frequency returns 0 for "any frequency works" and +inf for
+    // "unreachable"; clamp maps those onto the range ends).
+    const double f_required =
+        ideal_frequency(t, compute_budget, fref, beta);
+    const double f_lo =
+        std::clamp(f_required, config.fmin_ghz, config.fmax_ghz);
+    // Grid + local refinement over [f_lo, fmax]: energy is smooth in f.
+    double best_f = config.fmax_ghz;
+    double best_e = rank_energy_at(
+        power, vm, best_f,
+        t * (beta * (fref / best_f - 1.0) + 1.0), new_total);
+    constexpr int kGrid = 512;
+    for (int i = 0; i <= kGrid; ++i) {
+      const double f =
+          f_lo + (config.fmax_ghz - f_lo) * static_cast<double>(i) / kGrid;
+      const Seconds stretched = t * (beta * (fref / f - 1.0) + 1.0);
+      const double e = rank_energy_at(power, vm, f, stretched, new_total);
+      if (e < best_e) {
+        best_e = e;
+        best_f = f;
+      }
+    }
+    bound.frequency_ghz.push_back(best_f);
+    energy += best_e;
+  }
+  bound.normalized_energy = energy / baseline_energy;
+  return bound;
+}
+
+}  // namespace pals

@@ -1,0 +1,49 @@
+// Energy-saving bound for an allowable time delay — the question Rountree
+// et al. (SC'07, the paper's reference [21]) answer with a linear program,
+// specialized here to the paper's power/time models.
+//
+// Given per-rank computation times, the baseline execution time, and an
+// allowable slowdown δ, the bound assumes perfect (continuous) per-rank
+// frequency choice and a fully synchronized execution: every rank's
+// computation may stretch until the total time reaches (1+δ)·T0. Each
+// rank's energy over the fixed interval is then minimized independently
+// over its admissible frequency range — a 1-D problem solved numerically.
+//
+// The result is a *lower* bound on normalized CPU energy that MAX (δ=0,
+// snapped gears) and AVG can be compared against.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "power/power_model.hpp"
+#include "trace/types.hpp"
+
+namespace pals {
+
+struct EnergyBoundConfig {
+  PowerModelConfig power;
+  /// Admissible continuous frequency range.
+  double fmin_ghz = kUnlimitedFloorGhz;
+  double fmax_ghz = kPaperFmaxGhz;
+
+  void validate() const;
+};
+
+struct EnergyBound {
+  /// Minimal CPU energy normalized to the all-at-fmax baseline.
+  double normalized_energy = 0.0;
+  /// Optimal per-rank frequency.
+  std::vector<double> frequency_ghz;
+  /// Predicted execution time under the bound (<= (1+δ)·T0).
+  Seconds predicted_time = 0.0;
+};
+
+/// Compute the bound. `computation_time` are baseline per-rank times,
+/// `total_time` the baseline execution time (>= max computation time),
+/// `allowed_slowdown` is δ >= 0.
+EnergyBound energy_saving_bound(std::span<const Seconds> computation_time,
+                                Seconds total_time, double allowed_slowdown,
+                                const EnergyBoundConfig& config);
+
+}  // namespace pals

@@ -1,0 +1,68 @@
+// Dynamic per-iteration DVFS runtime — a Jitter-style counterpart to the
+// static MAX algorithm (Kappiah et al., SC'05; the paper's §2 notes MAX
+// is "a static version of this approach").
+//
+// The simulated runtime starts every rank at the top gear, observes each
+// iteration's per-rank computation times, and before the next iteration:
+//   * steps a rank one gear *down* when its relative slack exceeds a
+//     threshold and the next-lower gear still fits inside the critical
+//     path (predicted with the β time model);
+//   * jumps a rank straight back to the *top* gear when it has (almost)
+//     no slack — gradual climbing would stretch the critical path for
+//     several iterations when the imbalance pattern moves.
+//
+// Unlike the static algorithms, this adapts when the imbalance pattern
+// drifts across iterations (see workloads/amr_drift.cpp).
+#pragma once
+
+#include <vector>
+
+#include "core/algorithms.hpp"
+#include "power/power_model.hpp"
+#include "replay/replay.hpp"
+#include "trace/trace.hpp"
+
+namespace pals {
+
+struct JitterConfig {
+  /// Discrete gear set the runtime steps through.
+  GearSet gear_set = paper_uniform(6);
+  /// Minimum relative slack ((Tmax − T)/Tmax) before shifting down.
+  double slack_threshold = 0.05;
+  /// A rank with slack below threshold/2 is considered critical and
+  /// shifts back up (hysteresis band in between).
+  PowerModelConfig power;
+  ReplayConfig replay;
+  /// Wall-clock stall a rank pays at the start of an iteration in which
+  /// its gear changed (voltage regulators need O(10-100 us) per switch;
+  /// 0 = free switching, the paper's implicit assumption).
+  Seconds transition_penalty = 0.0;
+
+  void validate() const;
+};
+
+struct JitterResult {
+  /// Gear of every rank during every iteration: schedule[iteration][rank].
+  std::vector<std::vector<Gear>> schedule;
+  /// Total number of gear shifts performed across the run.
+  std::size_t gear_shifts = 0;
+
+  Seconds baseline_time = 0.0;
+  double baseline_energy = 0.0;
+  Seconds scaled_time = 0.0;
+  double scaled_energy = 0.0;
+
+  double normalized_energy() const { return scaled_energy / baseline_energy; }
+  double normalized_time() const { return scaled_time / baseline_time; }
+  double normalized_edp() const {
+    return normalized_energy() * normalized_time();
+  }
+
+  ReplayResult baseline_replay;
+  ReplayResult scaled_replay;
+};
+
+/// Simulate the dynamic runtime on an iteration-marked trace.
+JitterResult run_jitter(const Trace& trace, const JitterConfig& config);
+
+}  // namespace pals

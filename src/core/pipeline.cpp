@@ -1,0 +1,139 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "trace/transform.hpp"
+#include "util/error.hpp"
+
+namespace pals {
+
+void PipelineConfig::validate() const {
+  algorithm.validate();
+  power.validate();
+  replay.validate();
+  PALS_CHECK_MSG(algorithm.beta == power.beta,
+                 "algorithm beta (" << algorithm.beta
+                                    << ") and power-model beta ("
+                                    << power.beta
+                                    << ") must agree");
+  PALS_CHECK_MSG(
+      algorithm.nominal_fmax_ghz == power.reference.frequency_ghz,
+      "algorithm nominal fmax and power-model reference frequency must agree");
+}
+
+double load_balance(std::span<const Seconds> computation_time) {
+  PALS_CHECK_MSG(!computation_time.empty(), "no ranks");
+  const Seconds total =
+      std::accumulate(computation_time.begin(), computation_time.end(), 0.0);
+  const Seconds t_max =
+      *std::max_element(computation_time.begin(), computation_time.end());
+  PALS_CHECK_MSG(t_max > 0.0, "all ranks have zero computation");
+  return total / (static_cast<double>(computation_time.size()) * t_max);
+}
+
+double parallel_efficiency(std::span<const Seconds> computation_time,
+                           Seconds total_time) {
+  PALS_CHECK_MSG(!computation_time.empty(), "no ranks");
+  PALS_CHECK_MSG(total_time > 0.0, "total time must be positive");
+  const Seconds total =
+      std::accumulate(computation_time.begin(), computation_time.end(), 0.0);
+  return total / (static_cast<double>(computation_time.size()) * total_time);
+}
+
+PipelineResult run_pipeline(const Trace& trace, const PipelineConfig& config) {
+  config.validate();
+  const PowerModel power(config.power);
+  const auto n = static_cast<std::size_t>(trace.n_ranks());
+
+  PipelineResult result;
+  result.baseline_replay = replay(trace, config.replay);
+  result.baseline_time = result.baseline_replay.makespan;
+  result.baseline_energy =
+      power.baseline_energy(result.baseline_replay.timeline);
+  result.computation_time = result.baseline_replay.compute_time;
+  result.load_balance = load_balance(result.computation_time);
+  result.parallel_efficiency =
+      parallel_efficiency(result.computation_time, result.baseline_time);
+
+  std::vector<Gear> rank_gears(n);
+  Trace scaled;
+  if (!config.per_phase) {
+    result.assignment =
+        config.algorithm.algorithm == Algorithm::kEnergyOptimalMax
+            ? assign_frequencies_energy_optimal(result.computation_time,
+                                                config.algorithm,
+                                                config.power)
+            : assign_frequencies(result.computation_time, config.algorithm);
+    rank_gears = result.assignment.gears;
+    std::vector<double> factors(n);
+    for (std::size_t r = 0; r < n; ++r)
+      factors[r] = power.time_scale(rank_gears[r].frequency_ghz);
+    scaled = scale_compute(trace, factors);
+    result.overclocked_fraction = result.assignment.overclocked_fraction(
+        config.algorithm.nominal_fmax_ghz);
+  } else {
+    // One assignment per phase; bursts without a phase label follow the
+    // whole-run assignment.
+    const std::vector<std::int32_t> phases = trace.phases();
+    PALS_CHECK_MSG(!phases.empty(),
+                   "per-phase pipeline requires phase-labelled bursts");
+    std::vector<std::vector<Seconds>> per_phase_times;
+    per_phase_times.reserve(phases.size());
+    for (const std::int32_t p : phases) {
+      std::vector<Seconds> times(n);
+      for (Rank r = 0; r < trace.n_ranks(); ++r)
+        times[static_cast<std::size_t>(r)] = trace.computation_time(r, p);
+      per_phase_times.push_back(std::move(times));
+    }
+    result.phase_assignments =
+        assign_frequencies_per_phase(per_phase_times, config.algorithm);
+    result.assignment =
+        assign_frequencies(result.computation_time, config.algorithm);
+
+    // Phase labels may be sparse (e.g. {0, 3}); build a dense lookup.
+    const std::int32_t max_phase =
+        *std::max_element(phases.begin(), phases.end());
+    std::vector<std::vector<double>> factors(
+        n, std::vector<double>(static_cast<std::size_t>(max_phase) + 1, 1.0));
+    std::vector<double> default_factors(n);
+    std::size_t overclocked = 0;
+    for (std::size_t r = 0; r < n; ++r) {
+      default_factors[r] =
+          power.time_scale(result.assignment.gears[r].frequency_ghz);
+      bool rank_overclocked = false;
+      for (std::size_t pi = 0; pi < phases.size(); ++pi) {
+        const Gear& g = result.phase_assignments[pi].gears[r];
+        factors[r][static_cast<std::size_t>(phases[pi])] =
+            power.time_scale(g.frequency_ghz);
+        if (g.frequency_ghz > config.algorithm.nominal_fmax_ghz + 1e-12)
+          rank_overclocked = true;
+      }
+      if (rank_overclocked) ++overclocked;
+      // Unphased bursts and wait states are charged at the whole-run gear;
+      // phase-labelled compute is charged exactly via phase_energy below.
+      rank_gears[r] = result.assignment.gears[r];
+    }
+    result.overclocked_fraction =
+        static_cast<double>(overclocked) / static_cast<double>(n);
+    scaled = scale_compute_per_phase(trace, factors, default_factors);
+  }
+
+  result.scaled_replay = replay(scaled, config.replay);
+  result.scaled_time = result.scaled_replay.makespan;
+  if (!config.per_phase) {
+    result.scaled_energy =
+        power.total_energy(result.scaled_replay.timeline, rank_gears);
+  } else {
+    const std::vector<std::int32_t> phases = trace.phases();
+    std::vector<std::vector<Gear>> phase_gears;
+    phase_gears.reserve(result.phase_assignments.size());
+    for (const FrequencyAssignment& a : result.phase_assignments)
+      phase_gears.push_back(a.gears);
+    result.scaled_energy = power.phase_energy(
+        result.scaled_replay.timeline, phases, phase_gears, rank_gears);
+  }
+  return result;
+}
+
+}  // namespace pals

@@ -1,0 +1,71 @@
+// End-to-end power-analysis pipeline (paper §4).
+//
+// Mirrors the paper's simulation methodology:
+//   1. replay the original trace to obtain the baseline execution time and
+//      per-rank computation times,
+//   2. assign one frequency per rank (MAX or AVG over a gear set),
+//   3. rescale every compute burst with the β time model,
+//   4. replay the modified trace for the new execution time,
+//   5. integrate CPU energy over both timelines and report normalized
+//      energy, time and EDP.
+#pragma once
+
+#include <vector>
+
+#include "core/algorithms.hpp"
+#include "power/power_model.hpp"
+#include "replay/replay.hpp"
+#include "trace/trace.hpp"
+
+namespace pals {
+
+struct PipelineConfig {
+  AlgorithmConfig algorithm;
+  PowerModelConfig power;
+  ReplayConfig replay;
+  /// Ablation: compute a separate frequency per computation phase instead
+  /// of one per rank (the paper uses a single setting; PEPC's 20 % slowdown
+  /// stems from that restriction).
+  bool per_phase = false;
+
+  void validate() const;
+};
+
+struct PipelineResult {
+  /// Baseline (all ranks at the reference frequency).
+  Seconds baseline_time = 0.0;
+  double baseline_energy = 0.0;
+  double load_balance = 0.0;        ///< Σ comp / (N · max comp), eq. (4)
+  double parallel_efficiency = 0.0; ///< Σ comp / (N · total time), eq. (5)
+
+  /// DVFS execution.
+  Seconds scaled_time = 0.0;
+  double scaled_energy = 0.0;
+  FrequencyAssignment assignment;   ///< whole-run assignment (per_phase=false)
+  std::vector<FrequencyAssignment> phase_assignments;  ///< per_phase=true
+  double overclocked_fraction = 0.0;
+
+  /// Per-rank computation times of the baseline run (input to the
+  /// algorithms; useful for reporting).
+  std::vector<Seconds> computation_time;
+
+  double normalized_energy() const { return scaled_energy / baseline_energy; }
+  double normalized_time() const { return scaled_time / baseline_time; }
+  double normalized_edp() const {
+    return normalized_energy() * normalized_time();
+  }
+
+  /// Full replay outputs, kept for visualization (Figure 1) and deeper
+  /// analysis.
+  ReplayResult baseline_replay;
+  ReplayResult scaled_replay;
+};
+
+PipelineResult run_pipeline(const Trace& trace, const PipelineConfig& config);
+
+/// Equations (4) and (5) of the paper.
+double load_balance(std::span<const Seconds> computation_time);
+double parallel_efficiency(std::span<const Seconds> computation_time,
+                           Seconds total_time);
+
+}  // namespace pals

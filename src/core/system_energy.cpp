@@ -1,0 +1,44 @@
+#include "core/system_energy.hpp"
+
+#include "util/error.hpp"
+
+namespace pals {
+
+void SystemEnergyConfig::validate() const {
+  PALS_CHECK_MSG(cpu_fraction > 0.0 && cpu_fraction <= 1.0,
+                 "cpu fraction must lie in (0, 1]");
+  power.validate();
+}
+
+double SystemEnergyConfig::rest_of_system_power() const {
+  const PowerModel model(power);
+  const double cpu_ref = model.total_power(power.reference,
+                                           /*computing=*/true);
+  return cpu_ref * (1.0 / cpu_fraction - 1.0);
+}
+
+double system_energy(double cpu_energy, Seconds execution_time, Rank n_ranks,
+                     const SystemEnergyConfig& config) {
+  config.validate();
+  PALS_CHECK_MSG(cpu_energy >= 0.0, "negative CPU energy");
+  PALS_CHECK_MSG(execution_time >= 0.0, "negative execution time");
+  PALS_CHECK_MSG(n_ranks > 0, "need at least one rank");
+  return cpu_energy + config.rest_of_system_power() *
+                          static_cast<double>(n_ranks) * execution_time;
+}
+
+SystemView system_view(const PipelineResult& result,
+                       const SystemEnergyConfig& config) {
+  const Rank n = static_cast<Rank>(result.computation_time.size());
+  SystemView view;
+  view.normalized_cpu_energy = result.normalized_energy();
+  view.normalized_time = result.normalized_time();
+  const double baseline = system_energy(result.baseline_energy,
+                                        result.baseline_time, n, config);
+  const double scaled =
+      system_energy(result.scaled_energy, result.scaled_time, n, config);
+  view.normalized_system_energy = scaled / baseline;
+  return view;
+}
+
+}  // namespace pals

@@ -1,0 +1,45 @@
+// Whole-system energy view — quantifies the paper's concluding argument:
+// "the new [AVG] algorithm has a higher potential to save overall system
+// energy because it reduces the execution time."
+//
+// The CPU makes ~45-55 % of total system power (paper §3.2, citing the
+// Jitter paper); the rest (memory, disks, NIC, PSU losses, fans) is
+// modelled as a constant per-node draw that runs for the whole execution.
+// DVFS lowers only the CPU term, but a shorter execution (AVG) also cuts
+// the rest-of-system term.
+#pragma once
+
+#include "core/pipeline.hpp"
+#include "power/power_model.hpp"
+
+namespace pals {
+
+struct SystemEnergyConfig {
+  /// Fraction of total node power drawn by the CPU when computing at the
+  /// reference gear (paper: 45-55 %; default the midpoint).
+  double cpu_fraction = 0.5;
+  PowerModelConfig power;
+
+  void validate() const;
+
+  /// Constant non-CPU power per rank (energy-units/s), calibrated so the
+  /// CPU is `cpu_fraction` of node power at the reference operating point.
+  double rest_of_system_power() const;
+};
+
+/// Total system energy for an execution: CPU energy + rest-of-system
+/// power for every rank over the whole execution time.
+double system_energy(double cpu_energy, Seconds execution_time, Rank n_ranks,
+                     const SystemEnergyConfig& config);
+
+struct SystemView {
+  double normalized_cpu_energy = 0.0;
+  double normalized_system_energy = 0.0;
+  double normalized_time = 0.0;
+};
+
+/// System-level reading of a pipeline result.
+SystemView system_view(const PipelineResult& result,
+                       const SystemEnergyConfig& config);
+
+}  // namespace pals

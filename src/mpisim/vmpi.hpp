@@ -1,0 +1,85 @@
+// Virtual MPI runtime — the "cluster" that produces traces.
+//
+// The paper traced real applications on a PowerPC/Myrinet cluster. Here,
+// skeleton mini-apps written against this MPI-like API are executed in a
+// deterministic SPMD harness that records a logical trace. Only structure
+// and cost matter downstream (burst durations, message sizes, operation
+// order), so rank programs run without exchanging payload data.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace pals {
+
+/// Handle returned by non-blocking operations.
+struct VRequest {
+  RequestId id = -1;
+  bool valid() const { return id >= 0; }
+};
+
+/// Per-rank tracing context; mirrors the MPI subset the replay simulator
+/// understands. All byte counts are payload sizes.
+class VirtualMpi {
+public:
+  VirtualMpi(Trace& trace, Rank rank, double flops_per_second);
+
+  Rank rank() const { return rank_; }
+  Rank size() const { return trace_->n_ranks(); }
+
+  /// Record a computation burst of `duration` seconds (reference-frequency
+  /// time). `phase` labels the computation phase (-1 = unphased).
+  void compute(Seconds duration, std::int32_t phase = -1);
+  /// Computation expressed in floating-point operations; converted to
+  /// seconds via the machine's flops rate.
+  void compute_flops(double flops, std::int32_t phase = -1);
+
+  void send(Rank peer, std::int32_t tag, Bytes bytes);
+  void recv(Rank peer, std::int32_t tag, Bytes bytes);
+  VRequest isend(Rank peer, std::int32_t tag, Bytes bytes);
+  VRequest irecv(Rank peer, std::int32_t tag, Bytes bytes);
+  void wait(VRequest request);
+  void waitall();
+
+  void barrier();
+  void bcast(Bytes bytes, Rank root = 0);
+  void reduce(Bytes bytes, Rank root = 0);
+  void allreduce(Bytes bytes);
+  void gather(Bytes bytes, Rank root = 0);
+  void allgather(Bytes bytes);
+  void scatter(Bytes bytes, Rank root = 0);
+  void alltoall(Bytes bytes);
+  void reduce_scatter(Bytes bytes);
+
+  void iteration_begin(std::int32_t id);
+  void iteration_end(std::int32_t id);
+  void phase_begin(std::int32_t id);
+  void phase_end(std::int32_t id);
+
+  double flops_per_second() const { return flops_per_second_; }
+
+private:
+  Trace* trace_;
+  Rank rank_;
+  double flops_per_second_;
+  RequestId next_request_ = 0;
+};
+
+/// An SPMD rank program.
+using RankProgram = std::function<void(VirtualMpi&)>;
+
+struct SpmdOptions {
+  std::string name;
+  /// Simulated per-rank compute speed at the reference frequency.
+  double flops_per_second = 4.6e9;
+};
+
+/// Run `program` once per rank (deterministically, rank 0 first) and
+/// return the validated trace.
+Trace run_spmd(Rank n_ranks, const RankProgram& program,
+               const SpmdOptions& options = {});
+
+}  // namespace pals

@@ -1,0 +1,75 @@
+#include "paraver/export.hpp"
+
+#include "util/error.hpp"
+
+namespace pals {
+namespace {
+
+PrvState to_prv_state(RankState state) {
+  switch (state) {
+    case RankState::kCompute: return PrvState::kRunning;
+    case RankState::kSend: return PrvState::kBlockedSend;
+    case RankState::kRecv:
+    case RankState::kWait: return PrvState::kWaitingMessage;
+    case RankState::kCollective: return PrvState::kGroupCommunication;
+    case RankState::kIdle: return PrvState::kIdle;
+  }
+  throw Error("invalid RankState");
+}
+
+}  // namespace
+
+PrvTrace export_prv(const ReplayResult& result) {
+  PrvTrace prv;
+  prv.total_time = result.makespan;
+  prv.n_tasks = result.timeline.n_ranks();
+
+  for (Rank r = 0; r < prv.n_tasks; ++r) {
+    std::int32_t current_iteration = -1;
+    Seconds lane_end = 0.0;
+    for (const StateInterval& iv : result.timeline.intervals(r)) {
+      prv.states.push_back(
+          PrvStateRecord{r, iv.begin, iv.end, to_prv_state(iv.state)});
+      if (iv.iteration != current_iteration) {
+        if (current_iteration >= 0)
+          prv.events.push_back(
+              PrvEventRecord{r, iv.begin, kPrvEventIteration, 0});
+        if (iv.iteration >= 0)
+          prv.events.push_back(PrvEventRecord{
+              r, iv.begin, kPrvEventIteration, iv.iteration + 1});
+        current_iteration = iv.iteration;
+      }
+      lane_end = iv.end;
+    }
+    // Close the final iteration if the lane ends inside one (ranks padded
+    // with idle already closed it at the idle transition).
+    if (current_iteration >= 0)
+      prv.events.push_back(
+          PrvEventRecord{r, lane_end, kPrvEventIteration, 0});
+  }
+
+  for (const MessageRecord& m : result.messages) {
+    prv.comms.push_back(PrvCommRecord{m.src, m.dst, m.send_time, m.recv_time,
+                                      m.bytes, m.tag});
+  }
+
+  for (const CollectiveRecord& c : result.collectives) {
+    for (const auto& [rank, arrival] : c.arrivals) {
+      prv.events.push_back(PrvEventRecord{
+          rank, arrival, kPrvEventCollectiveOp,
+          static_cast<std::int64_t>(c.op) + 1});
+      prv.events.push_back(PrvEventRecord{
+          rank, arrival, kPrvEventCollectiveBytes,
+          static_cast<std::int64_t>(c.bytes)});
+      prv.events.push_back(
+          PrvEventRecord{rank, arrival, kPrvEventCollectiveRoot, c.root});
+      prv.events.push_back(
+          PrvEventRecord{rank, c.completion, kPrvEventCollectiveOp, 0});
+    }
+  }
+
+  prv.validate();
+  return prv;
+}
+
+}  // namespace pals

@@ -1,0 +1,17 @@
+// Export a simulated execution (replay output) as a Paraver trace.
+#pragma once
+
+#include "paraver/prv.hpp"
+#include "replay/replay.hpp"
+
+namespace pals {
+
+/// Convert a replay result into Paraver records:
+///  * every timeline interval becomes a state record,
+///  * iteration transitions become type-60000001 events,
+///  * point-to-point messages become comm records,
+///  * collectives become enter/leave event pairs with op/bytes/root
+///    payload events at entry.
+PrvTrace export_prv(const ReplayResult& result);
+
+}  // namespace pals

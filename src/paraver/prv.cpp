@@ -1,0 +1,160 @@
+#include "paraver/prv.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace pals {
+namespace {
+
+std::int64_t to_ns(Seconds t) {
+  return static_cast<std::int64_t>(std::llround(t * 1e9));
+}
+
+Seconds from_ns(std::int64_t ns) { return static_cast<double>(ns) * 1e-9; }
+
+[[noreturn]] void parse_error(std::size_t line_no, const std::string& line,
+                              const std::string& why) {
+  std::ostringstream os;
+  os << "prv parse error at line " << line_no << " ('" << line
+     << "'): " << why;
+  throw Error(os.str());
+}
+
+PrvState parse_prv_state(long long value) {
+  switch (value) {
+    case 0: return PrvState::kIdle;
+    case 1: return PrvState::kRunning;
+    case 3: return PrvState::kWaitingMessage;
+    case 4: return PrvState::kBlockedSend;
+    case 9: return PrvState::kGroupCommunication;
+    default: throw Error("unknown prv state id " + std::to_string(value));
+  }
+}
+
+}  // namespace
+
+void PrvTrace::validate() const {
+  PALS_CHECK_MSG(n_tasks > 0, "prv trace needs at least one task");
+  PALS_CHECK_MSG(total_time >= 0.0, "negative total time");
+  const auto check_task = [&](Rank task) {
+    PALS_CHECK_MSG(task >= 0 && task < n_tasks,
+                   "prv task " << task << " out of range");
+  };
+  for (const PrvStateRecord& s : states) {
+    check_task(s.task);
+    PALS_CHECK_MSG(s.end >= s.begin, "prv state record ends before begin");
+  }
+  for (const PrvEventRecord& e : events) check_task(e.task);
+  for (const PrvCommRecord& c : comms) {
+    check_task(c.src);
+    check_task(c.dst);
+    PALS_CHECK_MSG(c.recv_time >= c.send_time - 1e-12,
+                   "prv comm delivered before it was sent");
+  }
+}
+
+void write_prv(const PrvTrace& trace, std::ostream& out) {
+  trace.validate();
+  out << "#Paraver (pals):" << to_ns(trace.total_time) << ':'
+      << trace.n_tasks << '\n';
+  for (const PrvStateRecord& s : trace.states) {
+    const Rank task = s.task + 1;
+    out << "1:" << task << ":1:" << task << ":1:" << to_ns(s.begin) << ':'
+        << to_ns(s.end) << ':' << static_cast<std::int32_t>(s.state) << '\n';
+  }
+  for (const PrvEventRecord& e : trace.events) {
+    const Rank task = e.task + 1;
+    out << "2:" << task << ":1:" << task << ":1:" << to_ns(e.time) << ':'
+        << e.type << ':' << e.value << '\n';
+  }
+  for (const PrvCommRecord& c : trace.comms) {
+    const Rank src = c.src + 1;
+    const Rank dst = c.dst + 1;
+    out << "3:" << src << ":1:" << src << ":1:" << to_ns(c.send_time) << ':'
+        << to_ns(c.send_time) << ':' << dst << ":1:" << dst << ":1:"
+        << to_ns(c.recv_time) << ':' << to_ns(c.recv_time) << ':' << c.bytes
+        << ':' << c.tag << '\n';
+  }
+}
+
+void write_prv_file(const PrvTrace& trace, const std::string& path) {
+  std::ofstream out(path);
+  PALS_CHECK_MSG(out.good(), "cannot open '" << path << "' for writing");
+  write_prv(trace, out);
+  PALS_CHECK_MSG(out.good(), "write failure on '" << path << "'");
+}
+
+PrvTrace read_prv(std::istream& in) {
+  PrvTrace trace;
+  std::string line;
+  std::size_t line_no = 0;
+  bool header_seen = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string_view trimmed = trim(line);
+    if (trimmed.empty()) continue;
+    if (!header_seen) {
+      if (!starts_with(trimmed, "#Paraver"))
+        parse_error(line_no, line, "expected #Paraver header");
+      const auto fields = split(trimmed, ':');
+      if (fields.size() < 3) parse_error(line_no, line, "short header");
+      trace.total_time = from_ns(parse_int(fields[fields.size() - 2]));
+      trace.n_tasks = static_cast<Rank>(parse_int(fields.back()));
+      header_seen = true;
+      continue;
+    }
+    if (trimmed.front() == '#') continue;
+    const auto f = split(trimmed, ':');
+    try {
+      if (f[0] == "1") {
+        if (f.size() != 8) parse_error(line_no, line, "state needs 8 fields");
+        PrvStateRecord s;
+        s.task = static_cast<Rank>(parse_int(f[3]) - 1);
+        s.begin = from_ns(parse_int(f[5]));
+        s.end = from_ns(parse_int(f[6]));
+        s.state = parse_prv_state(parse_int(f[7]));
+        trace.states.push_back(s);
+      } else if (f[0] == "2") {
+        if (f.size() != 8) parse_error(line_no, line, "event needs 8 fields");
+        PrvEventRecord e;
+        e.task = static_cast<Rank>(parse_int(f[3]) - 1);
+        e.time = from_ns(parse_int(f[5]));
+        e.type = parse_int(f[6]);
+        e.value = parse_int(f[7]);
+        trace.events.push_back(e);
+      } else if (f[0] == "3") {
+        if (f.size() != 15) parse_error(line_no, line, "comm needs 15 fields");
+        PrvCommRecord c;
+        c.src = static_cast<Rank>(parse_int(f[3]) - 1);
+        c.send_time = from_ns(parse_int(f[5]));  // logical send
+        c.dst = static_cast<Rank>(parse_int(f[9]) - 1);
+        c.recv_time = from_ns(parse_int(f[11]));  // logical receive
+        c.bytes = static_cast<Bytes>(parse_int(f[13]));
+        c.tag = static_cast<std::int32_t>(parse_int(f[14]));
+        trace.comms.push_back(c);
+      } else {
+        parse_error(line_no, line, "unknown record kind '" + f[0] + "'");
+      }
+    } catch (const Error& err) {
+      if (std::string(err.what()).find("prv parse error") == 0) throw;
+      parse_error(line_no, line, err.what());
+    }
+  }
+  if (!header_seen) throw Error("prv parse error: missing header");
+  trace.validate();
+  return trace;
+}
+
+PrvTrace read_prv_file(const std::string& path) {
+  std::ifstream in(path);
+  PALS_CHECK_MSG(in.good(), "cannot open '" << path << "' for reading");
+  return read_prv(in);
+}
+
+}  // namespace pals

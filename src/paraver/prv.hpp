@@ -1,0 +1,98 @@
+// Paraver-style trace records and .prv text serialization.
+//
+// The paper's tooling is Paraver-centric: applications are traced into
+// Paraver files, cut to one iterative region, translated to Dimemas
+// traces, and the re-timed result is visualized in Paraver again. This
+// module implements a simplified but structurally faithful subset of the
+// .prv format so executions simulated here can be exchanged with
+// Paraver-ecosystem tooling and re-imported as logical traces.
+//
+// Record grammar (times in integer nanoseconds, tasks 1-based, the
+// cpu/appl/thread fields are fixed to task/1/1):
+//
+//   #Paraver (pals):<total_ns>:<ntasks>
+//   1:<cpu>:1:<task>:1:<begin>:<end>:<state>
+//   2:<cpu>:1:<task>:1:<time>:<type>:<value>
+//   3:<cpu>:1:<stask>:1:<lsend>:<psend>:<cpu>:1:<rtask>:1:<lrecv>:<precv>:<size>:<tag>
+//
+// States: 0 idle, 1 running, 3 waiting a message (recv/wait), 4 blocked
+// send, 9 group communication. Event types: 50000002 collective op id
+// (value = CollectiveOp + 1, 0 = leave), 50100001 collective per-rank
+// bytes, 50100002 collective root, 60000001 iteration (value = iteration
+// + 1, 0 = leave).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/types.hpp"
+
+namespace pals {
+
+/// Paraver state identifiers used by this subset.
+enum class PrvState : std::int32_t {
+  kIdle = 0,
+  kRunning = 1,
+  kWaitingMessage = 3,
+  kBlockedSend = 4,
+  kGroupCommunication = 9,
+};
+
+inline constexpr std::int64_t kPrvEventCollectiveOp = 50000002;
+inline constexpr std::int64_t kPrvEventCollectiveBytes = 50100001;
+inline constexpr std::int64_t kPrvEventCollectiveRoot = 50100002;
+inline constexpr std::int64_t kPrvEventIteration = 60000001;
+
+struct PrvStateRecord {
+  Rank task = 0;  ///< 0-based internally; serialized 1-based
+  Seconds begin = 0.0;
+  Seconds end = 0.0;
+  PrvState state = PrvState::kIdle;
+
+  bool operator==(const PrvStateRecord&) const = default;
+};
+
+struct PrvEventRecord {
+  Rank task = 0;
+  Seconds time = 0.0;
+  std::int64_t type = 0;
+  std::int64_t value = 0;
+
+  bool operator==(const PrvEventRecord&) const = default;
+};
+
+struct PrvCommRecord {
+  Rank src = 0;
+  Rank dst = 0;
+  Seconds send_time = 0.0;
+  Seconds recv_time = 0.0;
+  Bytes bytes = 0;
+  std::int32_t tag = 0;
+
+  bool operator==(const PrvCommRecord&) const = default;
+};
+
+/// A parsed/constructed Paraver trace. Records are kept in serialization
+/// order (states and events sorted per task by time).
+struct PrvTrace {
+  Seconds total_time = 0.0;
+  Rank n_tasks = 0;
+  std::vector<PrvStateRecord> states;
+  std::vector<PrvEventRecord> events;
+  std::vector<PrvCommRecord> comms;
+
+  /// Throws pals::Error if tasks/time stamps are out of range.
+  void validate() const;
+
+  bool operator==(const PrvTrace&) const = default;
+};
+
+void write_prv(const PrvTrace& trace, std::ostream& out);
+void write_prv_file(const PrvTrace& trace, const std::string& path);
+
+PrvTrace read_prv(std::istream& in);
+PrvTrace read_prv_file(const std::string& path);
+
+}  // namespace pals

@@ -1,0 +1,132 @@
+#include "paraver/translate.hpp"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace pals {
+namespace {
+
+/// A reconstructed operation with its position in the rank's record
+/// stream. `priority` breaks timestamp ties: instantaneous records at
+/// time t (markers, message posts/deliveries, collective entries) happen
+/// *before* a state interval that begins at t — a receive delivered at t
+/// precedes the computation burst it unblocks.
+struct Op {
+  Seconds time = 0.0;
+  int priority = 0;
+  Event event;
+};
+
+// Communication completed exactly at an iteration transition belongs to
+// the ending iteration, so message ops sort before markers; computation
+// starting at the transition belongs to the new one, so bursts sort last.
+// (Attribution of an op whose timestamp collides with a boundary is
+// heuristic — .prv stores times, not program order — but consistent.)
+constexpr int kPriorityRecv = 0;
+constexpr int kPrioritySend = 1;
+constexpr int kPriorityCollective = 2;
+constexpr int kPriorityIterEnd = 3;
+constexpr int kPriorityIterBegin = 4;
+constexpr int kPriorityCompute = 5;
+
+}  // namespace
+
+Trace translate_prv(const PrvTrace& prv) {
+  prv.validate();
+  Trace trace(prv.n_tasks);
+
+  std::vector<std::vector<Op>> ops(static_cast<std::size_t>(prv.n_tasks));
+
+  for (const PrvStateRecord& s : prv.states) {
+    if (s.state != PrvState::kRunning) continue;
+    ops[static_cast<std::size_t>(s.task)].push_back(
+        Op{s.begin, kPriorityCompute, ComputeEvent{s.end - s.begin, -1}});
+  }
+
+  for (const PrvCommRecord& c : prv.comms) {
+    // Request ids are assigned after sorting (they must follow stream
+    // order); use a placeholder here.
+    ops[static_cast<std::size_t>(c.src)].push_back(
+        Op{c.send_time, kPrioritySend,
+           IsendEvent{c.dst, c.tag, c.bytes, /*request=*/-1}});
+    ops[static_cast<std::size_t>(c.dst)].push_back(
+        Op{c.recv_time, kPriorityRecv, RecvEvent{c.src, c.tag, c.bytes}});
+  }
+
+  // Collective payload events: bytes/root looked up by (task, time).
+  std::map<std::pair<Rank, std::int64_t>, Bytes> coll_bytes;
+  std::map<std::pair<Rank, std::int64_t>, Rank> coll_root;
+  const auto time_key = [](Seconds t) {
+    return static_cast<std::int64_t>(t * 1e9 + 0.5);
+  };
+  for (const PrvEventRecord& e : prv.events) {
+    if (e.type == kPrvEventCollectiveBytes)
+      coll_bytes[{e.task, time_key(e.time)}] = static_cast<Bytes>(e.value);
+    else if (e.type == kPrvEventCollectiveRoot)
+      coll_root[{e.task, time_key(e.time)}] = static_cast<Rank>(e.value);
+  }
+  for (const PrvEventRecord& e : prv.events) {
+    if (e.type == kPrvEventCollectiveOp && e.value > 0) {
+      CollectiveEvent coll;
+      coll.op = static_cast<CollectiveOp>(e.value - 1);
+      const auto key = std::make_pair(e.task, time_key(e.time));
+      if (const auto it = coll_bytes.find(key); it != coll_bytes.end())
+        coll.bytes = it->second;
+      if (const auto it = coll_root.find(key); it != coll_root.end())
+        coll.root = it->second;
+      ops[static_cast<std::size_t>(e.task)].push_back(
+          Op{e.time, kPriorityCollective, coll});
+    } else if (e.type == kPrvEventIteration) {
+      if (e.value > 0) {
+        ops[static_cast<std::size_t>(e.task)].push_back(
+            Op{e.time, kPriorityIterBegin,
+               MarkerEvent{MarkerKind::kIterationBegin,
+                           static_cast<std::int32_t>(e.value - 1)}});
+      } else {
+        ops[static_cast<std::size_t>(e.task)].push_back(
+            Op{e.time, kPriorityIterEnd,
+               MarkerEvent{MarkerKind::kIterationEnd, -1}});
+      }
+    }
+  }
+
+  for (Rank r = 0; r < prv.n_tasks; ++r) {
+    auto& rank_ops = ops[static_cast<std::size_t>(r)];
+    std::stable_sort(rank_ops.begin(), rank_ops.end(),
+                     [](const Op& a, const Op& b) {
+                       if (a.time != b.time) return a.time < b.time;
+                       return a.priority < b.priority;
+                     });
+    RequestId next_request = 0;
+    bool outstanding = false;
+    std::int32_t iteration = 0;
+    for (Op& op : rank_ops) {
+      if (auto* isend = std::get_if<IsendEvent>(&op.event)) {
+        isend->request = next_request++;
+        outstanding = true;
+      } else if (auto* marker = std::get_if<MarkerEvent>(&op.event)) {
+        // Renumber iteration ends to match their begins.
+        if (marker->kind == MarkerKind::kIterationBegin)
+          iteration = marker->id;
+        else
+          marker->id = iteration;
+      } else if (std::holds_alternative<CollectiveEvent>(op.event)) {
+        if (outstanding) {
+          trace.append(r, WaitAllEvent{});
+          outstanding = false;
+          next_request = 0;
+        }
+      }
+      trace.append(r, op.event);
+    }
+    if (outstanding) trace.append(r, WaitAllEvent{});
+  }
+
+  trace.validate();
+  return trace;
+}
+
+}  // namespace pals

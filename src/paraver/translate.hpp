@@ -1,0 +1,31 @@
+// Paraver → logical trace translation (the paper's "Paraver traces were
+// translated to Dimemas trace files" step).
+//
+// Reconstruction rules:
+//  * Running state intervals become computation bursts.
+//  * Comm records become a non-blocking send on the source (positioned at
+//    the logical send time) and a blocking receive on the destination
+//    (positioned at the delivery time). Sender-side blocking semantics
+//    are not recoverable from .prv and are re-derived by the replay
+//    simulator's eager/rendezvous protocol.
+//  * Collective enter events (type 50000002, value > 0) become collective
+//    operations with bytes/root taken from the accompanying payload
+//    events; a waitall is inserted before every collective and at the end
+//    of each rank so outstanding sends complete.
+//  * Iteration events (type 60000001) become iteration markers.
+//
+// The translation is behaviour-preserving rather than bit-faithful:
+// adjacent bursts merged in the timeline stay merged, and operation order
+// within a rank follows record timestamps. Translated traces always
+// validate and are deadlock-free for records produced by a consistent
+// execution (delivery never precedes posting).
+#pragma once
+
+#include "paraver/prv.hpp"
+#include "trace/trace.hpp"
+
+namespace pals {
+
+Trace translate_prv(const PrvTrace& prv);
+
+}  // namespace pals

@@ -1,0 +1,204 @@
+#include "power/power_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/error.hpp"
+
+namespace pals {
+
+void PowerModelConfig::validate() const {
+  PALS_CHECK_MSG(activity_ratio >= 1.0,
+                 "activity ratio must be >= 1 (compute at least as active "
+                 "as communication)");
+  PALS_CHECK_MSG(static_fraction >= 0.0 && static_fraction < 1.0,
+                 "static fraction must lie in [0, 1)");
+  PALS_CHECK_MSG(beta >= 0.0 && beta <= 1.0, "beta must lie in [0, 1]");
+  PALS_CHECK_MSG(reference.frequency_ghz > 0.0 && reference.voltage_v > 0.0,
+                 "reference gear must be positive");
+  PALS_CHECK_MSG(idle_scale > 0.0 && idle_scale <= 1.0,
+                 "idle power scale must lie in (0, 1]");
+}
+
+PowerModel::PowerModel(const PowerModelConfig& config) : config_(config) {
+  config_.validate();
+  activity_compute_ = 1.0;
+  activity_comm_ = 1.0 / config_.activity_ratio;
+  // Calibrate alpha so that static power is `static_fraction` of total CPU
+  // power when computing at the reference gear:
+  //   alpha*V = sf * (A*C*f*V^2 + alpha*V)  =>
+  //   alpha = sf/(1-sf) * A*C*f*V
+  const double f = config_.reference.frequency_ghz;
+  const double v = config_.reference.voltage_v;
+  alpha_ = config_.static_fraction / (1.0 - config_.static_fraction) *
+           activity_compute_ * f * v;
+}
+
+double PowerModel::dynamic_power(const Gear& gear, bool computing) const {
+  const double a = computing ? activity_compute_ : activity_comm_;
+  return a * gear.frequency_ghz * gear.voltage_v * gear.voltage_v;
+}
+
+double PowerModel::static_power(const Gear& gear) const {
+  return alpha_ * gear.voltage_v;
+}
+
+double PowerModel::total_power(const Gear& gear, bool computing) const {
+  const double power = dynamic_power(gear, computing) + static_power(gear);
+  return computing ? power : power * config_.idle_scale;
+}
+
+double PowerModel::time_scale(double f_ghz) const {
+  return time_scale(f_ghz, config_.beta);
+}
+
+double PowerModel::time_scale(double f_ghz, double beta) const {
+  PALS_CHECK_MSG(f_ghz > 0.0, "time_scale requires positive frequency");
+  PALS_CHECK_MSG(beta >= 0.0 && beta <= 1.0, "beta must lie in [0, 1]");
+  return beta * (config_.reference.frequency_ghz / f_ghz - 1.0) + 1.0;
+}
+
+double PowerModel::rank_energy(const Timeline& timeline, Rank rank,
+                               const Gear& gear) const {
+  double energy = 0.0;
+  for (const StateInterval& iv : timeline.intervals(rank)) {
+    const bool computing = iv.state == RankState::kCompute;
+    energy += iv.duration() * total_power(gear, computing);
+  }
+  // Lanes may be shorter than the makespan if not padded; treat the missing
+  // tail as idle (communication activity).
+  const auto lane = timeline.intervals(rank);
+  const Seconds lane_end = lane.empty() ? 0.0 : lane.back().end;
+  const Seconds tail = timeline.makespan() - lane_end;
+  if (tail > 0.0) energy += tail * total_power(gear, /*computing=*/false);
+  return energy;
+}
+
+double PowerModel::total_energy(const Timeline& timeline,
+                                std::span<const Gear> gears) const {
+  PALS_CHECK_MSG(gears.size() == static_cast<std::size_t>(timeline.n_ranks()),
+                 "gear count " << gears.size() << " != rank count "
+                               << timeline.n_ranks());
+  double energy = 0.0;
+  for (Rank r = 0; r < timeline.n_ranks(); ++r)
+    energy += rank_energy(timeline, r, gears[static_cast<std::size_t>(r)]);
+  return energy;
+}
+
+double PowerModel::baseline_energy(const Timeline& timeline) const {
+  const std::vector<Gear> gears(static_cast<std::size_t>(timeline.n_ranks()),
+                                config_.reference);
+  return total_energy(timeline, gears);
+}
+
+double PowerModel::phase_energy(
+    const Timeline& timeline, std::span<const std::int32_t> phases,
+    const std::vector<std::vector<Gear>>& phase_gears,
+    std::span<const Gear> fallback) const {
+  PALS_CHECK_MSG(
+      fallback.size() == static_cast<std::size_t>(timeline.n_ranks()),
+      "fallback gear count mismatch");
+  PALS_CHECK_MSG(phases.size() == phase_gears.size(),
+                 "phase label/gear table size mismatch");
+  for (const auto& gears : phase_gears)
+    PALS_CHECK_MSG(
+        gears.size() == static_cast<std::size_t>(timeline.n_ranks()),
+        "phase gear rank count mismatch");
+  // Dense lookup from phase label to table row.
+  std::unordered_map<std::int32_t, std::size_t> row_of;
+  for (std::size_t i = 0; i < phases.size(); ++i) row_of[phases[i]] = i;
+
+  double energy = 0.0;
+  for (Rank r = 0; r < timeline.n_ranks(); ++r) {
+    const auto rank_index = static_cast<std::size_t>(r);
+    Seconds covered = 0.0;
+    for (const StateInterval& iv : timeline.intervals(r)) {
+      const Gear* gear = &fallback[rank_index];
+      if (iv.phase >= 0) {
+        const auto it = row_of.find(iv.phase);
+        PALS_CHECK_MSG(it != row_of.end(),
+                       "timeline phase " << iv.phase << " has no gear row");
+        gear = &phase_gears[it->second][rank_index];
+      }
+      energy += iv.duration() *
+                total_power(*gear, iv.state == RankState::kCompute);
+      covered = iv.end;
+    }
+    const Seconds tail = timeline.makespan() - covered;
+    if (tail > 0.0)
+      energy += tail * total_power(fallback[rank_index], /*computing=*/false);
+  }
+  return energy;
+}
+
+std::vector<double> PowerModel::power_series(const Timeline& timeline,
+                                             std::span<const Gear> gears,
+                                             Seconds dt) const {
+  PALS_CHECK_MSG(dt > 0.0, "sample interval must be positive");
+  PALS_CHECK_MSG(gears.size() == static_cast<std::size_t>(timeline.n_ranks()),
+                 "gear count mismatch");
+  const Seconds makespan = timeline.makespan();
+  const auto bins =
+      static_cast<std::size_t>(std::ceil(makespan / dt - 1e-12));
+  std::vector<double> energy(std::max<std::size_t>(bins, 1), 0.0);
+
+  const auto deposit = [&](Seconds begin, Seconds end, double power) {
+    Seconds t = begin;
+    while (t < end - 1e-15) {
+      const auto bin = std::min(
+          energy.size() - 1, static_cast<std::size_t>(t / dt + 1e-12));
+      const Seconds bin_end = static_cast<double>(bin + 1) * dt;
+      const Seconds slice_end = std::min(end, bin_end);
+      energy[bin] += (slice_end - t) * power;
+      t = slice_end;
+    }
+  };
+
+  for (Rank r = 0; r < timeline.n_ranks(); ++r) {
+    const Gear& gear = gears[static_cast<std::size_t>(r)];
+    Seconds covered = 0.0;
+    for (const StateInterval& iv : timeline.intervals(r)) {
+      deposit(iv.begin, iv.end,
+              total_power(gear, iv.state == RankState::kCompute));
+      covered = iv.end;
+    }
+    if (covered < makespan)
+      deposit(covered, makespan, total_power(gear, /*computing=*/false));
+  }
+  for (double& e : energy) e /= dt;
+  return energy;
+}
+
+double PowerModel::scheduled_energy(
+    const Timeline& timeline, const std::vector<std::vector<Gear>>& schedule,
+    std::span<const Gear> fallback) const {
+  PALS_CHECK_MSG(
+      fallback.size() == static_cast<std::size_t>(timeline.n_ranks()),
+      "fallback gear count mismatch");
+  for (const auto& iteration_gears : schedule)
+    PALS_CHECK_MSG(
+        iteration_gears.size() == static_cast<std::size_t>(timeline.n_ranks()),
+        "schedule rank count mismatch");
+  double energy = 0.0;
+  for (Rank r = 0; r < timeline.n_ranks(); ++r) {
+    const auto rank_index = static_cast<std::size_t>(r);
+    Seconds covered = 0.0;
+    for (const StateInterval& iv : timeline.intervals(r)) {
+      const Gear& gear =
+          (iv.iteration >= 0 &&
+           static_cast<std::size_t>(iv.iteration) < schedule.size())
+              ? schedule[static_cast<std::size_t>(iv.iteration)][rank_index]
+              : fallback[rank_index];
+      const bool computing = iv.state == RankState::kCompute;
+      energy += iv.duration() * total_power(gear, computing);
+      covered = iv.end;
+    }
+    const Seconds tail = timeline.makespan() - covered;
+    if (tail > 0.0)
+      energy += tail * total_power(fallback[rank_index], /*computing=*/false);
+  }
+  return energy;
+}
+
+}  // namespace pals

@@ -1,0 +1,109 @@
+// CPU power and execution-time models (paper §3.2).
+//
+//   P_dynamic = A · C · f · V²     (A differs between compute and comm)
+//   P_static  = α · V              (α calibrated from a static fraction)
+//   T(f)/T(fmax) = β · (fmax/f − 1) + 1
+//
+// Units are internal: A_compute·C is normalized to 1 energy-unit/(GHz·V²·s).
+// All reported results are normalized ratios (energy, EDP), so the absolute
+// unit cancels — exactly as in the paper.
+#pragma once
+
+#include "power/gearset.hpp"
+#include "trace/timeline.hpp"
+
+namespace pals {
+
+struct PowerModelConfig {
+  /// Ratio of computation to communication activity factor (paper: 1.5,
+  /// swept 1.5–3.0 in Fig. 7).
+  double activity_ratio = 1.5;
+  /// Fraction of static power in total CPU power when loaded at
+  /// (fmax, Vmax) (paper: 0.2, swept 0.0–0.9 in Fig. 6).
+  double static_fraction = 0.2;
+  /// Memory-boundedness of computation (paper: 0.5, swept 0.3–1.0 Fig. 5).
+  double beta = 0.5;
+  /// Reference (manufacturer top) operating point; durations in traces are
+  /// measured at this frequency.
+  Gear reference = Gear{kPaperFmaxGhz, 1.5};
+  /// Power multiplier applied while NOT computing (waiting in MPI or
+  /// idle). 1.0 reproduces the paper's model (the CPU stays fully powered
+  /// at the communication activity factor); < 1 models C-states / clock
+  /// gating during waits. With deep idle states, "race-to-idle" becomes
+  /// competitive and MAX's lowest-feasible-gear rule stops being
+  /// energy-optimal (see assign_frequencies_energy_optimal).
+  double idle_scale = 1.0;
+
+  void validate() const;
+};
+
+/// Evaluates power at operating points and integrates energy over
+/// timelines.
+class PowerModel {
+public:
+  explicit PowerModel(const PowerModelConfig& config);
+
+  const PowerModelConfig& config() const { return config_; }
+
+  /// Dynamic power at `gear` (energy-units/s). `computing` selects the
+  /// activity factor.
+  double dynamic_power(const Gear& gear, bool computing) const;
+  /// Static (leakage) power at `gear`'s voltage.
+  double static_power(const Gear& gear) const;
+  /// dynamic + static.
+  double total_power(const Gear& gear, bool computing) const;
+
+  /// Multiplier for a compute burst executed at `f_ghz` instead of the
+  /// reference frequency: β(fref/f − 1) + 1. Over-clocked frequencies give
+  /// factors < 1 (speed-up).
+  double time_scale(double f_ghz) const;
+  /// time_scale with an explicit beta (per-phase sensitivity studies).
+  double time_scale(double f_ghz, double beta) const;
+
+  /// Energy of rank `rank` over its timeline lane, with the rank's CPU
+  /// pinned at `gear` for the entire execution (the paper assigns one
+  /// frequency per process).
+  double rank_energy(const Timeline& timeline, Rank rank,
+                     const Gear& gear) const;
+
+  /// Total CPU energy with per-rank gears (`gears.size()` == rank count).
+  double total_energy(const Timeline& timeline,
+                      std::span<const Gear> gears) const;
+
+  /// Baseline energy: every rank at the reference gear.
+  double baseline_energy(const Timeline& timeline) const;
+
+  /// Energy under a per-iteration DVFS schedule: intervals labelled with
+  /// iteration i are charged at `schedule[i][rank]`; unlabelled intervals
+  /// (before the first iteration, idle padding) use `fallback[rank]`.
+  /// Used by dynamic runtimes that re-assign gears every iteration.
+  double scheduled_energy(const Timeline& timeline,
+                          const std::vector<std::vector<Gear>>& schedule,
+                          std::span<const Gear> fallback) const;
+
+  /// Energy under a per-phase DVFS assignment: compute intervals labelled
+  /// with phase p are charged at `phase_gears[p][rank]` (p indexes into
+  /// `phases`, the sorted list of labels); all other intervals use
+  /// `fallback[rank]`. Used by the per-phase pipeline ablation.
+  double phase_energy(const Timeline& timeline,
+                      std::span<const std::int32_t> phases,
+                      const std::vector<std::vector<Gear>>& phase_gears,
+                      std::span<const Gear> fallback) const;
+
+  /// Aggregate power profile: sample k holds the average total power of
+  /// all ranks over [k·dt, (k+1)·dt). Interval energy is split exactly
+  /// across bins, so sum(series)·dt equals total_energy(). Lanes shorter
+  /// than the makespan are charged their idle tail at communication
+  /// activity, matching the energy accounting.
+  std::vector<double> power_series(const Timeline& timeline,
+                                   std::span<const Gear> gears,
+                                   Seconds dt) const;
+
+private:
+  PowerModelConfig config_;
+  double activity_compute_ = 1.0;  ///< A·C lumped, normalized
+  double activity_comm_ = 1.0;
+  double alpha_ = 0.0;  ///< static-power coefficient
+};
+
+}  // namespace pals

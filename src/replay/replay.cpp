@@ -1,0 +1,505 @@
+#include "replay/replay.hpp"
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "simcore/engine.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace pals {
+namespace {
+
+/// Identifies a point-to-point matching queue. MPI ordering (non-overtaking
+/// per sender/receiver/tag triple) is preserved by FIFO deques per key.
+struct ChannelKey {
+  Rank src;
+  Rank dst;
+  std::int32_t tag;
+
+  bool operator<(const ChannelKey& o) const {
+    if (src != o.src) return src < o.src;
+    if (dst != o.dst) return dst < o.dst;
+    return tag < o.tag;
+  }
+};
+
+struct PendingSend {
+  Seconds post_time = 0.0;
+  Bytes bytes = 0;
+  bool eager = false;
+  bool blocking = false;
+  RequestId request = -1;   ///< valid when !blocking
+  Seconds arrival = 0.0;    ///< valid when eager (computed at post time)
+};
+
+struct PendingRecv {
+  Seconds post_time = 0.0;
+  bool blocking = false;
+  RequestId request = -1;   ///< valid when !blocking
+};
+
+/// Why a rank is currently not runnable.
+enum class BlockReason { kNone, kSend, kRecv, kWait, kWaitAll, kCollective };
+
+struct CollectiveState {
+  CollectiveOp op = CollectiveOp::kBarrier;
+  Bytes max_bytes = 0;
+  Rank root = 0;
+  Seconds completion = 0.0;
+  std::vector<std::pair<Rank, Seconds>> arrivals;
+};
+
+class ReplayEngine {
+public:
+  ReplayEngine(const Trace& trace, const ReplayConfig& config)
+      : trace_(trace),
+        config_(config),
+        n_(trace.n_ranks()),
+        bus_(config.platform.buses),
+        timeline_(trace.n_ranks()),
+        ranks_(static_cast<std::size_t>(trace.n_ranks())) {
+    for (Rank r = 0; r < n_; ++r) ctx(r).stream = trace.events(r);
+    out_links_.reserve(static_cast<std::size_t>(n_));
+    in_links_.reserve(static_cast<std::size_t>(n_));
+    for (Rank r = 0; r < n_; ++r) {
+      out_links_.emplace_back(config.platform.links_per_node);
+      in_links_.emplace_back(config.platform.links_per_node);
+    }
+  }
+
+  ReplayResult run() {
+    for (Rank r = 0; r < n_; ++r) {
+      engine_.schedule_at(0.0, [this, r] { advance(r); });
+    }
+    engine_.run();
+    check_completion();
+
+    timeline_.pad_to_makespan();
+    timeline_.merge_adjacent();
+    timeline_.validate();
+
+    ReplayResult result;
+    result.makespan = timeline_.makespan();
+    result.compute_time.reserve(static_cast<std::size_t>(n_));
+    result.communication_time.reserve(static_cast<std::size_t>(n_));
+    for (Rank r = 0; r < n_; ++r) {
+      result.compute_time.push_back(timeline_.compute_time(r));
+      // Idle tail counts as communication-state time for power purposes,
+      // but we report it inside communication_time consistently with the
+      // paper ("waiting for the other processes").
+      result.communication_time.push_back(timeline_.communication_time(r));
+    }
+    result.point_to_point_messages = p2p_messages_;
+    result.point_to_point_bytes = p2p_bytes_;
+    result.collective_operations = collectives_.size();
+    result.bus_contention_delay = bus_.contention_delay();
+    for (const BusAllocator& link : out_links_)
+      result.link_contention_delay += link.contention_delay();
+    for (const BusAllocator& link : in_links_)
+      result.link_contention_delay += link.contention_delay();
+    result.simulated_events = engine_.executed_events();
+    result.timeline = std::move(timeline_);
+    result.messages = std::move(messages_);
+    result.collectives.reserve(collectives_.size());
+    for (const CollectiveState& state : collectives_) {
+      result.collectives.push_back(CollectiveRecord{
+          state.op, state.max_bytes, state.root, state.completion,
+          state.arrivals});
+    }
+    return result;
+  }
+
+private:
+  struct RankCtx {
+    std::span<const Event> stream;
+    std::size_t cursor = 0;
+    Seconds now = 0.0;
+    bool finished = false;
+
+    BlockReason block_reason = BlockReason::kNone;
+    Seconds block_start = 0.0;
+    RequestId waiting_request = -1;  ///< valid when blocked in kWait
+
+    std::unordered_map<RequestId, Seconds> completion;  ///< completed reqs
+    std::unordered_set<RequestId> open;  ///< posted, completion unknown
+    Seconds waitall_latest = 0.0;        ///< max completion while in WaitAll
+    std::size_t collective_index = 0;
+    std::int32_t current_iteration = -1;
+  };
+
+  RankCtx& ctx(Rank r) { return ranks_[static_cast<std::size_t>(r)]; }
+
+  /// Advance rank `r` until it blocks, finishes, or crosses simulated time.
+  void advance(Rank r) {
+    RankCtx& c = ctx(r);
+    while (c.cursor < c.stream.size()) {
+      // Keep global event ordering: never process an event that lies in the
+      // future relative to the DES clock.
+      if (c.now > engine_.now()) {
+        engine_.schedule_at(c.now, [this, r] { advance(r); });
+        return;
+      }
+      const Event& e = c.stream[c.cursor];
+      bool blocked = false;
+      std::visit(
+          [&](const auto& ev) { blocked = !handle(r, ev); }, e);
+      if (blocked) return;  // handler stored block state; match resumes us
+      ++c.cursor;
+    }
+    c.finished = true;
+  }
+
+  // Each handler returns true if the rank may proceed to the next event
+  // (c.now updated), false if the rank blocked.
+
+  bool handle(Rank r, const ComputeEvent& e) {
+    RankCtx& c = ctx(r);
+    const Seconds duration =
+        config_.relative_speed.empty()
+            ? e.duration
+            : e.duration / config_.relative_speed[static_cast<std::size_t>(r)];
+    record(r, c.now, c.now + duration, RankState::kCompute, e.phase);
+    c.now += duration;
+    return true;
+  }
+
+  bool handle(Rank r, const MarkerEvent& e) {
+    // Markers cost nothing but label the rank's subsequent intervals with
+    // the iteration index (intervals between iter_end and the next
+    // iter_begin stay attributed to the ended iteration).
+    if (e.kind == MarkerKind::kIterationBegin) ctx(r).current_iteration = e.id;
+    return true;
+  }
+
+  bool handle(Rank r, const SendEvent& e) {
+    return post_send(r, e.peer, e.tag, e.bytes, /*blocking=*/true, -1);
+  }
+
+  bool handle(Rank r, const IsendEvent& e) {
+    return post_send(r, e.peer, e.tag, e.bytes, /*blocking=*/false, e.request);
+  }
+
+  bool handle(Rank r, const RecvEvent& e) {
+    return post_recv(r, e.peer, e.tag, e.bytes, /*blocking=*/true, -1);
+  }
+
+  bool handle(Rank r, const IrecvEvent& e) {
+    return post_recv(r, e.peer, e.tag, e.bytes, /*blocking=*/false, e.request);
+  }
+
+  bool handle(Rank r, const WaitEvent& e) {
+    RankCtx& c = ctx(r);
+    if (const auto it = c.completion.find(e.request);
+        it != c.completion.end()) {
+      const Seconds t = std::max(c.now, it->second);
+      record(r, c.now, t, RankState::kWait, -1);
+      c.now = t;
+      c.completion.erase(it);
+      return true;
+    }
+    PALS_CHECK_MSG(c.open.count(e.request),
+                   "rank " << r << ": wait on unknown request " << e.request);
+    c.block_reason = BlockReason::kWait;
+    c.block_start = c.now;
+    c.waiting_request = e.request;
+    return false;
+  }
+
+  bool handle(Rank r, const WaitAllEvent&) {
+    RankCtx& c = ctx(r);
+    Seconds latest = c.now;
+    for (const auto& [req, t] : c.completion) latest = std::max(latest, t);
+    if (c.open.empty()) {
+      record(r, c.now, latest, RankState::kWait, -1);
+      c.now = latest;
+      c.completion.clear();
+      return true;
+    }
+    c.block_reason = BlockReason::kWaitAll;
+    c.block_start = c.now;
+    c.waitall_latest = latest;
+    return false;
+  }
+
+  bool handle(Rank r, const CollectiveEvent& e) {
+    RankCtx& c = ctx(r);
+    const std::size_t k = c.collective_index;
+    if (k >= collectives_.size()) collectives_.resize(k + 1);
+    CollectiveState& state = collectives_[k];
+    if (state.arrivals.empty()) {
+      state.op = e.op;
+      state.root = e.root;
+    }
+    state.max_bytes = std::max(state.max_bytes, e.bytes);
+    state.arrivals.emplace_back(r, c.now);
+
+    c.block_reason = BlockReason::kCollective;
+    c.block_start = c.now;
+    ++c.collective_index;
+
+    if (state.arrivals.size() == static_cast<std::size_t>(n_)) {
+      Seconds last_arrival = 0.0;
+      for (const auto& [rank, t] : state.arrivals)
+        last_arrival = std::max(last_arrival, t);
+      const Seconds done =
+          last_arrival +
+          collective_cost(config_.platform, state.op, n_, state.max_bytes);
+      state.completion = done;
+      for (const auto& [rank, t] : state.arrivals) resume(rank, done);
+    }
+    return false;  // even the last arriver resumes through resume()
+  }
+
+  bool post_send(Rank r, Rank peer, std::int32_t tag, Bytes bytes,
+                 bool blocking, RequestId request) {
+    RankCtx& c = ctx(r);
+    const bool eager = bytes <= config_.platform.eager_threshold;
+    const Seconds latency = config_.platform.latency;
+    const Seconds transfer = config_.platform.transfer_time(bytes);
+    const ChannelKey key{r, peer, tag};
+    ++p2p_messages_;
+    p2p_bytes_ += bytes;
+
+    auto& recvs = pending_recvs_[key];
+    if (eager) {
+      // Payload leaves regardless of the receiver.
+      const Seconds start = reserve_transfer(r, peer, c.now, transfer);
+      const Seconds arrival = start + latency + transfer;
+      messages_.push_back(MessageRecord{r, peer, tag, bytes, c.now, arrival});
+      if (!recvs.empty()) {
+        const PendingRecv rv = recvs.front();
+        recvs.pop_front();
+        complete_recv(peer, rv, arrival);
+      } else {
+        pending_sends_[key].push_back(
+            PendingSend{c.now, bytes, true, blocking, request, arrival});
+      }
+      const Seconds sender_done = c.now + latency;
+      if (blocking) {
+        record(r, c.now, sender_done, RankState::kSend, -1);
+        c.now = sender_done;
+      } else {
+        complete_request_local(r, request, sender_done);
+      }
+      return true;
+    }
+
+    // Rendezvous.
+    if (!recvs.empty()) {
+      const PendingRecv rv = recvs.front();
+      recvs.pop_front();
+      const Seconds start = reserve_transfer(
+          r, peer, std::max(c.now, rv.post_time) + latency, transfer);
+      const Seconds end = start + transfer;
+      messages_.push_back(MessageRecord{r, peer, tag, bytes, c.now, end});
+      complete_recv(peer, rv, end);
+      if (blocking) {
+        record(r, c.now, end, RankState::kSend, -1);
+        c.now = end;
+        return true;
+      }
+      complete_request_local(r, request, end);
+      return true;
+    }
+
+    pending_sends_[key].push_back(
+        PendingSend{c.now, bytes, false, blocking, request, 0.0});
+    if (blocking) {
+      c.block_reason = BlockReason::kSend;
+      c.block_start = c.now;
+      return false;
+    }
+    PALS_CHECK(c.open.insert(request).second);
+    return true;
+  }
+
+  bool post_recv(Rank r, Rank peer, std::int32_t tag, Bytes bytes,
+                 bool blocking, RequestId request) {
+    RankCtx& c = ctx(r);
+    const ChannelKey key{peer, r, tag};
+    const Seconds latency = config_.platform.latency;
+
+    auto& sends = pending_sends_[key];
+    if (!sends.empty()) {
+      const PendingSend sd = sends.front();
+      sends.pop_front();
+      Seconds data_ready = 0.0;
+      if (sd.eager) {
+        data_ready = sd.arrival;
+      } else {
+        const Seconds transfer = config_.platform.transfer_time(sd.bytes);
+        const Seconds start = reserve_transfer(
+            peer, r, std::max(c.now, sd.post_time) + latency, transfer);
+        data_ready = start + transfer;
+        messages_.push_back(MessageRecord{peer, r, tag, sd.bytes,
+                                          sd.post_time, data_ready});
+        // Release or complete the sender half of the rendezvous.
+        if (sd.blocking) {
+          resume(peer, data_ready);
+        } else {
+          complete_request_remote(peer, sd.request, data_ready);
+        }
+      }
+      (void)bytes;  // payload size is taken from the sender record
+      const Seconds done = std::max(c.now, data_ready);
+      if (blocking) {
+        record(r, c.now, done, RankState::kRecv, -1);
+        c.now = done;
+        return true;
+      }
+      complete_request_local(r, request, done);
+      return true;
+    }
+
+    pending_recvs_[key].push_back(PendingRecv{c.now, blocking, request});
+    if (blocking) {
+      c.block_reason = BlockReason::kRecv;
+      c.block_start = c.now;
+      return false;
+    }
+    PALS_CHECK(c.open.insert(request).second);
+    return true;
+  }
+
+  /// Reserve the network stages of a transfer (source output link, then
+  /// destination input link, then a shared bus) and return its start time.
+  Seconds reserve_transfer(Rank src, Rank dst, Seconds earliest,
+                           Seconds duration) {
+    Seconds start =
+        out_links_[static_cast<std::size_t>(src)].reserve(earliest, duration);
+    start = in_links_[static_cast<std::size_t>(dst)].reserve(start, duration);
+    return bus_.reserve(start, duration);
+  }
+
+  /// Complete the receiver side of a matched message at `data_ready`.
+  void complete_recv(Rank r, const PendingRecv& rv, Seconds data_ready) {
+    if (rv.blocking) {
+      resume(r, std::max(rv.post_time, data_ready));
+    } else {
+      complete_request_remote(r, rv.request, data_ready);
+    }
+  }
+
+  /// Record a request completion for the rank currently executing (its
+  /// event is being handled, so direct map insertion is safe).
+  void complete_request_local(Rank r, RequestId request, Seconds t) {
+    RankCtx& c = ctx(r);
+    c.open.erase(request);
+    PALS_CHECK_MSG(c.completion.emplace(request, t).second,
+                   "rank " << r << ": request " << request
+                           << " completed twice");
+  }
+
+  /// Complete a request of a *different* rank, possibly waking it from
+  /// Wait/Waitall.
+  void complete_request_remote(Rank r, RequestId request, Seconds t) {
+    RankCtx& c = ctx(r);
+    c.open.erase(request);
+    PALS_CHECK_MSG(c.completion.emplace(request, t).second,
+                   "rank " << r << ": request " << request
+                           << " completed twice");
+    if (c.block_reason == BlockReason::kWait && c.waiting_request == request) {
+      const Seconds resume_at = std::max(c.block_start, t);
+      c.completion.erase(request);
+      c.waiting_request = -1;
+      resume(r, resume_at);
+    } else if (c.block_reason == BlockReason::kWaitAll) {
+      c.waitall_latest = std::max(c.waitall_latest, t);
+      if (c.open.empty()) {
+        c.completion.clear();
+        resume(r, std::max(c.block_start, c.waitall_latest));
+      }
+    }
+  }
+
+  /// Wake a blocked rank at time `t`: close its blocked interval, consume
+  /// the blocking event and reschedule it.
+  void resume(Rank r, Seconds t) {
+    RankCtx& c = ctx(r);
+    PALS_CHECK_MSG(c.block_reason != BlockReason::kNone,
+                   "resume of non-blocked rank " << r);
+    const RankState state = [&] {
+      switch (c.block_reason) {
+        case BlockReason::kSend: return RankState::kSend;
+        case BlockReason::kRecv: return RankState::kRecv;
+        case BlockReason::kWait:
+        case BlockReason::kWaitAll: return RankState::kWait;
+        case BlockReason::kCollective: return RankState::kCollective;
+        case BlockReason::kNone: break;
+      }
+      return RankState::kIdle;
+    }();
+    record(r, c.block_start, t, state, -1);
+    c.block_reason = BlockReason::kNone;
+    c.now = t;
+    ++c.cursor;  // the blocking event is done
+    engine_.schedule_at(t, [this, r] { advance(r); });
+  }
+
+  void record(Rank r, Seconds begin, Seconds end, RankState state,
+              std::int32_t phase) {
+    timeline_.append(
+        r, StateInterval{begin, end, state, phase, ctx(r).current_iteration});
+  }
+
+  void check_completion() const {
+    std::ostringstream blocked;
+    bool deadlock = false;
+    for (Rank r = 0; r < n_; ++r) {
+      const RankCtx& c = ranks_[static_cast<std::size_t>(r)];
+      if (!c.finished) {
+        deadlock = true;
+        blocked << "\n  rank " << r << " stuck at event " << c.cursor << "/"
+                << c.stream.size();
+        if (c.cursor < c.stream.size())
+          blocked << " (" << to_string(c.stream[c.cursor]) << ")";
+      }
+    }
+    if (deadlock)
+      throw Error("replay deadlock: not all ranks completed" + blocked.str());
+  }
+
+  const Trace& trace_;
+  ReplayConfig config_;
+  Rank n_;
+  SimEngine engine_;
+  BusAllocator bus_;
+  std::vector<BusAllocator> out_links_;
+  std::vector<BusAllocator> in_links_;
+  Timeline timeline_;
+  std::vector<RankCtx> ranks_;
+
+  std::map<ChannelKey, std::deque<PendingSend>> pending_sends_;
+  std::map<ChannelKey, std::deque<PendingRecv>> pending_recvs_;
+  std::vector<CollectiveState> collectives_;
+
+  std::size_t p2p_messages_ = 0;
+  Bytes p2p_bytes_ = 0;
+  std::vector<MessageRecord> messages_;
+};
+
+}  // namespace
+
+void ReplayConfig::validate() const {
+  platform.validate();
+  for (const double s : relative_speed)
+    PALS_CHECK_MSG(s > 0.0, "relative CPU speeds must be positive");
+}
+
+ReplayResult replay(const Trace& trace, const ReplayConfig& config) {
+  config.validate();
+  trace.validate();
+  PALS_CHECK_MSG(config.relative_speed.empty() ||
+                     config.relative_speed.size() ==
+                         static_cast<std::size_t>(trace.n_ranks()),
+                 "relative_speed must be empty or one entry per rank");
+  ReplayEngine engine(trace, config);
+  return engine.run();
+}
+
+}  // namespace pals

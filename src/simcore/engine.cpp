@@ -1,0 +1,45 @@
+#include "simcore/engine.hpp"
+
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace pals {
+
+void SimEngine::schedule_at(Seconds when, Callback fn) {
+  PALS_CHECK_MSG(when >= now_, "cannot schedule event in the past (when="
+                                   << when << ", now=" << now_ << ")");
+  queue_.push(Item{when, next_seq_++, std::move(fn)});
+}
+
+void SimEngine::schedule_after(Seconds delay, Callback fn) {
+  PALS_CHECK_MSG(delay >= 0.0, "negative delay " << delay);
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+Seconds SimEngine::run() {
+  while (!queue_.empty()) {
+    // The queue stores const refs through top(); move out via const_cast is
+    // avoided by copying the callback handle (cheap: std::function).
+    Item item = queue_.top();
+    queue_.pop();
+    now_ = item.when;
+    ++executed_;
+    item.fn();
+  }
+  return now_;
+}
+
+Seconds SimEngine::run_until(Seconds deadline) {
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    Item item = queue_.top();
+    queue_.pop();
+    now_ = item.when;
+    ++executed_;
+    item.fn();
+  }
+  if (now_ < deadline && queue_.empty()) now_ = deadline;
+  return now_;
+}
+
+}  // namespace pals

@@ -1,0 +1,60 @@
+// Discrete-event simulation engine.
+//
+// A minimal, deterministic DES core: callbacks scheduled at absolute
+// simulated times, executed in (time, insertion-order) order. The replay
+// simulator drives per-rank state machines with it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "trace/types.hpp"
+
+namespace pals {
+
+class SimEngine {
+public:
+  using Callback = std::function<void()>;
+
+  /// Current simulated time; only meaningful inside callbacks and after run().
+  Seconds now() const { return now_; }
+
+  /// Schedule `fn` at absolute time `when` (>= now()). Events with equal
+  /// time run in scheduling order (stable).
+  void schedule_at(Seconds when, Callback fn);
+
+  /// Schedule `fn` `delay` seconds from now.
+  void schedule_after(Seconds delay, Callback fn);
+
+  /// Run until the event queue is empty. Returns the final time.
+  Seconds run();
+
+  /// Run until the queue is empty or `deadline` is reached (events at
+  /// exactly `deadline` are executed).
+  Seconds run_until(Seconds deadline);
+
+  std::size_t executed_events() const { return executed_; }
+  bool empty() const { return queue_.empty(); }
+
+private:
+  struct Item {
+    Seconds when;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Item& a, const Item& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Item, std::vector<Item>, Later> queue_;
+  Seconds now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t executed_ = 0;
+};
+
+}  // namespace pals

@@ -1,0 +1,217 @@
+#include "trace/binary_io.hpp"
+
+#include <fstream>
+
+#include "util/binio.hpp"
+#include "util/error.hpp"
+
+namespace pals {
+namespace {
+
+constexpr char kMagic[] = {'P', 'A', 'L', 'S', 'B', '1'};
+
+enum class Tag : std::uint8_t {
+  kCompute = 1,
+  kSend = 2,
+  kRecv = 3,
+  kIsend = 4,
+  kIrecv = 5,
+  kWait = 6,
+  kWaitAll = 7,
+  kCollective = 8,
+  kMarker = 9,
+};
+
+struct Encoder {
+  ByteWriter& out;
+
+  void operator()(const ComputeEvent& e) const {
+    out.put_u8(static_cast<std::uint8_t>(Tag::kCompute));
+    out.put_f64(e.duration);
+    out.put_svarint(e.phase);
+  }
+  void operator()(const SendEvent& e) const {
+    out.put_u8(static_cast<std::uint8_t>(Tag::kSend));
+    put_p2p(e.peer, e.tag, e.bytes);
+  }
+  void operator()(const RecvEvent& e) const {
+    out.put_u8(static_cast<std::uint8_t>(Tag::kRecv));
+    put_p2p(e.peer, e.tag, e.bytes);
+  }
+  void operator()(const IsendEvent& e) const {
+    out.put_u8(static_cast<std::uint8_t>(Tag::kIsend));
+    put_p2p(e.peer, e.tag, e.bytes);
+    out.put_svarint(e.request);
+  }
+  void operator()(const IrecvEvent& e) const {
+    out.put_u8(static_cast<std::uint8_t>(Tag::kIrecv));
+    put_p2p(e.peer, e.tag, e.bytes);
+    out.put_svarint(e.request);
+  }
+  void operator()(const WaitEvent& e) const {
+    out.put_u8(static_cast<std::uint8_t>(Tag::kWait));
+    out.put_svarint(e.request);
+  }
+  void operator()(const WaitAllEvent&) const {
+    out.put_u8(static_cast<std::uint8_t>(Tag::kWaitAll));
+  }
+  void operator()(const CollectiveEvent& e) const {
+    out.put_u8(static_cast<std::uint8_t>(Tag::kCollective));
+    out.put_varint(static_cast<std::uint64_t>(e.op));
+    out.put_varint(e.bytes);
+    out.put_svarint(e.root);
+  }
+  void operator()(const MarkerEvent& e) const {
+    out.put_u8(static_cast<std::uint8_t>(Tag::kMarker));
+    out.put_varint(static_cast<std::uint64_t>(e.kind));
+    out.put_svarint(e.id);
+  }
+
+  void put_p2p(Rank peer, std::int32_t tag, Bytes bytes) const {
+    out.put_svarint(peer);
+    out.put_svarint(tag);
+    out.put_varint(bytes);
+  }
+};
+
+Event decode_event(ByteReader& in) {
+  const auto tag = static_cast<Tag>(in.get_u8());
+  const auto get_rank = [&] { return static_cast<Rank>(in.get_svarint()); };
+  const auto get_tag = [&] {
+    return static_cast<std::int32_t>(in.get_svarint());
+  };
+  const auto get_req = [&] {
+    return static_cast<RequestId>(in.get_svarint());
+  };
+  switch (tag) {
+    case Tag::kCompute: {
+      ComputeEvent e;
+      e.duration = in.get_f64();
+      e.phase = static_cast<std::int32_t>(in.get_svarint());
+      return e;
+    }
+    case Tag::kSend: {
+      SendEvent e;
+      e.peer = get_rank();
+      e.tag = get_tag();
+      e.bytes = in.get_varint();
+      return e;
+    }
+    case Tag::kRecv: {
+      RecvEvent e;
+      e.peer = get_rank();
+      e.tag = get_tag();
+      e.bytes = in.get_varint();
+      return e;
+    }
+    case Tag::kIsend: {
+      IsendEvent e;
+      e.peer = get_rank();
+      e.tag = get_tag();
+      e.bytes = in.get_varint();
+      e.request = get_req();
+      return e;
+    }
+    case Tag::kIrecv: {
+      IrecvEvent e;
+      e.peer = get_rank();
+      e.tag = get_tag();
+      e.bytes = in.get_varint();
+      e.request = get_req();
+      return e;
+    }
+    case Tag::kWait: {
+      WaitEvent e;
+      e.request = get_req();
+      return e;
+    }
+    case Tag::kWaitAll:
+      return WaitAllEvent{};
+    case Tag::kCollective: {
+      CollectiveEvent e;
+      const std::uint64_t op = in.get_varint();
+      PALS_CHECK_MSG(
+          op <= static_cast<std::uint64_t>(CollectiveOp::kReduceScatter),
+          "invalid collective op id " << op);
+      e.op = static_cast<CollectiveOp>(op);
+      e.bytes = in.get_varint();
+      e.root = get_rank();
+      return e;
+    }
+    case Tag::kMarker: {
+      MarkerEvent e;
+      const std::uint64_t kind = in.get_varint();
+      PALS_CHECK_MSG(kind <= static_cast<std::uint64_t>(MarkerKind::kPhaseEnd),
+                     "invalid marker kind id " << kind);
+      e.kind = static_cast<MarkerKind>(kind);
+      e.id = static_cast<std::int32_t>(in.get_svarint());
+      return e;
+    }
+  }
+  throw Error("unknown binary event tag " +
+              std::to_string(static_cast<int>(tag)));
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> write_trace_binary(const Trace& trace) {
+  ByteWriter out;
+  out.put_raw(kMagic, sizeof(kMagic));
+  out.put_varint(static_cast<std::uint64_t>(trace.n_ranks()));
+  out.put_string(trace.name());
+  const Encoder encoder{out};
+  for (Rank r = 0; r < trace.n_ranks(); ++r) {
+    const auto events = trace.events(r);
+    out.put_varint(events.size());
+    for (const Event& e : events) std::visit(encoder, e);
+  }
+  return out.buffer();
+}
+
+void write_trace_binary_file(const Trace& trace, const std::string& path) {
+  const std::vector<std::uint8_t> buffer = write_trace_binary(trace);
+  std::ofstream out(path, std::ios::binary);
+  PALS_CHECK_MSG(out.good(), "cannot open '" << path << "' for writing");
+  out.write(reinterpret_cast<const char*>(buffer.data()),
+            static_cast<std::streamsize>(buffer.size()));
+  PALS_CHECK_MSG(out.good(), "write failure on '" << path << "'");
+}
+
+Trace read_trace_binary(const std::uint8_t* data, std::size_t size) {
+  ByteReader in(data, size);
+  for (const char c : kMagic)
+    PALS_CHECK_MSG(in.get_u8() == static_cast<std::uint8_t>(c),
+                   "not a .palsb trace (bad magic)");
+  const std::uint64_t n_ranks = in.get_varint();
+  PALS_CHECK_MSG(n_ranks > 0 && n_ranks <= 1u << 24,
+                 "implausible rank count " << n_ranks);
+  Trace trace(static_cast<Rank>(n_ranks));
+  trace.set_name(in.get_string());
+  for (Rank r = 0; r < trace.n_ranks(); ++r) {
+    const std::uint64_t count = in.get_varint();
+    PALS_CHECK_MSG(count <= in.remaining(),
+                   "event count exceeds remaining input");
+    for (std::uint64_t i = 0; i < count; ++i)
+      trace.append(r, decode_event(in));
+  }
+  PALS_CHECK_MSG(in.exhausted(), "trailing bytes after binary trace");
+  trace.validate();
+  return trace;
+}
+
+Trace read_trace_binary(const std::vector<std::uint8_t>& buffer) {
+  return read_trace_binary(buffer.data(), buffer.size());
+}
+
+Trace read_trace_binary_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  PALS_CHECK_MSG(in.good(), "cannot open '" << path << "' for reading");
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<std::uint8_t> buffer(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(buffer.data()), size);
+  PALS_CHECK_MSG(in.good(), "read failure on '" << path << "'");
+  return read_trace_binary(buffer);
+}
+
+}  // namespace pals

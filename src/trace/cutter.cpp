@@ -1,0 +1,72 @@
+#include "trace/cutter.hpp"
+
+#include "util/error.hpp"
+
+namespace pals {
+namespace {
+
+std::size_t count_iterations(const Trace& trace, Rank rank) {
+  std::size_t n = 0;
+  for (const Event& e : trace.events(rank))
+    if (const auto* m = std::get_if<MarkerEvent>(&e))
+      if (m->kind == MarkerKind::kIterationEnd) ++n;
+  return n;
+}
+
+}  // namespace
+
+Trace cut_iterations(const Trace& trace, std::size_t first_iteration,
+                     std::size_t count) {
+  PALS_CHECK_MSG(count > 0, "cut_iterations requires count > 0");
+  Trace out(trace.n_ranks());
+  out.set_name(trace.name());
+
+  for (Rank r = 0; r < trace.n_ranks(); ++r) {
+    const std::size_t available = count_iterations(trace, r);
+    PALS_CHECK_MSG(first_iteration + count <= available,
+                   "rank " << r << " has " << available
+                           << " iterations; requested ["
+                           << first_iteration << ", "
+                           << first_iteration + count << ")");
+    std::size_t iter = 0;   // current iteration index
+    bool inside = false;    // between iter_begin and iter_end
+    for (const Event& e : trace.events(r)) {
+      if (const auto* m = std::get_if<MarkerEvent>(&e)) {
+        if (m->kind == MarkerKind::kIterationBegin) {
+          inside = true;
+          if (iter >= first_iteration && iter < first_iteration + count) {
+            out.append(r, MarkerEvent{MarkerKind::kIterationBegin,
+                                      static_cast<std::int32_t>(
+                                          iter - first_iteration)});
+          }
+          continue;
+        }
+        if (m->kind == MarkerKind::kIterationEnd) {
+          if (iter >= first_iteration && iter < first_iteration + count) {
+            out.append(r, MarkerEvent{MarkerKind::kIterationEnd,
+                                      static_cast<std::int32_t>(
+                                          iter - first_iteration)});
+          }
+          inside = false;
+          ++iter;
+          continue;
+        }
+        // Phase markers pass through when inside a kept iteration.
+      }
+      if (inside && iter >= first_iteration && iter < first_iteration + count)
+        out.append(r, e);
+    }
+  }
+  out.validate();
+  return out;
+}
+
+Trace drop_warmup(const Trace& trace, std::size_t warmup) {
+  const std::size_t total = trace.iteration_count();
+  PALS_CHECK_MSG(total > warmup,
+                 "drop_warmup: trace has " << total << " iterations, cannot "
+                 "drop " << warmup);
+  return cut_iterations(trace, warmup, total - warmup);
+}
+
+}  // namespace pals

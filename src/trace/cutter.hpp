@@ -1,0 +1,25 @@
+// Iterative-region extraction (the Paraver "trace cutting" step).
+//
+// The paper analyzes exactly one steady-state iterative region per
+// application, discarding initialization. The cutter extracts the events
+// between iteration markers [first_iteration, first_iteration + count) on
+// every rank.
+#pragma once
+
+#include <cstddef>
+
+#include "trace/trace.hpp"
+
+namespace pals {
+
+/// Extract `count` iterations starting at `first_iteration` (0-based).
+/// Requires the trace to carry iteration markers on every rank and every
+/// rank to contain the requested range. Markers are preserved (re-numbered
+/// from 0) so cut traces remain cuttable.
+Trace cut_iterations(const Trace& trace, std::size_t first_iteration,
+                     std::size_t count);
+
+/// Convenience: drop `warmup` iterations, keep everything after.
+Trace drop_warmup(const Trace& trace, std::size_t warmup);
+
+}  // namespace pals

@@ -1,0 +1,181 @@
+#include "trace/io.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "trace/binary_io.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace pals {
+namespace {
+
+constexpr const char* kMagic = "# pals-trace v1";
+
+[[noreturn]] void parse_error(std::size_t line_no, const std::string& line,
+                              const std::string& why) {
+  std::ostringstream os;
+  os << "trace parse error at line " << line_no << " ('" << line
+     << "'): " << why;
+  throw Error(os.str());
+}
+
+}  // namespace
+
+void write_trace(const Trace& trace, std::ostream& out) {
+  out << kMagic << '\n';
+  if (!trace.name().empty()) out << "name " << trace.name() << '\n';
+  out << "ranks " << trace.n_ranks() << '\n';
+  out.precision(17);
+  for (Rank r = 0; r < trace.n_ranks(); ++r) {
+    for (const Event& e : trace.events(r)) {
+      out << r << ' ' << to_string(e) << '\n';
+    }
+  }
+}
+
+void write_trace_file(const Trace& trace, const std::string& path) {
+  std::ofstream out(path);
+  PALS_CHECK_MSG(out.good(), "cannot open '" << path << "' for writing");
+  write_trace(trace, out);
+  PALS_CHECK_MSG(out.good(), "write failure on '" << path << "'");
+}
+
+Trace read_trace(std::istream& in) {
+  std::string line;
+  std::size_t line_no = 0;
+  bool magic_seen = false;
+  std::string name;
+  Trace trace;
+  bool ranks_seen = false;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string_view trimmed = trim(line);
+    if (trimmed.empty()) continue;
+    if (!magic_seen) {
+      if (trimmed != kMagic)
+        parse_error(line_no, line, "expected magic line '# pals-trace v1'");
+      magic_seen = true;
+      continue;
+    }
+    if (trimmed.front() == '#') continue;
+
+    const std::vector<std::string> tok = split_ws(trimmed);
+    if (tok[0] == "name") {
+      if (tok.size() != 2) parse_error(line_no, line, "name expects 1 field");
+      name = tok[1];
+      continue;
+    }
+    if (tok[0] == "ranks") {
+      if (tok.size() != 2) parse_error(line_no, line, "ranks expects 1 field");
+      const long long n = parse_int(tok[1]);
+      if (n <= 0) parse_error(line_no, line, "ranks must be positive");
+      trace = Trace(static_cast<Rank>(n));
+      ranks_seen = true;
+      continue;
+    }
+    if (!ranks_seen)
+      parse_error(line_no, line, "event record before 'ranks' declaration");
+
+    const long long rank_ll = parse_int(tok[0]);
+    if (rank_ll < 0 || rank_ll >= trace.n_ranks())
+      parse_error(line_no, line, "rank out of range");
+    const Rank rank = static_cast<Rank>(rank_ll);
+    if (tok.size() < 2) parse_error(line_no, line, "missing event keyword");
+    const std::string& kw = tok[1];
+
+    try {
+      if (kw == "compute") {
+        if (tok.size() != 3 && tok.size() != 4)
+          parse_error(line_no, line, "compute expects 1-2 fields");
+        ComputeEvent e;
+        e.duration = parse_double(tok[2]);
+        if (tok.size() == 4) {
+          if (!starts_with(tok[3], "phase="))
+            parse_error(line_no, line, "expected phase=<p>");
+          e.phase = static_cast<std::int32_t>(parse_int(tok[3].substr(6)));
+        }
+        trace.append(rank, e);
+      } else if (kw == "send" || kw == "recv") {
+        if (tok.size() != 5)
+          parse_error(line_no, line, kw + " expects 3 fields");
+        const Rank peer = static_cast<Rank>(parse_int(tok[2]));
+        const auto tag = static_cast<std::int32_t>(parse_int(tok[3]));
+        const Bytes bytes = static_cast<Bytes>(parse_int(tok[4]));
+        if (kw == "send")
+          trace.append(rank, SendEvent{peer, tag, bytes});
+        else
+          trace.append(rank, RecvEvent{peer, tag, bytes});
+      } else if (kw == "isend" || kw == "irecv") {
+        if (tok.size() != 6)
+          parse_error(line_no, line, kw + " expects 4 fields");
+        const Rank peer = static_cast<Rank>(parse_int(tok[2]));
+        const auto tag = static_cast<std::int32_t>(parse_int(tok[3]));
+        const Bytes bytes = static_cast<Bytes>(parse_int(tok[4]));
+        const auto req = static_cast<RequestId>(parse_int(tok[5]));
+        if (kw == "isend")
+          trace.append(rank, IsendEvent{peer, tag, bytes, req});
+        else
+          trace.append(rank, IrecvEvent{peer, tag, bytes, req});
+      } else if (kw == "wait") {
+        if (tok.size() != 3) parse_error(line_no, line, "wait expects 1 field");
+        trace.append(rank,
+                     WaitEvent{static_cast<RequestId>(parse_int(tok[2]))});
+      } else if (kw == "waitall") {
+        if (tok.size() != 2)
+          parse_error(line_no, line, "waitall expects no fields");
+        trace.append(rank, WaitAllEvent{});
+      } else if (kw == "coll") {
+        if (tok.size() != 5) parse_error(line_no, line, "coll expects 3 fields");
+        CollectiveEvent e;
+        e.op = parse_collective(tok[2]);
+        e.bytes = static_cast<Bytes>(parse_int(tok[3]));
+        e.root = static_cast<Rank>(parse_int(tok[4]));
+        trace.append(rank, e);
+      } else if (kw == "marker") {
+        if (tok.size() != 4)
+          parse_error(line_no, line, "marker expects 2 fields");
+        MarkerEvent e;
+        e.kind = parse_marker(tok[2]);
+        e.id = static_cast<std::int32_t>(parse_int(tok[3]));
+        trace.append(rank, e);
+      } else {
+        parse_error(line_no, line, "unknown event keyword '" + kw + "'");
+      }
+    } catch (const Error& err) {
+      // Re-raise value parse failures with position info.
+      if (std::string(err.what()).find("trace parse error") == 0) throw;
+      parse_error(line_no, line, err.what());
+    }
+  }
+  if (!magic_seen) throw Error("trace parse error: empty input");
+  if (!ranks_seen) throw Error("trace parse error: missing 'ranks' line");
+  trace.set_name(name);
+  trace.validate();
+  return trace;
+}
+
+Trace read_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  PALS_CHECK_MSG(in.good(), "cannot open '" << path << "' for reading");
+  return read_trace(in);
+}
+
+Trace read_trace_auto(const std::string& path) {
+  if (ends_with(path, ".palsb")) return read_trace_binary_file(path);
+  return read_trace_file(path);
+}
+
+void write_trace_auto(const Trace& trace, const std::string& path) {
+  if (ends_with(path, ".palsb")) {
+    write_trace_binary_file(trace, path);
+  } else {
+    write_trace_file(trace, path);
+  }
+}
+
+}  // namespace pals

@@ -1,0 +1,41 @@
+// Text serialization of logical traces (.palst format).
+//
+// Line-oriented, one record per line:
+//
+//     # pals-trace v1            (required magic comment)
+//     name CG-32                 (optional)
+//     ranks 32
+//     <rank> compute <seconds> [phase=<p>]
+//     <rank> send <peer> <tag> <bytes>
+//     <rank> recv <peer> <tag> <bytes>
+//     <rank> isend <peer> <tag> <bytes> <req>
+//     <rank> irecv <peer> <tag> <bytes> <req>
+//     <rank> wait <req>
+//     <rank> waitall
+//     <rank> coll <op> <bytes> <root>
+//     <rank> marker <kind> <id>
+//
+// Blank lines and '#' comments are ignored (except the magic line).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace pals {
+
+void write_trace(const Trace& trace, std::ostream& out);
+void write_trace_file(const Trace& trace, const std::string& path);
+
+/// Parses a .palst stream; throws pals::Error with a line number on any
+/// malformed record. The result is validated.
+Trace read_trace(std::istream& in);
+Trace read_trace_file(const std::string& path);
+
+/// Extension-dispatching loaders/writers: ".palsb" uses the binary format
+/// (trace/binary_io.hpp), anything else the text format.
+Trace read_trace_auto(const std::string& path);
+void write_trace_auto(const Trace& trace, const std::string& path);
+
+}  // namespace pals

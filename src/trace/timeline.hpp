@@ -1,0 +1,100 @@
+// Per-rank state timelines — the Paraver-view of a (simulated) execution.
+//
+// The replay simulator emits, for every rank, a gap-free sequence of state
+// intervals. The power model integrates energy over these intervals (CPU
+// activity differs between computation and communication/wait states); the
+// analysis layer derives load balance, parallel efficiency and Gantt
+// visualizations from them.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "trace/types.hpp"
+
+namespace pals {
+
+/// What a rank's CPU is doing during an interval.
+enum class RankState {
+  kCompute,      ///< executing a computation burst
+  kSend,         ///< inside a (blocking) send: overhead + transfer/stall
+  kRecv,         ///< blocked in a receive
+  kWait,         ///< blocked in Wait/Waitall
+  kCollective,   ///< inside a collective operation
+  kIdle,         ///< finished its stream, waiting for the application end
+};
+
+std::string to_string(RankState state);
+RankState parse_rank_state(const std::string& name);
+
+/// True for the states whose time counts as "communication" in the paper's
+/// activity-factor model (everything that is not computation).
+bool is_communication_state(RankState state);
+
+struct StateInterval {
+  Seconds begin = 0.0;
+  Seconds end = 0.0;
+  RankState state = RankState::kIdle;
+  std::int32_t phase = -1;      ///< phase label of the compute burst, else -1
+  /// Iteration the interval belongs to (from iteration markers), -1 when
+  /// the trace is unmarked or the interval precedes the first iteration.
+  /// Lets the power layer charge per-iteration DVFS schedules exactly.
+  std::int32_t iteration = -1;
+
+  Seconds duration() const { return end - begin; }
+  bool operator==(const StateInterval&) const = default;
+};
+
+/// Gap-free per-rank interval sequences over [0, makespan].
+class Timeline {
+public:
+  Timeline() = default;
+  explicit Timeline(Rank n_ranks);
+
+  Rank n_ranks() const { return static_cast<Rank>(lanes_.size()); }
+
+  std::span<const StateInterval> intervals(Rank rank) const;
+
+  /// Append an interval to `rank`'s lane; must start where the lane ends.
+  void append(Rank rank, StateInterval interval);
+
+  /// End time of the longest lane (total simulated execution time).
+  Seconds makespan() const;
+
+  Seconds state_time(Rank rank, RankState state) const;
+  Seconds compute_time(Rank rank) const;
+  /// All non-compute, non-idle time (the paper's "waiting in MPI").
+  Seconds communication_time(Rank rank) const;
+  /// Compute time restricted to one phase label.
+  Seconds compute_time(Rank rank, std::int32_t phase) const;
+
+  std::vector<Seconds> compute_times() const;
+
+  /// Compute time of `rank` within iteration `iteration`.
+  Seconds iteration_compute_time(Rank rank, std::int32_t iteration) const;
+  /// Largest iteration label present anywhere, or -1 if unmarked.
+  std::int32_t max_iteration() const;
+
+  /// Coalesce touching intervals with identical state+phase+iteration.
+  void merge_adjacent();
+
+  /// Pad every lane with kIdle so all lanes end at makespan().
+  void pad_to_makespan();
+
+  /// Throws pals::Error if any lane has gaps, overlaps or negative spans.
+  void validate() const;
+
+  bool operator==(const Timeline&) const = default;
+
+private:
+  std::vector<std::vector<StateInterval>> lanes_;
+};
+
+/// Text serialization (.palsv): "rank begin end state [phase]" per line.
+void write_timeline(const Timeline& timeline, std::ostream& out);
+Timeline read_timeline(std::istream& in);
+
+}  // namespace pals

@@ -1,0 +1,86 @@
+// Trace container: per-rank logical event streams plus summary queries.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "trace/event.hpp"
+
+namespace pals {
+
+/// A logical application trace: one event stream per rank.
+///
+/// Invariants (enforced by validate()):
+///  * every p2p peer is a valid rank and differs from the sender;
+///  * every Wait refers to a request posted earlier on the same rank and
+///    not yet waited on;
+///  * every rank issues the same sequence of collective operations.
+class Trace {
+public:
+  Trace() = default;
+  explicit Trace(Rank n_ranks);
+
+  Rank n_ranks() const { return static_cast<Rank>(streams_.size()); }
+
+  std::span<const Event> events(Rank rank) const;
+  std::vector<Event>& mutable_events(Rank rank);
+
+  void append(Rank rank, Event event);
+
+  std::size_t total_events() const;
+
+  /// Sum of compute-burst durations of `rank` (reference frequency).
+  Seconds computation_time(Rank rank) const;
+  /// Computation time restricted to a phase label.
+  Seconds computation_time(Rank rank, std::int32_t phase) const;
+  /// computation_time for every rank.
+  std::vector<Seconds> computation_times() const;
+
+  /// Distinct non-negative phase labels appearing anywhere in the trace,
+  /// sorted ascending.
+  std::vector<std::int32_t> phases() const;
+
+  /// Number of iterations delimited by iteration markers on rank 0
+  /// (0 when unmarked).
+  std::size_t iteration_count() const;
+
+  /// Throws pals::Error with a diagnostic if any invariant is violated.
+  void validate() const;
+
+  /// Name for reports ("CG-32" etc.); optional, round-trips through IO.
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  bool operator==(const Trace&) const = default;
+
+private:
+  std::vector<std::vector<Event>> streams_;
+  std::string name_;
+};
+
+/// Convenience builder used by workload generators: appends events to one
+/// rank of a shared Trace with a fluent interface.
+class TraceBuilder {
+public:
+  TraceBuilder(Trace& trace, Rank rank) : trace_(&trace), rank_(rank) {}
+
+  TraceBuilder& compute(Seconds duration, std::int32_t phase = -1);
+  TraceBuilder& send(Rank peer, std::int32_t tag, Bytes bytes);
+  TraceBuilder& recv(Rank peer, std::int32_t tag, Bytes bytes);
+  TraceBuilder& isend(Rank peer, std::int32_t tag, Bytes bytes, RequestId req);
+  TraceBuilder& irecv(Rank peer, std::int32_t tag, Bytes bytes, RequestId req);
+  TraceBuilder& wait(RequestId req);
+  TraceBuilder& waitall();
+  TraceBuilder& collective(CollectiveOp op, Bytes bytes, Rank root = 0);
+  TraceBuilder& marker(MarkerKind kind, std::int32_t id);
+
+  Rank rank() const { return rank_; }
+
+private:
+  Trace* trace_;
+  Rank rank_;
+};
+
+}  // namespace pals

@@ -1,0 +1,53 @@
+#include "trace/types.hpp"
+
+#include "util/error.hpp"
+
+namespace pals {
+
+CollectiveOp parse_collective(const std::string& name) {
+  if (name == "barrier") return CollectiveOp::kBarrier;
+  if (name == "bcast") return CollectiveOp::kBcast;
+  if (name == "reduce") return CollectiveOp::kReduce;
+  if (name == "allreduce") return CollectiveOp::kAllreduce;
+  if (name == "gather") return CollectiveOp::kGather;
+  if (name == "allgather") return CollectiveOp::kAllgather;
+  if (name == "scatter") return CollectiveOp::kScatter;
+  if (name == "alltoall") return CollectiveOp::kAlltoall;
+  if (name == "reducescatter") return CollectiveOp::kReduceScatter;
+  throw Error("unknown collective op: " + name);
+}
+
+std::string to_string(CollectiveOp op) {
+  switch (op) {
+    case CollectiveOp::kBarrier: return "barrier";
+    case CollectiveOp::kBcast: return "bcast";
+    case CollectiveOp::kReduce: return "reduce";
+    case CollectiveOp::kAllreduce: return "allreduce";
+    case CollectiveOp::kGather: return "gather";
+    case CollectiveOp::kAllgather: return "allgather";
+    case CollectiveOp::kScatter: return "scatter";
+    case CollectiveOp::kAlltoall: return "alltoall";
+    case CollectiveOp::kReduceScatter: return "reducescatter";
+  }
+  throw Error("invalid collective op enum value");
+}
+
+MarkerKind parse_marker(const std::string& name) {
+  if (name == "iter_begin") return MarkerKind::kIterationBegin;
+  if (name == "iter_end") return MarkerKind::kIterationEnd;
+  if (name == "phase_begin") return MarkerKind::kPhaseBegin;
+  if (name == "phase_end") return MarkerKind::kPhaseEnd;
+  throw Error("unknown marker kind: " + name);
+}
+
+std::string to_string(MarkerKind kind) {
+  switch (kind) {
+    case MarkerKind::kIterationBegin: return "iter_begin";
+    case MarkerKind::kIterationEnd: return "iter_end";
+    case MarkerKind::kPhaseBegin: return "phase_begin";
+    case MarkerKind::kPhaseEnd: return "phase_end";
+  }
+  throw Error("invalid marker kind enum value");
+}
+
+}  // namespace pals

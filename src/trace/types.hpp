@@ -1,0 +1,53 @@
+// Shared scalar types for the tracing and simulation layers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pals {
+
+/// MPI rank index within a trace (0-based, dense).
+using Rank = std::int32_t;
+
+/// Simulated wall-clock time in seconds.
+using Seconds = double;
+
+/// Message payload size in bytes.
+using Bytes = std::uint64_t;
+
+/// Rank-local identifier of a non-blocking request.
+using RequestId = std::int32_t;
+
+/// Collective operations supported by the replay simulator. All collectives
+/// operate on the world communicator (the traced applications are
+/// world-collective codes, matching the paper's benchmark set).
+enum class CollectiveOp {
+  kBarrier,
+  kBcast,
+  kReduce,
+  kAllreduce,
+  kGather,
+  kAllgather,
+  kScatter,
+  kAlltoall,
+  kReduceScatter,
+};
+
+/// Parse/format collective names used in the trace text format.
+CollectiveOp parse_collective(const std::string& name);
+std::string to_string(CollectiveOp op);
+
+/// Marker kinds structure a trace into iterations and computation phases.
+/// Iteration markers drive the region cutter; phase markers identify
+/// distinct computation phases (e.g. PEPC's two phases per iteration).
+enum class MarkerKind {
+  kIterationBegin,
+  kIterationEnd,
+  kPhaseBegin,
+  kPhaseEnd,
+};
+
+MarkerKind parse_marker(const std::string& name);
+std::string to_string(MarkerKind kind);
+
+}  // namespace pals

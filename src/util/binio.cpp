@@ -1,0 +1,86 @@
+#include "util/binio.hpp"
+
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace pals {
+
+void ByteWriter::put_u8(std::uint8_t value) { buffer_.push_back(value); }
+
+void ByteWriter::put_varint(std::uint64_t value) {
+  while (value >= 0x80) {
+    buffer_.push_back(static_cast<std::uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  buffer_.push_back(static_cast<std::uint8_t>(value));
+}
+
+void ByteWriter::put_svarint(std::int64_t value) {
+  // Zig-zag: interleave negatives so small magnitudes stay short.
+  put_varint((static_cast<std::uint64_t>(value) << 1) ^
+             static_cast<std::uint64_t>(value >> 63));
+}
+
+void ByteWriter::put_f64(double value) {
+  static_assert(sizeof(double) == 8);
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &value, 8);
+  for (int i = 0; i < 8; ++i)
+    buffer_.push_back(static_cast<std::uint8_t>(bits >> (8 * i)));
+}
+
+void ByteWriter::put_string(const std::string& value) {
+  put_varint(value.size());
+  put_raw(value.data(), value.size());
+}
+
+void ByteWriter::put_raw(const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  buffer_.insert(buffer_.end(), bytes, bytes + size);
+}
+
+std::uint8_t ByteReader::get_u8() {
+  PALS_CHECK_MSG(offset_ < size_, "binary input truncated");
+  return data_[offset_++];
+}
+
+std::uint64_t ByteReader::get_varint() {
+  std::uint64_t value = 0;
+  int shift = 0;
+  while (true) {
+    PALS_CHECK_MSG(shift < 64, "varint too long");
+    const std::uint8_t byte = get_u8();
+    value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return value;
+    shift += 7;
+  }
+}
+
+std::int64_t ByteReader::get_svarint() {
+  const std::uint64_t raw = get_varint();
+  return static_cast<std::int64_t>((raw >> 1) ^ (~(raw & 1) + 1));
+}
+
+double ByteReader::get_f64() {
+  PALS_CHECK_MSG(offset_ + 8 <= size_, "binary input truncated");
+  std::uint64_t bits = 0;
+  for (int i = 0; i < 8; ++i)
+    bits |= static_cast<std::uint64_t>(data_[offset_ + static_cast<std::size_t>(i)])
+            << (8 * i);
+  offset_ += 8;
+  double value = 0.0;
+  std::memcpy(&value, &bits, 8);
+  return value;
+}
+
+std::string ByteReader::get_string() {
+  const std::uint64_t length = get_varint();
+  PALS_CHECK_MSG(length <= remaining(), "binary string truncated");
+  std::string out(reinterpret_cast<const char*>(data_ + offset_),
+                  static_cast<std::size_t>(length));
+  offset_ += static_cast<std::size_t>(length);
+  return out;
+}
+
+}  // namespace pals

@@ -1,0 +1,56 @@
+// Byte-level encoding primitives for the binary trace format:
+// LEB128 varints (zig-zag for signed), little-endian doubles, and
+// length-prefixed strings, over growable buffers / bounded readers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pals {
+
+class ByteWriter {
+public:
+  void put_u8(std::uint8_t value);
+  /// LEB128 unsigned varint.
+  void put_varint(std::uint64_t value);
+  /// Zig-zag signed varint.
+  void put_svarint(std::int64_t value);
+  /// IEEE-754 double, little endian.
+  void put_f64(double value);
+  /// Varint length + raw bytes.
+  void put_string(const std::string& value);
+  void put_raw(const void* data, std::size_t size);
+
+  const std::vector<std::uint8_t>& buffer() const { return buffer_; }
+  std::size_t size() const { return buffer_.size(); }
+
+private:
+  std::vector<std::uint8_t> buffer_;
+};
+
+/// Bounded reader; every accessor throws pals::Error on truncation or
+/// malformed varints instead of reading out of bounds.
+class ByteReader {
+public:
+  ByteReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit ByteReader(const std::vector<std::uint8_t>& buffer)
+      : ByteReader(buffer.data(), buffer.size()) {}
+
+  std::uint8_t get_u8();
+  std::uint64_t get_varint();
+  std::int64_t get_svarint();
+  double get_f64();
+  std::string get_string();
+
+  std::size_t remaining() const { return size_ - offset_; }
+  bool exhausted() const { return offset_ == size_; }
+
+private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t offset_ = 0;
+};
+
+}  // namespace pals

@@ -1,0 +1,97 @@
+#include "util/cli.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace pals {
+
+void CliParser::add_option(const std::string& name, const std::string& help,
+                           std::optional<std::string> default_value) {
+  PALS_CHECK_MSG(!specs_.count(name), "duplicate option --" << name);
+  specs_[name] = Spec{help, /*is_flag=*/false, std::move(default_value)};
+}
+
+void CliParser::add_flag(const std::string& name, const std::string& help) {
+  PALS_CHECK_MSG(!specs_.count(name), "duplicate flag --" << name);
+  specs_[name] = Spec{help, /*is_flag=*/true, std::nullopt};
+}
+
+void CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!starts_with(arg, "--")) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    std::string name = arg;
+    std::optional<std::string> inline_value;
+    if (const std::size_t eq = arg.find('='); eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      inline_value = arg.substr(eq + 1);
+    }
+    const auto it = specs_.find(name);
+    if (it == specs_.end()) throw Error("unknown option --" + name);
+    if (it->second.is_flag) {
+      PALS_CHECK_MSG(!inline_value, "flag --" << name << " takes no value");
+      values_[name] = "1";
+    } else if (inline_value) {
+      values_[name] = *inline_value;
+    } else {
+      if (i + 1 >= argc) throw Error("option --" + name + " expects a value");
+      values_[name] = argv[++i];
+    }
+  }
+}
+
+bool CliParser::has(const std::string& name) const {
+  if (values_.count(name)) return true;
+  const auto it = specs_.find(name);
+  return it != specs_.end() && it->second.default_value.has_value();
+}
+
+std::string CliParser::get(const std::string& name) const {
+  if (const auto it = values_.find(name); it != values_.end())
+    return it->second;
+  const auto spec = specs_.find(name);
+  if (spec != specs_.end() && spec->second.default_value)
+    return *spec->second.default_value;
+  throw Error("missing required option --" + name);
+}
+
+std::string CliParser::get_or(const std::string& name,
+                              const std::string& fallback) const {
+  return has(name) ? get(name) : fallback;
+}
+
+double CliParser::get_double(const std::string& name, double fallback) const {
+  return has(name) ? parse_double(get(name)) : fallback;
+}
+
+long long CliParser::get_int(const std::string& name,
+                             long long fallback) const {
+  return has(name) ? parse_int(get(name)) : fallback;
+}
+
+bool CliParser::get_flag(const std::string& name) const {
+  const auto it = values_.find(name);
+  return it != values_.end() && it->second == "1";
+}
+
+std::string CliParser::usage(const std::string& program) const {
+  std::ostringstream os;
+  os << "usage: " << program << " [options]\n";
+  for (const auto& [name, spec] : specs_) {
+    os << "  --" << name;
+    if (!spec.is_flag) {
+      os << "=<value>";
+      if (spec.default_value) os << " (default: " << *spec.default_value << ")";
+    }
+    os << "\n      " << spec.help << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace pals

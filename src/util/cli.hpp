@@ -1,0 +1,48 @@
+// Tiny command-line option parser for the bench and example binaries.
+//
+// Supports --key=value, --key value, and boolean --flag forms. Unknown
+// options throw so typos fail loudly.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pals {
+
+class CliParser {
+public:
+  /// Declare options up front; `help` is printed by usage().
+  void add_option(const std::string& name, const std::string& help,
+                  std::optional<std::string> default_value = std::nullopt);
+  void add_flag(const std::string& name, const std::string& help);
+
+  /// Parse argv. Throws pals::Error on unknown or malformed options.
+  void parse(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name) const;
+  std::string get_or(const std::string& name,
+                     const std::string& fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  long long get_int(const std::string& name, long long fallback) const;
+  bool get_flag(const std::string& name) const;
+
+  /// Positional (non-option) arguments in order of appearance.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  std::string usage(const std::string& program) const;
+
+private:
+  struct Spec {
+    std::string help;
+    bool is_flag = false;
+    std::optional<std::string> default_value;
+  };
+  std::map<std::string, Spec> specs_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace pals

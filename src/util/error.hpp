@@ -1,0 +1,48 @@
+// Error handling primitives shared by all pals libraries.
+//
+// Invariant violations throw pals::Error (derived from std::runtime_error)
+// so that tests can assert on failure and tools can print a clean message.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pals {
+
+/// Exception type thrown for all precondition/invariant violations in pals.
+class Error : public std::runtime_error {
+public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace pals
+
+/// PALS_CHECK(cond) / PALS_CHECK_MSG(cond, "context") — always-on invariant
+/// checks. These guard API misuse; they are not disabled in release builds
+/// because all hot loops in the simulator are check-free by construction.
+#define PALS_CHECK(cond)                                                     \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::pals::detail::throw_check_failure(#cond, __FILE__, __LINE__, "");    \
+  } while (0)
+
+#define PALS_CHECK_MSG(cond, msg)                                            \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::ostringstream pals_check_os_;                                     \
+      pals_check_os_ << msg;                                                 \
+      ::pals::detail::throw_check_failure(#cond, __FILE__, __LINE__,         \
+                                          pals_check_os_.str());             \
+    }                                                                        \
+  } while (0)

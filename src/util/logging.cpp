@@ -1,0 +1,70 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+
+#include "util/error.hpp"
+
+namespace pals {
+namespace {
+
+std::atomic<LogLevel>& level_storage() {
+  static std::atomic<LogLevel> level{[] {
+    if (const char* env = std::getenv("PALS_LOG_LEVEL")) {
+      try {
+        return parse_log_level(env);
+      } catch (const Error&) {
+        // Ignore malformed environment values; fall through to default.
+      }
+    }
+    return LogLevel::kWarn;
+  }()};
+  return level;
+}
+
+std::mutex& log_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+}  // namespace
+
+LogLevel log_level() { return level_storage().load(std::memory_order_relaxed); }
+
+void set_log_level(LogLevel level) {
+  level_storage().store(level, std::memory_order_relaxed);
+}
+
+LogLevel parse_log_level(const std::string& name) {
+  if (name == "trace") return LogLevel::kTrace;
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off") return LogLevel::kOff;
+  throw Error("unknown log level: " + name);
+}
+
+std::string to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "trace";
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "unknown";
+}
+
+namespace detail {
+
+void log_line(LogLevel level, const std::string& message) {
+  std::lock_guard<std::mutex> lock(log_mutex());
+  std::cerr << "[pals:" << to_string(level) << "] " << message << '\n';
+}
+
+}  // namespace detail
+}  // namespace pals

@@ -1,0 +1,42 @@
+// Minimal leveled logger.
+//
+// The simulator libraries log sparingly (warnings on suspicious traces,
+// info on experiment progress). Level is controlled programmatically or via
+// the PALS_LOG_LEVEL environment variable (trace|debug|info|warn|error|off).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace pals {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global log level; defaults to kWarn, overridable by PALS_LOG_LEVEL.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Parse a level name ("info", "warn", ...). Throws pals::Error on bad input.
+LogLevel parse_log_level(const std::string& name);
+std::string to_string(LogLevel level);
+
+namespace detail {
+void log_line(LogLevel level, const std::string& message);
+}
+
+}  // namespace pals
+
+#define PALS_LOG(level, expr)                                          \
+  do {                                                                 \
+    if (static_cast<int>(level) >= static_cast<int>(::pals::log_level())) { \
+      std::ostringstream pals_log_os_;                                 \
+      pals_log_os_ << expr;                                            \
+      ::pals::detail::log_line(level, pals_log_os_.str());             \
+    }                                                                  \
+  } while (0)
+
+#define PALS_TRACE(expr) PALS_LOG(::pals::LogLevel::kTrace, expr)
+#define PALS_DEBUG(expr) PALS_LOG(::pals::LogLevel::kDebug, expr)
+#define PALS_INFO(expr) PALS_LOG(::pals::LogLevel::kInfo, expr)
+#define PALS_WARN(expr) PALS_LOG(::pals::LogLevel::kWarn, expr)
+#define PALS_ERROR(expr) PALS_LOG(::pals::LogLevel::kError, expr)

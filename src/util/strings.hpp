@@ -1,0 +1,33 @@
+// Small string utilities used by trace parsers and report writers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pals {
+
+/// Split `s` on `sep`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Split on arbitrary whitespace, dropping empty fields.
+std::vector<std::string> split_ws(std::string_view s);
+
+/// Strip leading/trailing whitespace.
+std::string_view trim(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// Parse helpers that throw pals::Error with the offending text on failure.
+double parse_double(std::string_view s);
+long long parse_int(std::string_view s);
+
+/// Format a double with `digits` significant decimal places, no trailing
+/// exponent noise ("0.6123" not "6.123e-01").
+std::string format_fixed(double value, int digits);
+
+/// "12.34%" style percentage of a 0..1 ratio.
+std::string format_percent(double ratio, int digits = 2);
+
+}  // namespace pals

@@ -1,0 +1,52 @@
+#include "workloads/apps.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace pals {
+
+void WorkloadConfig::validate() const {
+  PALS_CHECK_MSG(ranks > 0, "workload needs at least one rank");
+  PALS_CHECK_MSG(iterations > 0, "workload needs at least one iteration");
+  PALS_CHECK_MSG(target_lb > 0.0 && target_lb <= 1.0,
+                 "target LB must lie in (0, 1]");
+  PALS_CHECK_MSG(compute_scale > 0.0, "compute_scale must be positive");
+  PALS_CHECK_MSG(comm_scale > 0.0, "comm_scale must be positive");
+  PALS_CHECK_MSG(jitter >= 0.0 && jitter < 0.5, "jitter must lie in [0, 0.5)");
+}
+
+Grid3D factor_3d(Rank n) {
+  PALS_CHECK_MSG(n > 0, "cannot factor zero ranks");
+  Grid3D best{n, 1, 1};
+  double best_surface = std::numeric_limits<double>::infinity();
+  for (Rank pz = 1; pz * pz * pz <= n; ++pz) {
+    if (n % pz != 0) continue;
+    const Rank rest = n / pz;
+    for (Rank py = pz; py * py <= rest; ++py) {
+      if (rest % py != 0) continue;
+      const Rank px = rest / py;
+      // Prefer the most cubic decomposition (minimal surface/volume).
+      const double surface = static_cast<double>(px) * py + //
+                             static_cast<double>(py) * pz +
+                             static_cast<double>(px) * pz;
+      if (surface < best_surface) {
+        best_surface = surface;
+        best = Grid3D{px, py, pz};
+      }
+    }
+  }
+  return best;
+}
+
+Grid2D factor_2d(Rank n) {
+  PALS_CHECK_MSG(n > 0, "cannot factor zero ranks");
+  Grid2D best{n, 1};
+  for (Rank py = 1; py * py <= n; ++py) {
+    if (n % py == 0) best = Grid2D{n / py, py};
+  }
+  return best;
+}
+
+}  // namespace pals

@@ -1,0 +1,79 @@
+// NAS CG skeleton: conjugate-gradient inner iterations with partner
+// exchanges and dot-product allreduces. Nearly balanced computation.
+#include "workloads/apps.hpp"
+#include "workloads/imbalance.hpp"
+
+#include "mpisim/vmpi.hpp"
+#include "util/rng.hpp"
+
+namespace pals {
+namespace {
+
+constexpr int kInnerSteps = 25;       // CG inner iterations per outer step
+// Heaviest rank per outer iteration at 32 ranks; class C is a fixed-size
+// problem, so computation strong-scales with the rank count.
+constexpr double kBaseSeconds32 = 0.05;
+constexpr double kMatrixRows = 150000.0;  // class C problem size
+
+}  // namespace
+
+Trace make_cg(const WorkloadConfig& config) {
+  config.validate();
+  Rng rng(config.seed);
+  const std::vector<double> weights =
+      calibrate_to_lb(shape_uniform_noise(config.ranks, 0.35, rng),
+                      config.target_lb);
+
+  // Per (iteration, rank) multiplicative jitter, fixed up front so every
+  // rank program sees the same schedule.
+  std::vector<std::vector<double>> jitter(
+      static_cast<std::size_t>(config.iterations),
+      std::vector<double>(static_cast<std::size_t>(config.ranks), 1.0));
+  for (auto& row : jitter)
+    for (double& j : row) j = 1.0 + rng.uniform(-config.jitter, config.jitter);
+
+  const Bytes exchange_bytes = static_cast<Bytes>(
+      kMatrixRows / static_cast<double>(config.ranks) * 8.0 *
+      config.comm_scale);
+  const double burst = kBaseSeconds32 * 32.0 /
+                       static_cast<double>(config.ranks) *
+                       config.compute_scale / static_cast<double>(kInnerSteps);
+  const Rank n = config.ranks;
+
+  const RankProgram program = [&](VirtualMpi& mpi) {
+    const Rank r = mpi.rank();
+    const double w = weights[static_cast<std::size_t>(r)];
+    // Partner set: nearest neighbour plus the transpose partner, the two
+    // dominant exchanges in NPB CG's 2-D layout.
+    const Rank near = (n > 1) ? ((r % 2 == 0) ? (r + 1) % n : (r - 1 + n) % n)
+                              : r;
+    const Rank far = (r + n / 2) % n;
+    for (int it = 0; it < config.iterations; ++it) {
+      mpi.iteration_begin(it);
+      const double j =
+          jitter[static_cast<std::size_t>(it)][static_cast<std::size_t>(r)];
+      for (int step = 0; step < kInnerSteps; ++step) {
+        mpi.compute(burst * w * j);
+        if (n > 1) {
+          const VRequest rn = mpi.irecv(near, 100, exchange_bytes);
+          const VRequest rf =
+              (far != r && far != near) ? mpi.irecv(far, 101, exchange_bytes)
+                                        : VRequest{};
+          mpi.isend(near, 100, exchange_bytes);
+          if (rf.valid()) mpi.isend(far, 101, exchange_bytes);
+          (void)rn;
+          mpi.waitall();
+        }
+        mpi.allreduce(8);   // rho = r·z
+        mpi.allreduce(8);   // p·q
+      }
+      mpi.iteration_end(it);
+    }
+  };
+
+  Trace trace = run_spmd(config.ranks, program,
+                         SpmdOptions{"CG-" + std::to_string(config.ranks)});
+  return trace;
+}
+
+}  // namespace pals

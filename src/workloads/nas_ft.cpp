@@ -1,0 +1,60 @@
+// NAS FT skeleton: 3-D FFT via local transforms and global transposes.
+// Almost perfectly balanced computation; performance is dominated by two
+// large all-to-all transposes per iteration, making it the most
+// bandwidth-bound pattern in the suite.
+#include "workloads/apps.hpp"
+#include "workloads/imbalance.hpp"
+
+#include "mpisim/vmpi.hpp"
+#include "util/rng.hpp"
+
+namespace pals {
+namespace {
+
+// Heaviest rank per iteration at 32 ranks; class C strong-scales.
+constexpr double kBaseSeconds32 = 0.12;
+// Class C grid 512x512x512 complex doubles spread over n^2 peer pairs.
+constexpr double kGridBytes = 512.0 * 512.0 * 512.0 * 16.0;
+
+}  // namespace
+
+Trace make_ft(const WorkloadConfig& config) {
+  config.validate();
+  Rng rng(config.seed + 9);
+  const std::vector<double> weights =
+      calibrate_to_lb(shape_uniform_noise(config.ranks, 0.1, rng),
+                      config.target_lb);
+  std::vector<std::vector<double>> jitter(
+      static_cast<std::size_t>(config.iterations),
+      std::vector<double>(static_cast<std::size_t>(config.ranks), 1.0));
+  for (auto& row : jitter)
+    for (double& j : row) j = 1.0 + rng.uniform(-config.jitter, config.jitter);
+
+  const double n = static_cast<double>(config.ranks);
+  const Bytes transpose_bytes =
+      static_cast<Bytes>(kGridBytes / (n * n) * config.comm_scale);
+  const double base =
+      kBaseSeconds32 * 32.0 / n * config.compute_scale;
+
+  const RankProgram program = [&](VirtualMpi& mpi) {
+    const Rank r = mpi.rank();
+    const double w = weights[static_cast<std::size_t>(r)];
+    for (int it = 0; it < config.iterations; ++it) {
+      mpi.iteration_begin(it);
+      const double j =
+          jitter[static_cast<std::size_t>(it)][static_cast<std::size_t>(r)];
+      mpi.compute(base * 0.4 * w * j);     // FFTs along local dimensions
+      mpi.alltoall(transpose_bytes);       // first global transpose
+      mpi.compute(base * 0.4 * w * j);     // FFT along the exchanged axis
+      mpi.alltoall(transpose_bytes);       // transpose back
+      mpi.compute(base * 0.2 * w * j);     // evolve + checksum prep
+      mpi.allreduce(16);                   // complex checksum
+      mpi.iteration_end(it);
+    }
+  };
+
+  return run_spmd(config.ranks, program,
+                  SpmdOptions{"FT-" + std::to_string(config.ranks)});
+}
+
+}  // namespace pals

@@ -1,0 +1,55 @@
+// NAS IS skeleton: bucket sort dominated by a large all-to-all key
+// exchange. The skewed key distribution makes computation strongly
+// imbalanced and parallel efficiency very low (Table 3: 8-17 %).
+#include "workloads/apps.hpp"
+#include "workloads/imbalance.hpp"
+
+#include "mpisim/vmpi.hpp"
+#include "util/rng.hpp"
+
+namespace pals {
+namespace {
+
+// Heaviest rank per iteration at 32 ranks; class C strong-scales.
+constexpr double kBaseSeconds32 = 0.015;
+constexpr double kTotalKeyBytes = 134217728.0 * 4.0;  // 2^27 class C keys
+
+}  // namespace
+
+Trace make_is(const WorkloadConfig& config) {
+  config.validate();
+  Rng rng(config.seed + 2);
+  const std::vector<double> weights = calibrate_to_lb(
+      shape_geometric(config.ranks, 0.93), config.target_lb);
+  std::vector<std::vector<double>> jitter(
+      static_cast<std::size_t>(config.iterations),
+      std::vector<double>(static_cast<std::size_t>(config.ranks), 1.0));
+  for (auto& row : jitter)
+    for (double& j : row) j = 1.0 + rng.uniform(-config.jitter, config.jitter);
+
+  // Per-peer chunk of the key exchange: total keys spread over n^2 pairs.
+  const double n = static_cast<double>(config.ranks);
+  const Bytes alltoall_bytes =
+      static_cast<Bytes>(kTotalKeyBytes / (n * n) * config.comm_scale);
+  const double base = kBaseSeconds32 * 32.0 / n * config.compute_scale;
+
+  const RankProgram program = [&](VirtualMpi& mpi) {
+    const Rank r = mpi.rank();
+    const double w = weights[static_cast<std::size_t>(r)];
+    for (int it = 0; it < config.iterations; ++it) {
+      mpi.iteration_begin(it);
+      const double j =
+          jitter[static_cast<std::size_t>(it)][static_cast<std::size_t>(r)];
+      mpi.compute(base * 0.35 * w * j);    // local key ranking
+      mpi.allreduce(1024);                 // bucket size exchange
+      mpi.alltoall(alltoall_bytes);        // key redistribution
+      mpi.compute(base * 0.65 * w * j);    // local permutation
+      mpi.iteration_end(it);
+    }
+  };
+
+  return run_spmd(config.ranks, program,
+                  SpmdOptions{"IS-" + std::to_string(config.ranks)});
+}
+
+}  // namespace pals

@@ -1,0 +1,80 @@
+// NAS LU skeleton: SSOR solver with pipelined wavefront sweeps over a 2-D
+// decomposition. Rank (i, j) waits for its north and west neighbours,
+// computes its block, then forwards to south and east; the reverse sweep
+// runs the opposite diagonal. Exercises long blocking dependency chains
+// (every other generator is bulk-synchronous).
+#include "workloads/apps.hpp"
+#include "workloads/imbalance.hpp"
+
+#include "mpisim/vmpi.hpp"
+#include "util/rng.hpp"
+
+namespace pals {
+namespace {
+
+// Heaviest rank per iteration at 32 ranks; class C strong-scales.
+constexpr double kBaseSeconds32 = 0.07;
+constexpr double kPencilBytes = 20e3;  // per-slab face exchange
+constexpr int kSweepsPerIteration = 2; // lower + upper triangular
+// The wave pipelines k-slabs: each rank forwards after every slab, so
+// successive diagonals overlap (whole-block forwarding would serialize
+// the grid and collapse parallel efficiency).
+constexpr int kSlabs = 16;
+
+}  // namespace
+
+Trace make_lu(const WorkloadConfig& config) {
+  config.validate();
+  Rng rng(config.seed + 8);
+  const std::vector<double> weights =
+      calibrate_to_lb(shape_uniform_noise(config.ranks, 0.3, rng),
+                      config.target_lb);
+  std::vector<std::vector<double>> jitter(
+      static_cast<std::size_t>(config.iterations),
+      std::vector<double>(static_cast<std::size_t>(config.ranks), 1.0));
+  for (auto& row : jitter)
+    for (double& j : row) j = 1.0 + rng.uniform(-config.jitter, config.jitter);
+
+  const Grid2D grid = factor_2d(config.ranks);
+  const Bytes pencil = static_cast<Bytes>(kPencilBytes * config.comm_scale);
+  const double base = kBaseSeconds32 * 32.0 /
+                      static_cast<double>(config.ranks) *
+                      config.compute_scale /
+                      static_cast<double>(kSweepsPerIteration);
+
+  const RankProgram program = [&](VirtualMpi& mpi) {
+    const Rank r = mpi.rank();
+    const double w = weights[static_cast<std::size_t>(r)];
+    const Rank x = r % grid.px;
+    const Rank y = r / grid.px;
+    for (int it = 0; it < config.iterations; ++it) {
+      mpi.iteration_begin(it);
+      const double j =
+          jitter[static_cast<std::size_t>(it)][static_cast<std::size_t>(r)];
+      // Forward sweep: the wave travels from (0,0) to (px-1,py-1),
+      // pipelined one k-slab at a time.
+      for (int slab = 0; slab < kSlabs; ++slab) {
+        if (x > 0) mpi.recv(r - 1, 700 + slab, pencil);
+        if (y > 0) mpi.recv(r - grid.px, 720 + slab, pencil);
+        mpi.compute(base * w * j / kSlabs);
+        if (x + 1 < grid.px) mpi.send(r + 1, 700 + slab, pencil);
+        if (y + 1 < grid.py) mpi.send(r + grid.px, 720 + slab, pencil);
+      }
+      // Backward sweep: the wave returns from (px-1,py-1) to (0,0).
+      for (int slab = 0; slab < kSlabs; ++slab) {
+        if (x + 1 < grid.px) mpi.recv(r + 1, 740 + slab, pencil);
+        if (y + 1 < grid.py) mpi.recv(r + grid.px, 760 + slab, pencil);
+        mpi.compute(base * w * j / kSlabs);
+        if (x > 0) mpi.send(r - 1, 740 + slab, pencil);
+        if (y > 0) mpi.send(r - grid.px, 760 + slab, pencil);
+      }
+      mpi.allreduce(40);  // five residual norms
+      mpi.iteration_end(it);
+    }
+  };
+
+  return run_spmd(config.ranks, program,
+                  SpmdOptions{"LU-" + std::to_string(config.ranks)});
+}
+
+}  // namespace pals

@@ -1,0 +1,97 @@
+// NAS MG skeleton: V-cycle multigrid with 3-D halo exchanges whose message
+// sizes shrink by 4x (and computation by 8x) per coarser level.
+#include <algorithm>
+#include <cmath>
+
+#include "workloads/apps.hpp"
+#include "workloads/imbalance.hpp"
+
+#include "mpisim/vmpi.hpp"
+#include "util/rng.hpp"
+
+namespace pals {
+namespace {
+
+constexpr int kLevels = 5;  // grid levels in the V-cycle
+// Heaviest rank, finest level, at 32 ranks; class C strong-scales.
+constexpr double kBaseSeconds32 = 0.06;
+constexpr double kGridPoints = 512.0 * 512.0 * 512.0;  // class C
+
+/// 3-D neighbour in direction (dx, dy, dz) with periodic wrap.
+Rank neighbour(const Grid3D& g, Rank r, int dx, int dy, int dz) {
+  const Rank x = r % g.px;
+  const Rank y = (r / g.px) % g.py;
+  const Rank z = r / (g.px * g.py);
+  const Rank nx = (x + dx + g.px) % g.px;
+  const Rank ny = (y + dy + g.py) % g.py;
+  const Rank nz = (z + dz + g.pz) % g.pz;
+  return nx + g.px * (ny + g.py * nz);
+}
+
+}  // namespace
+
+Trace make_mg(const WorkloadConfig& config) {
+  config.validate();
+  Rng rng(config.seed + 1);
+  const std::vector<double> weights =
+      calibrate_to_lb(shape_uniform_noise(config.ranks, 0.3, rng),
+                      config.target_lb);
+  std::vector<std::vector<double>> jitter(
+      static_cast<std::size_t>(config.iterations),
+      std::vector<double>(static_cast<std::size_t>(config.ranks), 1.0));
+  for (auto& row : jitter)
+    for (double& j : row) j = 1.0 + rng.uniform(-config.jitter, config.jitter);
+
+  const Grid3D grid = factor_3d(config.ranks);
+  // Face size of the finest-level local block.
+  const double local_points = kGridPoints / static_cast<double>(config.ranks);
+  const double face_points = std::pow(local_points, 2.0 / 3.0);
+  const double fine_face_bytes = face_points * 8.0 * config.comm_scale;
+
+  const RankProgram program = [&](VirtualMpi& mpi) {
+    const Rank r = mpi.rank();
+    const double w = weights[static_cast<std::size_t>(r)];
+    // Unique neighbours in the 6 axis directions (duplicates collapse on
+    // small grid dimensions).
+    std::vector<Rank> partners;
+    const int dirs[6][3] = {{1, 0, 0}, {-1, 0, 0}, {0, 1, 0},
+                            {0, -1, 0}, {0, 0, 1}, {0, 0, -1}};
+    for (const auto& d : dirs) {
+      const Rank p = neighbour(grid, r, d[0], d[1], d[2]);
+      if (p != r &&
+          std::find(partners.begin(), partners.end(), p) == partners.end())
+        partners.push_back(p);
+    }
+
+    for (int it = 0; it < config.iterations; ++it) {
+      mpi.iteration_begin(it);
+      const double j =
+          jitter[static_cast<std::size_t>(it)][static_cast<std::size_t>(r)];
+      // Down-sweep (restriction) and up-sweep (prolongation + smoothing).
+      for (int sweep = 0; sweep < 2; ++sweep) {
+        for (int level = 0; level < kLevels; ++level) {
+          const int l = (sweep == 0) ? level : kLevels - 1 - level;
+          const double level_compute =
+              kBaseSeconds32 * 32.0 / static_cast<double>(config.ranks) *
+              config.compute_scale * w * j /
+              std::pow(8.0, static_cast<double>(l));
+          const Bytes level_bytes = static_cast<Bytes>(
+              fine_face_bytes / std::pow(4.0, static_cast<double>(l)));
+          mpi.compute(level_compute);
+          // One tag per level; the partner relation is symmetric, so each
+          // pair exchanges exactly one message per level and sweep.
+          for (const Rank p : partners) mpi.irecv(p, 200 + l, level_bytes);
+          for (const Rank p : partners) mpi.isend(p, 200 + l, level_bytes);
+          mpi.waitall();
+        }
+      }
+      mpi.allreduce(8);  // residual norm
+      mpi.iteration_end(it);
+    }
+  };
+
+  return run_spmd(config.ranks, program,
+                  SpmdOptions{"MG-" + std::to_string(config.ranks)});
+}
+
+}  // namespace pals

@@ -1,0 +1,97 @@
+#include "workloads/registry.hpp"
+
+#include "util/error.hpp"
+
+namespace pals {
+namespace {
+
+struct InstanceSpec {
+  const char* name;
+  const char* family;
+  Rank ranks;
+  double lb;        // Table 3 load balance
+  double pe;        // Table 3 parallel efficiency
+  double comm_scale;
+  double compute_scale;
+};
+
+// Communication/computation scales are calibrated so the replayed parallel
+// efficiency matches Table 3 on the default platform model; load balance is
+// matched by construction.
+// comm_scale values produced by tools/calibrate_workloads (bisection on
+// the replayed parallel efficiency against the paper's Table 3 values on
+// the default platform model).
+constexpr InstanceSpec kInstances[] = {
+    {"BT-MZ-32", "bt-mz", 32, 0.3521, 0.3507, 0.02, 1.0},
+    {"CG-32", "cg", 32, 0.9782, 0.7855, 1.80, 1.0},
+    {"MG-32", "mg", 32, 0.9455, 0.8728, 4.88, 1.0},
+    {"IS-32", "is", 32, 0.4377, 0.0821, 0.99, 1.0},
+    {"SPECFEM3D-32", "specfem3d", 32, 0.9280, 0.9261, 0.02, 1.0},
+    {"WRF-32", "wrf", 32, 0.9060, 0.8953, 0.0302, 1.0},
+    {"CG-64", "cg", 64, 0.9346, 0.6336, 2.91, 1.0},
+    {"MG-64", "mg", 64, 0.9150, 0.8560, 3.06, 1.0},
+    {"IS-64", "is", 64, 0.4959, 0.1700, 0.41, 1.0},
+    {"SPECFEM3D-96", "specfem3d", 96, 0.7907, 0.7865, 0.375, 1.0},
+    {"PEPC-128", "pepc", 128, 0.7612, 0.6778, 0.02, 1.0},
+    {"WRF-128", "wrf", 128, 0.9365, 0.8527, 0.41, 1.0},
+};
+
+BenchmarkInstance make_instance(const InstanceSpec& spec, int iterations) {
+  BenchmarkInstance inst;
+  inst.name = spec.name;
+  inst.ranks = spec.ranks;
+  inst.paper_lb = spec.lb;
+  inst.paper_pe = spec.pe;
+  inst.config.ranks = spec.ranks;
+  inst.config.iterations = iterations;
+  inst.config.target_lb = spec.lb;
+  inst.config.comm_scale = spec.comm_scale;
+  inst.config.compute_scale = spec.compute_scale;
+  inst.factory = workload_factory(spec.family);
+  return inst;
+}
+
+}  // namespace
+
+std::vector<BenchmarkInstance> paper_benchmarks(int iterations) {
+  std::vector<BenchmarkInstance> out;
+  out.reserve(std::size(kInstances));
+  for (const InstanceSpec& spec : kInstances)
+    out.push_back(make_instance(spec, iterations));
+  return out;
+}
+
+std::vector<BenchmarkInstance> figure2_benchmarks(int iterations) {
+  std::vector<BenchmarkInstance> out;
+  for (const char* name :
+       {"BT-MZ-32", "CG-64", "SPECFEM3D-96", "PEPC-128", "WRF-128"}) {
+    auto inst = benchmark_by_name(name, iterations);
+    PALS_CHECK(inst.has_value());
+    out.push_back(std::move(*inst));
+  }
+  return out;
+}
+
+std::optional<BenchmarkInstance> benchmark_by_name(const std::string& name,
+                                                   int iterations) {
+  for (const InstanceSpec& spec : kInstances)
+    if (name == spec.name) return make_instance(spec, iterations);
+  return std::nullopt;
+}
+
+std::function<Trace(const WorkloadConfig&)> workload_factory(
+    const std::string& family) {
+  if (family == "cg") return make_cg;
+  if (family == "mg") return make_mg;
+  if (family == "is") return make_is;
+  if (family == "bt-mz") return make_bt_mz;
+  if (family == "specfem3d") return make_specfem3d;
+  if (family == "wrf") return make_wrf;
+  if (family == "pepc") return make_pepc;
+  if (family == "amr-drift") return make_amr_drift;
+  if (family == "lu") return make_lu;
+  if (family == "ft") return make_ft;
+  throw Error("unknown workload family: " + family);
+}
+
+}  // namespace pals

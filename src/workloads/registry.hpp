@@ -1,0 +1,42 @@
+// The paper's benchmark set (Table 3) as ready-to-build instances.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+#include "workloads/apps.hpp"
+
+namespace pals {
+
+/// One application instance from Table 3 of the paper.
+struct BenchmarkInstance {
+  std::string name;       ///< e.g. "CG-32"
+  Rank ranks = 0;
+  double paper_lb = 0.0;  ///< load balance reported in Table 3
+  double paper_pe = 0.0;  ///< parallel efficiency reported in Table 3
+  WorkloadConfig config;
+  std::function<Trace(const WorkloadConfig&)> factory;
+
+  Trace make() const { return factory(config); }
+};
+
+/// All 12 instances of Table 3, in the paper's order. `iterations`
+/// controls trace length (default 10, enough for stable LB/PE).
+std::vector<BenchmarkInstance> paper_benchmarks(int iterations = 10);
+
+/// The five applications shown in Figure 2 (space-limited subset).
+std::vector<BenchmarkInstance> figure2_benchmarks(int iterations = 10);
+
+/// Look up one instance by name ("CG-32" etc.).
+std::optional<BenchmarkInstance> benchmark_by_name(const std::string& name,
+                                                   int iterations = 10);
+
+/// Generic factory access by application family name
+/// ("cg", "mg", "is", "bt-mz", "specfem3d", "wrf", "pepc").
+std::function<Trace(const WorkloadConfig&)> workload_factory(
+    const std::string& family);
+
+}  // namespace pals

@@ -1,0 +1,76 @@
+// SPECFEM3D skeleton: spectral-element seismic wave propagation on a 2-D
+// partition of the basin mesh. Compute-dominated halo stencil; mesh
+// heterogeneity (sediment vs. bedrock elements) produces the imbalance.
+#include <algorithm>
+#include <vector>
+
+#include "workloads/apps.hpp"
+#include "workloads/imbalance.hpp"
+
+#include "mpisim/vmpi.hpp"
+#include "util/rng.hpp"
+
+namespace pals {
+namespace {
+
+constexpr int kSubsteps = 3;            // Newmark time-scheme stages
+constexpr double kBaseSeconds = 0.1;    // heaviest rank per iteration
+constexpr double kHaloBytes = 100e3;    // per-face boundary data
+
+Rank grid_neighbour(const Grid2D& g, Rank r, int dx, int dy) {
+  const Rank x = r % g.px;
+  const Rank y = r / g.px;
+  const Rank nx = (x + dx + g.px) % g.px;
+  const Rank ny = (y + dy + g.py) % g.py;
+  return nx + g.px * ny;
+}
+
+}  // namespace
+
+Trace make_specfem3d(const WorkloadConfig& config) {
+  config.validate();
+  Rng rng(config.seed + 4);
+  const std::vector<double> weights =
+      calibrate_to_lb(shape_uniform_noise(config.ranks, 0.4, rng),
+                      config.target_lb);
+  std::vector<std::vector<double>> jitter(
+      static_cast<std::size_t>(config.iterations),
+      std::vector<double>(static_cast<std::size_t>(config.ranks), 1.0));
+  for (auto& row : jitter)
+    for (double& j : row) j = 1.0 + rng.uniform(-config.jitter, config.jitter);
+
+  const Grid2D grid = factor_2d(config.ranks);
+  const Bytes halo = static_cast<Bytes>(kHaloBytes * config.comm_scale);
+  const double base = kBaseSeconds * config.compute_scale;
+
+  const RankProgram program = [&](VirtualMpi& mpi) {
+    const Rank r = mpi.rank();
+    const double w = weights[static_cast<std::size_t>(r)];
+    std::vector<Rank> partners;
+    const int dirs[4][2] = {{1, 0}, {-1, 0}, {0, 1}, {0, -1}};
+    for (const auto& d : dirs) {
+      const Rank p = grid_neighbour(grid, r, d[0], d[1]);
+      if (p != r &&
+          std::find(partners.begin(), partners.end(), p) == partners.end())
+        partners.push_back(p);
+    }
+    for (int it = 0; it < config.iterations; ++it) {
+      mpi.iteration_begin(it);
+      const double j =
+          jitter[static_cast<std::size_t>(it)][static_cast<std::size_t>(r)];
+      for (int step = 0; step < kSubsteps; ++step) {
+        mpi.compute(base * w * j / kSubsteps);  // element matrix products
+        for (const Rank p : partners) mpi.irecv(p, 400 + step, halo);
+        for (const Rank p : partners) mpi.isend(p, 400 + step, halo);
+        mpi.waitall();
+      }
+      mpi.allreduce(8);  // seismogram norm
+      mpi.iteration_end(it);
+    }
+  };
+
+  return run_spmd(config.ranks, program,
+                  SpmdOptions{"SPECFEM3D-" + std::to_string(config.ranks)});
+}
+
+}  // namespace pals

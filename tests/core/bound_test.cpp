@@ -1,0 +1,109 @@
+#include "core/bound.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "util/error.hpp"
+
+namespace pals {
+namespace {
+
+EnergyBoundConfig default_config() { return EnergyBoundConfig{}; }
+
+TEST(EnergyBound, ValidatesInput) {
+  const std::vector<Seconds> times{1.0, 2.0};
+  EXPECT_THROW(energy_saving_bound({}, 2.0, 0.0, default_config()), Error);
+  EXPECT_THROW(energy_saving_bound(times, 1.0, 0.0, default_config()),
+               Error);  // total < max comp
+  EXPECT_THROW(energy_saving_bound(times, 2.5, -0.1, default_config()),
+               Error);
+  EnergyBoundConfig bad = default_config();
+  bad.fmax_ghz = 3.0;  // bound does not model over-clocking
+  EXPECT_THROW(energy_saving_bound(times, 2.5, 0.0, bad), Error);
+}
+
+TEST(EnergyBound, BalancedRanksCannotSave) {
+  const std::vector<Seconds> times{2.0, 2.0, 2.0};
+  const EnergyBound b =
+      energy_saving_bound(times, 2.0, 0.0, default_config());
+  EXPECT_NEAR(b.normalized_energy, 1.0, 1e-6);
+  for (const double f : b.frequency_ghz) EXPECT_NEAR(f, 2.3, 1e-3);
+}
+
+TEST(EnergyBound, ImbalancedRanksSave) {
+  const std::vector<Seconds> times{0.5, 1.0, 2.0, 4.0};
+  const EnergyBound b =
+      energy_saving_bound(times, 4.0, 0.0, default_config());
+  EXPECT_LT(b.normalized_energy, 0.8);
+  // Light ranks run slower than heavy ranks.
+  EXPECT_LT(b.frequency_ghz[0], b.frequency_ghz[3]);
+  EXPECT_NEAR(b.frequency_ghz[3], 2.3, 1e-3);
+}
+
+TEST(EnergyBound, AllowedSlowdownOnlyHelps) {
+  const std::vector<Seconds> times{1.0, 2.0, 4.0};
+  const EnergyBound tight =
+      energy_saving_bound(times, 4.2, 0.0, default_config());
+  const EnergyBound loose =
+      energy_saving_bound(times, 4.2, 0.2, default_config());
+  EXPECT_LE(loose.normalized_energy, tight.normalized_energy + 1e-9);
+  EXPECT_GT(loose.predicted_time, tight.predicted_time);
+}
+
+TEST(EnergyBound, PredictedTimeMatchesBudget) {
+  const std::vector<Seconds> times{1.0, 4.0};
+  const EnergyBound b =
+      energy_saving_bound(times, 5.0, 0.1, default_config());
+  EXPECT_NEAR(b.predicted_time, 5.5, 1e-12);
+}
+
+TEST(EnergyBound, LowerBoundsTheMaxAlgorithm) {
+  // The bound (continuous frequencies, unlimited floor, perfect balance)
+  // must never be beaten by the realizable MAX pipeline.
+  const std::vector<double> weights{0.2, 0.5, 0.8, 1.0};
+  Trace t(4);
+  for (Rank r = 0; r < 4; ++r) {
+    TraceBuilder b(t, r);
+    for (int i = 0; i < 4; ++i) {
+      b.marker(MarkerKind::kIterationBegin, i)
+          .compute(0.1 * weights[static_cast<std::size_t>(r)])
+          .collective(CollectiveOp::kAllreduce, 8)
+          .marker(MarkerKind::kIterationEnd, i);
+    }
+  }
+  PipelineConfig pipeline_config;
+  pipeline_config.algorithm.gear_set = paper_unlimited_continuous();
+  const PipelineResult pipeline = run_pipeline(t, pipeline_config);
+
+  const EnergyBound bound = energy_saving_bound(
+      pipeline.computation_time, pipeline.baseline_time,
+      pipeline.normalized_time() - 1.0 + 1e-9, default_config());
+  EXPECT_LE(bound.normalized_energy,
+            pipeline.normalized_energy() + 0.01);
+}
+
+TEST(EnergyBound, HighStaticPowerRaisesOptimalFrequencies) {
+  // With dominant static power, crawling at fmin is no longer optimal:
+  // the bound picks higher frequencies than in the dynamic-dominated case.
+  const std::vector<Seconds> times{0.2, 4.0};
+  EnergyBoundConfig dyn = default_config();
+  dyn.power.static_fraction = 0.0;
+  EnergyBoundConfig stat = default_config();
+  stat.power.static_fraction = 0.9;
+  const EnergyBound b_dyn = energy_saving_bound(times, 4.0, 0.0, dyn);
+  const EnergyBound b_stat = energy_saving_bound(times, 4.0, 0.0, stat);
+  EXPECT_LT(b_dyn.normalized_energy, b_stat.normalized_energy);
+}
+
+TEST(EnergyBound, ZeroComputationRankHandled) {
+  const std::vector<Seconds> times{0.0, 2.0};
+  const EnergyBound b =
+      energy_saving_bound(times, 2.0, 0.0, default_config());
+  EXPECT_NEAR(b.frequency_ghz[0], default_config().fmin_ghz, 1e-12);
+  EXPECT_LT(b.normalized_energy, 1.0);
+}
+
+}  // namespace
+}  // namespace pals

@@ -1,0 +1,214 @@
+#include "core/jitter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "util/error.hpp"
+#include "workloads/apps.hpp"
+
+namespace pals {
+namespace {
+
+/// Iteration-marked BSP trace with a fixed imbalance pattern.
+Trace steady_trace(const std::vector<double>& weights, int iterations) {
+  Trace t(static_cast<Rank>(weights.size()));
+  for (Rank r = 0; r < t.n_ranks(); ++r) {
+    TraceBuilder b(t, r);
+    for (int i = 0; i < iterations; ++i) {
+      b.marker(MarkerKind::kIterationBegin, i)
+          .compute(0.05 * weights[static_cast<std::size_t>(r)])
+          .collective(CollectiveOp::kAllreduce, 8)
+          .marker(MarkerKind::kIterationEnd, i);
+    }
+  }
+  return t;
+}
+
+JitterConfig default_config() {
+  JitterConfig c;
+  c.gear_set = paper_uniform(6);
+  return c;
+}
+
+TEST(Jitter, ConfigValidation) {
+  JitterConfig c = default_config();
+  c.gear_set = paper_limited_continuous();
+  EXPECT_THROW(c.validate(), Error);
+  c = default_config();
+  c.slack_threshold = 0.0;
+  EXPECT_THROW(c.validate(), Error);
+  c = default_config();
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST(Jitter, RequiresIterationMarkers) {
+  Trace t(2);
+  TraceBuilder(t, 0).compute(1.0);
+  TraceBuilder(t, 1).compute(2.0);
+  EXPECT_THROW(run_jitter(t, default_config()), Error);
+}
+
+TEST(Jitter, BalancedTraceStaysAtTopGear) {
+  const Trace t = steady_trace({1.0, 1.0, 1.0, 1.0}, 6);
+  const JitterResult r = run_jitter(t, default_config());
+  for (const auto& iteration : r.schedule)
+    for (const Gear& g : iteration)
+      EXPECT_NEAR(g.frequency_ghz, 2.3, 1e-12);
+  EXPECT_EQ(r.gear_shifts, 0u);
+  EXPECT_NEAR(r.normalized_energy(), 1.0, 1e-9);
+  EXPECT_NEAR(r.normalized_time(), 1.0, 1e-9);
+}
+
+TEST(Jitter, SteadyImbalanceConvergesTowardsStaticAssignment) {
+  const std::vector<double> weights{0.2, 0.5, 0.8, 1.0};
+  const Trace t = steady_trace(weights, 12);
+  const JitterResult dynamic = run_jitter(t, default_config());
+
+  PipelineConfig static_config;
+  static_config.algorithm.gear_set = paper_uniform(6);
+  const PipelineResult static_result = run_pipeline(t, static_config);
+
+  // After the stepping transient, each rank's gear equals the static
+  // MAX-algorithm gear.
+  const auto& final_gears = dynamic.schedule.back();
+  for (std::size_t r = 0; r < final_gears.size(); ++r) {
+    EXPECT_NEAR(final_gears[r].frequency_ghz,
+                static_result.assignment.gears[r].frequency_ghz, 1e-12)
+        << "rank " << r;
+  }
+  // And the energy approaches the static result from above (the transient
+  // iterations run too fast).
+  EXPECT_LT(dynamic.normalized_energy(), 1.0);
+  EXPECT_GE(dynamic.normalized_energy(),
+            static_result.normalized_energy() - 1e-9);
+}
+
+TEST(Jitter, DownshiftsAtMostOneGearPerIteration) {
+  const Trace t = steady_trace({0.1, 1.0}, 8);
+  const JitterResult r = run_jitter(t, default_config());
+  for (std::size_t i = 1; i < r.schedule.size(); ++i) {
+    for (std::size_t rank = 0; rank < r.schedule[i].size(); ++rank) {
+      const double prev = r.schedule[i - 1][rank].frequency_ghz;
+      const double curr = r.schedule[i][rank].frequency_ghz;
+      // Down: one uniform-6 step max. Up: may jump straight to the top.
+      EXPECT_GE(curr - prev, -0.3 - 1e-9)
+          << "iteration " << i << " rank " << rank;
+    }
+  }
+}
+
+TEST(Jitter, CriticalRankJumpsBackToTop) {
+  // Rank 0 is light for the first half of the run, then becomes the heavy
+  // rank; the runtime must restore its top gear within one iteration.
+  Trace t(2);
+  constexpr int kIterations = 10;
+  for (Rank r = 0; r < 2; ++r) {
+    TraceBuilder b(t, r);
+    for (int i = 0; i < kIterations; ++i) {
+      const bool flipped = i >= kIterations / 2;
+      const double w = (r == 0) == flipped ? 1.0 : 0.2;
+      b.marker(MarkerKind::kIterationBegin, i)
+          .compute(0.05 * w)
+          .collective(CollectiveOp::kAllreduce, 8)
+          .marker(MarkerKind::kIterationEnd, i);
+    }
+  }
+  const JitterResult r = run_jitter(t, default_config());
+  // One observation lag after the flip, then rank 0 is back at 2.3 GHz.
+  EXPECT_NEAR(r.schedule[kIterations / 2 + 1][0].frequency_ghz, 2.3, 1e-12);
+}
+
+TEST(Jitter, CriticalRankNeverLeavesTopGear) {
+  const Trace t = steady_trace({0.3, 0.7, 1.0}, 10);
+  const JitterResult r = run_jitter(t, default_config());
+  for (const auto& iteration : r.schedule)
+    EXPECT_NEAR(iteration[2].frequency_ghz, 2.3, 1e-12);
+}
+
+TEST(Jitter, DownshiftNeverViolatesCriticalPathPrediction) {
+  const std::vector<double> weights{0.4, 0.6, 1.0};
+  const Trace t = steady_trace(weights, 10);
+  const JitterConfig config = default_config();
+  const JitterResult r = run_jitter(t, config);
+  const PowerModel power(config.power);
+  for (const auto& iteration : r.schedule) {
+    const double t_max = 0.05 * 1.0;  // critical rank at top gear
+    for (std::size_t rank = 0; rank < weights.size(); ++rank) {
+      const double stretched =
+          0.05 * weights[rank] *
+          power.time_scale(iteration[rank].frequency_ghz);
+      EXPECT_LE(stretched, t_max * (1.0 + 0.03)) << "rank " << rank;
+    }
+  }
+}
+
+TEST(Jitter, TimePenaltyBoundedOnSteadyTrace) {
+  const Trace t = steady_trace({0.2, 0.5, 0.8, 1.0}, 10);
+  const JitterResult r = run_jitter(t, default_config());
+  EXPECT_NEAR(r.normalized_time(), 1.0, 0.02);
+}
+
+TEST(Jitter, AdaptsToDriftingImbalance) {
+  WorkloadConfig workload;
+  workload.ranks = 16;
+  workload.iterations = 16;
+  workload.target_lb = 0.5;
+  const Trace t = make_amr_drift(workload);
+
+  // Static MAX sees nearly balanced totals: little to save.
+  PipelineConfig static_config;
+  static_config.algorithm.gear_set = paper_uniform(6);
+  const PipelineResult static_result = run_pipeline(t, static_config);
+
+  const JitterResult dynamic = run_jitter(t, default_config());
+
+  EXPECT_GT(static_result.load_balance, 0.9);  // totals balanced
+  // The dynamic runtime tracks the moving hot spot and saves clearly more
+  // than the static whole-run assignment.
+  EXPECT_LT(dynamic.normalized_energy(),
+            static_result.normalized_energy() - 0.05);
+}
+
+TEST(Jitter, TransitionPenaltyOnlyHurts) {
+  const Trace t = steady_trace({0.2, 0.5, 1.0}, 10);
+  JitterConfig free = default_config();
+  JitterConfig costly = default_config();
+  costly.transition_penalty = 2e-3;  // 2 ms per switch
+  const JitterResult r_free = run_jitter(t, free);
+  const JitterResult r_costly = run_jitter(t, costly);
+  EXPECT_GE(r_costly.scaled_time, r_free.scaled_time);
+  EXPECT_GT(r_costly.scaled_energy, r_free.scaled_energy);
+  EXPECT_EQ(r_costly.gear_shifts, r_free.gear_shifts);
+}
+
+TEST(Jitter, ZeroShiftsMeansNoPenalty) {
+  const Trace t = steady_trace({1.0, 1.0}, 5);
+  JitterConfig config = default_config();
+  config.transition_penalty = 1e-2;
+  const JitterResult r = run_jitter(t, config);
+  EXPECT_EQ(r.gear_shifts, 0u);
+  EXPECT_NEAR(r.normalized_time(), 1.0, 1e-9);
+}
+
+TEST(Jitter, RejectsNegativePenalty) {
+  JitterConfig config = default_config();
+  config.transition_penalty = -1.0;
+  EXPECT_THROW(config.validate(), Error);
+}
+
+TEST(Jitter, SchedulesCoverEveryIteration) {
+  const Trace t = steady_trace({0.5, 1.0}, 7);
+  const JitterResult r = run_jitter(t, default_config());
+  EXPECT_EQ(r.schedule.size(), 7u);
+  EXPECT_GT(r.gear_shifts, 0u);
+}
+
+TEST(Jitter, EdpConsistency) {
+  const Trace t = steady_trace({0.3, 1.0}, 6);
+  const JitterResult r = run_jitter(t, default_config());
+  EXPECT_NEAR(r.normalized_edp(),
+              r.normalized_energy() * r.normalized_time(), 1e-12);
+}
+
+}  // namespace
+}  // namespace pals

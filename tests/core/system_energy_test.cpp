@@ -1,0 +1,81 @@
+#include "core/system_energy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace pals {
+namespace {
+
+TEST(SystemEnergy, ConfigValidation) {
+  SystemEnergyConfig c;
+  EXPECT_NO_THROW(c.validate());
+  c.cpu_fraction = 0.0;
+  EXPECT_THROW(c.validate(), Error);
+  c.cpu_fraction = 1.5;
+  EXPECT_THROW(c.validate(), Error);
+}
+
+TEST(SystemEnergy, CpuFractionCalibratesRestPower) {
+  SystemEnergyConfig c;
+  c.cpu_fraction = 0.5;
+  const PowerModel pm(c.power);
+  const double cpu_ref = pm.total_power(c.power.reference, true);
+  EXPECT_NEAR(c.rest_of_system_power(), cpu_ref, 1e-12);  // 50/50 split
+  c.cpu_fraction = 1.0;
+  EXPECT_NEAR(c.rest_of_system_power(), 0.0, 1e-12);
+}
+
+TEST(SystemEnergy, AddsConstantDrawOverTime) {
+  SystemEnergyConfig c;
+  const double rest = c.rest_of_system_power();
+  EXPECT_NEAR(system_energy(10.0, 2.0, 4, c), 10.0 + rest * 8.0, 1e-9);
+}
+
+TEST(SystemEnergy, RejectsBadArguments) {
+  const SystemEnergyConfig c;
+  EXPECT_THROW(system_energy(-1.0, 1.0, 2, c), Error);
+  EXPECT_THROW(system_energy(1.0, -1.0, 2, c), Error);
+  EXPECT_THROW(system_energy(1.0, 1.0, 0, c), Error);
+}
+
+TEST(SystemEnergy, TimeReductionSavesSystemEnergyEvenAtEqualCpuEnergy) {
+  // Two executions with identical CPU energy; the faster one wins at the
+  // system level — the paper's argument for AVG.
+  const SystemEnergyConfig c;
+  const double slow = system_energy(10.0, 2.0, 8, c);
+  const double fast = system_energy(10.0, 1.8, 8, c);
+  EXPECT_LT(fast, slow);
+}
+
+TEST(SystemEnergy, SystemViewNormalizesAgainstBaseline) {
+  PipelineResult result;
+  result.baseline_time = 1.0;
+  result.scaled_time = 0.9;
+  result.baseline_energy = 100.0;
+  result.scaled_energy = 95.0;
+  result.computation_time.assign(4, 0.5);
+  SystemEnergyConfig c;
+  const SystemView view = system_view(result, c);
+  EXPECT_NEAR(view.normalized_cpu_energy, 0.95, 1e-12);
+  EXPECT_NEAR(view.normalized_time, 0.9, 1e-12);
+  // System-normalized energy lies between the time ratio and CPU ratio.
+  EXPECT_GT(view.normalized_system_energy, 0.9);
+  EXPECT_LT(view.normalized_system_energy, 0.95);
+}
+
+TEST(SystemEnergy, PureCpuFractionOneMatchesCpuRatio) {
+  PipelineResult result;
+  result.baseline_time = 1.0;
+  result.scaled_time = 1.2;
+  result.baseline_energy = 100.0;
+  result.scaled_energy = 60.0;
+  result.computation_time.assign(2, 0.5);
+  SystemEnergyConfig c;
+  c.cpu_fraction = 1.0;
+  const SystemView view = system_view(result, c);
+  EXPECT_NEAR(view.normalized_system_energy, 0.6, 1e-12);
+}
+
+}  // namespace
+}  // namespace pals

@@ -1,0 +1,135 @@
+#include "analysis/comm_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "workloads/apps.hpp"
+
+namespace pals {
+namespace {
+
+Trace star_trace() {
+  // Rank 0 sends to everyone; rank 1 also sends once to rank 2.
+  Trace t(4);
+  TraceBuilder(t, 0)
+      .isend(1, 0, 100, 0)
+      .isend(2, 0, 200, 1)
+      .isend(3, 0, 300, 2)
+      .waitall();
+  TraceBuilder(t, 1).recv(0, 0, 100).send(2, 1, 50);
+  TraceBuilder(t, 2).recv(0, 0, 200).recv(1, 1, 50);
+  TraceBuilder(t, 3).recv(0, 0, 300);
+  return t;
+}
+
+TEST(CommStats, MatrixEntriesAndTotals) {
+  const CommStats stats = analyze_communication(star_trace());
+  EXPECT_EQ(stats.n_ranks, 4);
+  EXPECT_EQ(stats.bytes_between(0, 1), 100u);
+  EXPECT_EQ(stats.bytes_between(0, 2), 200u);
+  EXPECT_EQ(stats.bytes_between(0, 3), 300u);
+  EXPECT_EQ(stats.bytes_between(1, 2), 50u);
+  EXPECT_EQ(stats.bytes_between(2, 1), 0u);
+  EXPECT_EQ(stats.total_p2p_bytes(), 650u);
+  EXPECT_EQ(stats.total_messages(), 4u);
+}
+
+TEST(CommStats, SizeHistogramBuckets) {
+  const CommStats stats = analyze_communication(star_trace());
+  // 50 -> bucket 5, 100 -> 6, 200 -> 7, 300 -> 8.
+  EXPECT_EQ(stats.size_histogram[5], 1u);
+  EXPECT_EQ(stats.size_histogram[6], 1u);
+  EXPECT_EQ(stats.size_histogram[7], 1u);
+  EXPECT_EQ(stats.size_histogram[8], 1u);
+}
+
+TEST(CommStats, CollectiveBytesPerRank) {
+  Trace t(2);
+  TraceBuilder(t, 0).collective(CollectiveOp::kAllreduce, 64).collective(
+      CollectiveOp::kAlltoall, 128);
+  TraceBuilder(t, 1).collective(CollectiveOp::kAllreduce, 64).collective(
+      CollectiveOp::kAlltoall, 256);
+  const CommStats stats = analyze_communication(t);
+  EXPECT_EQ(stats.collective_bytes[0], 192u);
+  EXPECT_EQ(stats.collective_bytes[1], 320u);
+  EXPECT_EQ(stats.total_messages(), 0u);
+}
+
+TEST(CommStats, ChannelConcentrationExtremes) {
+  // Ring: every sender has a single channel -> concentration 1.
+  Trace ring(4);
+  for (Rank r = 0; r < 4; ++r) {
+    TraceBuilder(ring, r)
+        .isend((r + 1) % 4, 0, 100, 0)
+        .irecv((r - 1 + 4) % 4, 0, 100, 1)
+        .waitall();
+  }
+  EXPECT_NEAR(analyze_communication(ring).channel_concentration(), 1.0,
+              1e-12);
+
+  // Uniform full exchange: concentration 1/(n-1).
+  Trace full(4);
+  for (Rank r = 0; r < 4; ++r) {
+    TraceBuilder b(full, r);
+    RequestId req = 0;
+    for (Rank peer = 0; peer < 4; ++peer) {
+      if (peer == r) continue;
+      b.isend(peer, 0, 100, req++);
+      b.irecv(peer, 0, 100, req++);
+    }
+    b.waitall();
+  }
+  EXPECT_NEAR(analyze_communication(full).channel_concentration(), 1.0 / 3.0,
+              1e-12);
+}
+
+TEST(CommStats, RenderMatrixShape) {
+  const CommStats stats = analyze_communication(star_trace());
+  const std::string out = stats.render_matrix(4);
+  EXPECT_NE(out.find("src\\dst"), std::string::npos);
+  // The heaviest channel (0 -> 3) renders as '9'.
+  EXPECT_NE(out.find('9'), std::string::npos);
+  // 4 group rows + header.
+  std::size_t rows = 0;
+  for (char c : out)
+    if (c == '\n') ++rows;
+  EXPECT_EQ(rows, 5u);
+}
+
+TEST(CommStats, RenderMatrixBucketsLargeTraces) {
+  WorkloadConfig c;
+  c.ranks = 32;
+  c.iterations = 2;
+  c.target_lb = 0.9;
+  const CommStats stats = analyze_communication(make_mg(c));
+  const std::string out = stats.render_matrix(8);
+  std::size_t rows = 0;
+  for (char ch : out)
+    if (ch == '\n') ++rows;
+  EXPECT_EQ(rows, 9u);  // 8 bucket rows + header
+}
+
+TEST(CommStats, HaloCodesAreConcentratedAlltoallIsNot) {
+  WorkloadConfig c;
+  c.ranks = 16;
+  c.iterations = 2;
+  c.target_lb = 0.9;
+  const double halo =
+      analyze_communication(make_specfem3d(c)).channel_concentration();
+  c.target_lb = 0.5;
+  const CommStats is_stats = analyze_communication(make_is(c));
+  // IS uses alltoall collectives, no p2p at all.
+  EXPECT_EQ(is_stats.total_messages(), 0u);
+  EXPECT_GT(halo, 0.2);
+}
+
+TEST(CommStats, EmptyTraceIsAllZero) {
+  Trace t(2);
+  TraceBuilder(t, 0).compute(1.0);
+  const CommStats stats = analyze_communication(t);
+  EXPECT_EQ(stats.total_p2p_bytes(), 0u);
+  EXPECT_DOUBLE_EQ(stats.channel_concentration(), 0.0);
+}
+
+}  // namespace
+}  // namespace pals

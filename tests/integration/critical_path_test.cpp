@@ -1,0 +1,121 @@
+#include "analysis/critical_path.hpp"
+
+#include <gtest/gtest.h>
+
+#include "replay/replay.hpp"
+#include "trace/trace.hpp"
+#include "util/error.hpp"
+#include "analysis/experiments.hpp"
+#include "workloads/registry.hpp"
+
+namespace pals {
+namespace {
+
+ReplayConfig unit_config() {
+  ReplayConfig config;
+  config.platform.latency = 1.0;
+  config.platform.bandwidth = 100.0;
+  config.platform.eager_threshold = 100;
+  return config;
+}
+
+TEST(CriticalPath, SingleRankIsAllCompute) {
+  Trace t(1);
+  TraceBuilder(t, 0).compute(2.0);
+  const CriticalPath path = critical_path(replay(t, unit_config()));
+  ASSERT_EQ(path.segments.size(), 1u);
+  EXPECT_EQ(path.segments[0].rank, 0);
+  EXPECT_EQ(path.segments[0].activity, PathActivity::kCompute);
+  EXPECT_DOUBLE_EQ(path.total(), 2.0);
+  EXPECT_DOUBLE_EQ(path.compute_fraction, 1.0);
+  EXPECT_EQ(path.rank_switches, 0u);
+}
+
+TEST(CriticalPath, ImbalancedBspFollowsTheHeavyRank) {
+  Trace t(3);
+  TraceBuilder(t, 0).compute(1.0).collective(CollectiveOp::kBarrier, 0);
+  TraceBuilder(t, 1).compute(5.0).collective(CollectiveOp::kBarrier, 0);
+  TraceBuilder(t, 2).compute(2.0).collective(CollectiveOp::kBarrier, 0);
+  const CriticalPath path = critical_path(replay(t, unit_config()));
+  // The heavy rank's compute dominates the path.
+  EXPECT_NEAR(path.rank_share[1], 5.0, 1e-9);
+  EXPECT_NEAR(path.rank_share[0], 0.0, 1e-9);
+  // Barrier cost (2 stages * 1 s) shows up as collective time.
+  EXPECT_GT(path.network_fraction, 0.2);
+  EXPECT_NEAR(path.total(), 7.0, 1e-6);
+}
+
+TEST(CriticalPath, RelayChainVisitsEveryRank) {
+  Trace t(3);
+  TraceBuilder(t, 0).compute(1.0).send(1, 0, 100);
+  TraceBuilder(t, 1).recv(0, 0, 100).compute(1.0).send(2, 0, 100);
+  TraceBuilder(t, 2).recv(1, 0, 100).compute(1.0);
+  const ReplayResult r = replay(t, unit_config());
+  const CriticalPath path = critical_path(r);
+  // Every rank contributes its compute; transfers bridge the hops.
+  EXPECT_NEAR(path.rank_share[0], 1.0, 1e-9);
+  EXPECT_NEAR(path.rank_share[1], 1.0, 1e-9);
+  EXPECT_NEAR(path.rank_share[2], 1.0, 1e-9);
+  EXPECT_EQ(path.rank_switches, 2u);
+  EXPECT_NEAR(path.total(), r.makespan, 1e-6);
+  // 2 transfers of 2 s each.
+  Seconds transfer = 0.0;
+  for (const PathSegment& s : path.segments)
+    if (s.activity == PathActivity::kTransfer) transfer += s.duration();
+  EXPECT_NEAR(transfer, 4.0, 1e-9);
+}
+
+TEST(CriticalPath, RendezvousWaitPointsAtTheLateReceiver) {
+  Trace t(2);
+  TraceBuilder(t, 0).send(1, 0, 500).compute(0.5);  // rendezvous
+  TraceBuilder(t, 1).compute(6.0).recv(0, 0, 500).compute(0.5);
+  const ReplayResult r = replay(t, unit_config());
+  const CriticalPath path = critical_path(r);
+  // The path belongs to rank 1 (its compute delayed everything).
+  EXPECT_GT(path.rank_share[1], 6.0 - 1e-9);
+}
+
+TEST(CriticalPath, CoversTheWholeExecution) {
+  TraceCache cache;
+  for (const char* name : {"BT-MZ-32", "CG-32", "PEPC-128"}) {
+    const auto inst = benchmark_by_name(name, 3);
+    const ReplayResult r = replay(cache.get(*inst), ReplayConfig{});
+    const CriticalPath path = critical_path(r);
+    EXPECT_NEAR(path.total(), r.makespan, 0.02 * r.makespan) << name;
+    // Segments are chronological and contiguous within tolerance.
+    for (std::size_t i = 1; i < path.segments.size(); ++i)
+      EXPECT_NEAR(path.segments[i].begin, path.segments[i - 1].end,
+                  1e-6)
+          << name << " segment " << i;
+  }
+}
+
+TEST(CriticalPath, ImbalancedAppIsComputeBoundOnThePath) {
+  // BT-MZ: the heavy ranks' computation is the path; little network.
+  TraceCache cache;
+  const auto inst = benchmark_by_name("BT-MZ-32", 3);
+  const CriticalPath path =
+      critical_path(replay(cache.get(*inst), ReplayConfig{}));
+  EXPECT_GT(path.compute_fraction, 0.9);
+}
+
+TEST(CriticalPath, RenderingMentionsTotals) {
+  Trace t(1);
+  TraceBuilder(t, 0).compute(1.0);
+  const CriticalPath path = critical_path(replay(t, unit_config()));
+  const std::string out = render_critical_path(path);
+  EXPECT_NE(out.find("critical path"), std::string::npos);
+  EXPECT_NE(out.find("rank 0 compute"), std::string::npos);
+}
+
+TEST(CriticalPath, TruncatedRenderingNotesOmissions) {
+  TraceCache cache;
+  const auto inst = benchmark_by_name("CG-32", 3);
+  const CriticalPath path =
+      critical_path(replay(cache.get(*inst), ReplayConfig{}));
+  const std::string out = render_critical_path(path, 3);
+  EXPECT_NE(out.find("more segments"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pals

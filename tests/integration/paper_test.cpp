@@ -1,0 +1,181 @@
+// End-to-end reproduction checks: the qualitative results of the paper
+// must hold on our synthetic benchmark set.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "analysis/experiments.hpp"
+#include "core/pipeline.hpp"
+#include "util/error.hpp"
+#include "workloads/registry.hpp"
+
+namespace pals {
+namespace {
+
+/// Shared fixture: build each trace once for the whole suite.
+class PaperResults : public ::testing::Test {
+protected:
+  static TraceCache& cache() {
+    static TraceCache instance;
+    return instance;
+  }
+  static const std::vector<BenchmarkInstance>& instances() {
+    static const std::vector<BenchmarkInstance> all = paper_benchmarks(3);
+    return all;
+  }
+  static const Trace& trace(const std::string& name) {
+    for (const auto& inst : instances())
+      if (inst.name == name) return cache().get(inst);
+    throw Error("unknown instance " + name);
+  }
+  static PipelineResult run(const std::string& name, const GearSet& set,
+                            Algorithm algorithm = Algorithm::kMax) {
+    return run_pipeline(trace(name),
+                        default_pipeline_config(set, algorithm));
+  }
+};
+
+TEST_F(PaperResults, Table3LoadBalanceReproduced) {
+  for (const auto& inst : instances()) {
+    const Trace& t = cache().get(inst);
+    EXPECT_NEAR(load_balance(t.computation_times()), inst.paper_lb, 0.03)
+        << inst.name;
+  }
+}
+
+TEST_F(PaperResults, Table3ParallelEfficiencyShape) {
+  // PE must track the paper's ordering: compute-bound apps near their LB,
+  // IS far below it.
+  for (const auto& inst : instances()) {
+    const ReplayResult r = replay(cache().get(inst), ReplayConfig{});
+    const double pe = parallel_efficiency(r.compute_time, r.makespan);
+    EXPECT_NEAR(pe, inst.paper_pe, 0.08) << inst.name;
+  }
+}
+
+TEST_F(PaperResults, HighImbalanceAppsSaveLargeEnergy) {
+  // Paper: up to 60 % CPU energy savings for BT-MZ / IS.
+  for (const char* name : {"BT-MZ-32", "IS-32", "IS-64"}) {
+    const PipelineResult r = run(name, paper_unlimited_continuous());
+    EXPECT_LT(r.normalized_energy(), 0.55) << name;
+    EXPECT_LT(r.normalized_time(), 1.05) << name;
+  }
+}
+
+TEST_F(PaperResults, BalancedCgSavesAlmostNothing) {
+  const PipelineResult r = run("CG-32", paper_unlimited_continuous());
+  EXPECT_GT(r.normalized_energy(), 0.93);
+}
+
+TEST_F(PaperResults, UnlimitedBeatsLimitedOnlyForVeryImbalanced) {
+  // BT-MZ and IS need frequencies below 0.8 GHz; CG/MG/WRF do not.
+  for (const char* name : {"BT-MZ-32", "IS-32"}) {
+    const double unlimited =
+        run(name, paper_unlimited_continuous()).normalized_energy();
+    const double limited =
+        run(name, paper_limited_continuous()).normalized_energy();
+    EXPECT_LT(unlimited, limited - 0.01) << name;
+  }
+  for (const char* name : {"CG-32", "MG-32", "WRF-32"}) {
+    const double unlimited =
+        run(name, paper_unlimited_continuous()).normalized_energy();
+    const double limited =
+        run(name, paper_limited_continuous()).normalized_energy();
+    EXPECT_NEAR(unlimited, limited, 0.01) << name;
+  }
+}
+
+TEST_F(PaperResults, SixGearsCloseToContinuousTwoGearsAreNot) {
+  double gap2 = 0.0;
+  double gap6 = 0.0;
+  for (const auto& inst : instances()) {
+    const double continuous =
+        run(inst.name, paper_limited_continuous()).normalized_energy();
+    gap2 += run(inst.name, paper_uniform(2)).normalized_energy() - continuous;
+    gap6 += run(inst.name, paper_uniform(6)).normalized_energy() - continuous;
+  }
+  const auto n = static_cast<double>(instances().size());
+  // Six gears land within a few points of the continuous set on average
+  // (paper §5.3.1); two gears are far off for most applications.
+  EXPECT_LT(gap6 / n, 0.07);
+  EXPECT_GT(gap2 / n, 1.5 * gap6 / n);
+}
+
+TEST_F(PaperResults, TwoGearsStillHelpVeryImbalancedApps) {
+  const PipelineResult r = run("BT-MZ-32", paper_uniform(2));
+  EXPECT_LT(r.normalized_energy(), 0.8);
+}
+
+TEST_F(PaperResults, CgCannotExploitTwoGears) {
+  const PipelineResult r = run("CG-32", paper_uniform(2));
+  EXPECT_GT(r.normalized_energy(), 0.97);
+}
+
+TEST_F(PaperResults, ExponentialSetsHelpBalancedAppsWithFewGears) {
+  // Paper §5.3.2: SPECFEM3D/WRF save with a 3-gear exponential set but
+  // need >= 4 uniform gears.
+  for (const char* name : {"SPECFEM3D-32", "WRF-32"}) {
+    const double uniform3 = run(name, paper_uniform(3)).normalized_energy();
+    const double exp3 = run(name, paper_exponential(3)).normalized_energy();
+    EXPECT_LT(exp3, uniform3 - 0.005) << name;
+  }
+}
+
+TEST_F(PaperResults, MaxTimePenaltySmallExceptPepc) {
+  for (const auto& inst : instances()) {
+    const PipelineResult r = run(inst.name, paper_uniform(6));
+    if (inst.name == "PEPC-128") {
+      // The paper reports up to 20 % slowdown for PEPC.
+      EXPECT_GT(r.normalized_time(), 1.04) << inst.name;
+      EXPECT_LT(r.normalized_time(), 1.25) << inst.name;
+    } else {
+      EXPECT_LT(r.normalized_time(), 1.06) << inst.name;
+    }
+  }
+}
+
+TEST_F(PaperResults, AvgReducesExecutionTimeForImbalancedApps) {
+  const GearSet oc = paper_limited_continuous().with_fmax_scaled(1.2);
+  for (const char* name : {"BT-MZ-32", "IS-32", "SPECFEM3D-96"}) {
+    const PipelineResult r = run(name, oc, Algorithm::kAvg);
+    EXPECT_LT(r.normalized_time(), 1.0) << name;
+    EXPECT_LT(r.normalized_energy(), 1.0) << name;
+  }
+}
+
+TEST_F(PaperResults, AvgNeedsFewOverclockedCpusWhenVeryImbalanced) {
+  // Paper Fig. 9: BT-MZ/IS/PEPC need very few over-clocked CPUs.
+  for (const char* name : {"BT-MZ-32", "IS-32", "IS-64", "PEPC-128"}) {
+    const PipelineResult r =
+        run(name, paper_avg_discrete(), Algorithm::kAvg);
+    EXPECT_LT(r.overclocked_fraction, 0.25) << name;
+    EXPECT_GT(r.overclocked_fraction, 0.0) << name;
+  }
+}
+
+TEST_F(PaperResults, MaxBeatsAvgOnEnergyAvgOnTime) {
+  const GearSet oc = paper_limited_continuous().with_fmax_scaled(1.1);
+  for (const char* name : {"BT-MZ-32", "IS-64", "SPECFEM3D-96", "WRF-128"}) {
+    const PipelineResult max_r = run(name, paper_limited_continuous());
+    const PipelineResult avg_r = run(name, oc, Algorithm::kAvg);
+    EXPECT_LE(max_r.normalized_energy(), avg_r.normalized_energy() + 0.01)
+        << name;
+    EXPECT_LE(avg_r.normalized_time(), max_r.normalized_time() + 0.01)
+        << name;
+  }
+}
+
+TEST_F(PaperResults, EnergySavingsGrowWithImbalance) {
+  // Figure 3: energy is increasing in load balance.
+  std::map<double, double> lb_to_energy;
+  for (const auto& inst : instances()) {
+    const PipelineResult r = run(inst.name, paper_unlimited_continuous());
+    lb_to_energy[r.load_balance] = r.normalized_energy();
+  }
+  // Compare the most and least balanced applications.
+  EXPECT_LT(lb_to_energy.begin()->second,
+            lb_to_energy.rbegin()->second - 0.2);
+}
+
+}  // namespace
+}  // namespace pals

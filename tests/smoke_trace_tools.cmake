@@ -1,0 +1,21 @@
+# Smoke-chain for the trace tools: generate a trace via pals_run's prv
+# export, translate it back with prv2palst (text and binary), and inspect
+# the results with pals_trace_info.
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+function(run_step)
+  execute_process(COMMAND ${ARGN} RESULT_VARIABLE code)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "step failed (${code}): ${ARGN}")
+  endif()
+endfunction()
+
+run_step(${PALS_RUN} --workload=mg --ranks=8 --lb=0.9
+         --prv=${WORK_DIR}/chain.prv)
+run_step(${PRV2PALST} ${WORK_DIR}/chain.prv ${WORK_DIR}/chain.palst)
+run_step(${PRV2PALST} ${WORK_DIR}/chain.prv ${WORK_DIR}/chain.palsb)
+run_step(${TRACE_INFO} --per-rank --matrix ${WORK_DIR}/chain.palst)
+run_step(${TRACE_INFO} ${WORK_DIR}/chain.palsb)
+run_step(${PRV2PALST} --export ${WORK_DIR}/chain.palsb
+         ${WORK_DIR}/chain_back.prv)
+run_step(${PALS_RUN} --trace=${WORK_DIR}/chain.palsb --gears=uniform-6)

@@ -1,0 +1,156 @@
+#include "trace/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace pals {
+namespace {
+
+Timeline small_timeline() {
+  Timeline tl(2);
+  tl.append(0, {0.0, 1.0, RankState::kCompute, 0});
+  tl.append(0, {1.0, 1.5, RankState::kRecv, -1});
+  tl.append(0, {1.5, 2.0, RankState::kCompute, 1});
+  tl.append(1, {0.0, 2.5, RankState::kCompute, -1});
+  return tl;
+}
+
+TEST(Timeline, AppendEnforcesContiguity) {
+  Timeline tl(1);
+  tl.append(0, {0.0, 1.0, RankState::kCompute, -1});
+  EXPECT_THROW(tl.append(0, {2.0, 3.0, RankState::kCompute, -1}), Error);
+  EXPECT_THROW(tl.append(0, {0.5, 2.0, RankState::kCompute, -1}), Error);
+}
+
+TEST(Timeline, AppendRejectsNegativeSpan) {
+  Timeline tl(1);
+  EXPECT_THROW(tl.append(0, {1.0, 0.5, RankState::kCompute, -1}), Error);
+}
+
+TEST(Timeline, ZeroWidthIntervalsAreDropped) {
+  Timeline tl(1);
+  tl.append(0, {0.0, 0.0, RankState::kWait, -1});
+  EXPECT_TRUE(tl.intervals(0).empty());
+}
+
+TEST(Timeline, MakespanIsLongestLane) {
+  EXPECT_DOUBLE_EQ(small_timeline().makespan(), 2.5);
+}
+
+TEST(Timeline, StateTimeAggregates) {
+  const Timeline tl = small_timeline();
+  EXPECT_DOUBLE_EQ(tl.compute_time(0), 1.5);
+  EXPECT_DOUBLE_EQ(tl.state_time(0, RankState::kRecv), 0.5);
+  EXPECT_DOUBLE_EQ(tl.communication_time(0), 0.5);
+  EXPECT_DOUBLE_EQ(tl.compute_time(1), 2.5);
+}
+
+TEST(Timeline, PhaseScopedComputeTime) {
+  const Timeline tl = small_timeline();
+  EXPECT_DOUBLE_EQ(tl.compute_time(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(tl.compute_time(0, 1), 0.5);
+  EXPECT_DOUBLE_EQ(tl.compute_time(0, 9), 0.0);
+}
+
+TEST(Timeline, ComputeTimesVector) {
+  const auto times = small_timeline().compute_times();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 1.5);
+  EXPECT_DOUBLE_EQ(times[1], 2.5);
+}
+
+TEST(Timeline, PadToMakespanFillsIdle) {
+  Timeline tl = small_timeline();
+  tl.pad_to_makespan();
+  EXPECT_DOUBLE_EQ(tl.state_time(0, RankState::kIdle), 0.5);
+  EXPECT_DOUBLE_EQ(tl.state_time(1, RankState::kIdle), 0.0);
+  tl.validate();
+}
+
+TEST(Timeline, MergeAdjacentCoalescesSameState) {
+  Timeline tl(1);
+  tl.append(0, {0.0, 1.0, RankState::kCompute, 0});
+  tl.append(0, {1.0, 2.0, RankState::kCompute, 0});
+  tl.append(0, {2.0, 3.0, RankState::kCompute, 1});  // different phase
+  tl.merge_adjacent();
+  ASSERT_EQ(tl.intervals(0).size(), 2u);
+  EXPECT_DOUBLE_EQ(tl.intervals(0)[0].end, 2.0);
+}
+
+TEST(Timeline, ValidateAcceptsWellFormed) {
+  EXPECT_NO_THROW(small_timeline().validate());
+}
+
+TEST(Timeline, IoRoundTrip) {
+  Timeline tl = small_timeline();
+  tl.pad_to_makespan();
+  std::stringstream buffer;
+  write_timeline(tl, buffer);
+  const Timeline restored = read_timeline(buffer);
+  EXPECT_EQ(restored, tl);
+}
+
+TEST(Timeline, IoRejectsBadMagic) {
+  std::stringstream in("nope\nranks 1\n");
+  EXPECT_THROW(read_timeline(in), Error);
+}
+
+TEST(Timeline, IoRejectsTruncated) {
+  std::stringstream in("# pals-timeline v1\n");
+  EXPECT_THROW(read_timeline(in), Error);
+}
+
+TEST(Timeline, IterationLabelledQueries) {
+  Timeline tl(1);
+  tl.append(0, {0.0, 1.0, RankState::kCompute, -1, 0});
+  tl.append(0, {1.0, 1.5, RankState::kWait, -1, 0});
+  tl.append(0, {1.5, 3.5, RankState::kCompute, -1, 1});
+  EXPECT_DOUBLE_EQ(tl.iteration_compute_time(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(tl.iteration_compute_time(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(tl.iteration_compute_time(0, 5), 0.0);
+  EXPECT_EQ(tl.max_iteration(), 1);
+}
+
+TEST(Timeline, MaxIterationOfUnmarkedIsMinusOne) {
+  EXPECT_EQ(small_timeline().max_iteration(), -1);
+}
+
+TEST(Timeline, MergeKeepsIterationBoundaries) {
+  Timeline tl(1);
+  tl.append(0, {0.0, 1.0, RankState::kCompute, -1, 0});
+  tl.append(0, {1.0, 2.0, RankState::kCompute, -1, 1});  // same state
+  tl.merge_adjacent();
+  ASSERT_EQ(tl.intervals(0).size(), 2u);  // different iteration: no merge
+}
+
+TEST(Timeline, IoRoundTripsIterationLabels) {
+  Timeline tl(1);
+  tl.append(0, {0.0, 1.0, RankState::kCompute, 2, 3});
+  tl.append(0, {1.0, 2.0, RankState::kWait, -1, 3});
+  tl.append(0, {2.0, 3.0, RankState::kIdle, -1, -1});
+  std::stringstream buffer;
+  write_timeline(tl, buffer);
+  const Timeline restored = read_timeline(buffer);
+  EXPECT_EQ(restored, tl);
+}
+
+TEST(RankStateNames, RoundTrip) {
+  for (RankState s : {RankState::kCompute, RankState::kSend, RankState::kRecv,
+                      RankState::kWait, RankState::kCollective,
+                      RankState::kIdle}) {
+    EXPECT_EQ(parse_rank_state(to_string(s)), s);
+  }
+  EXPECT_THROW(parse_rank_state("busy"), Error);
+}
+
+TEST(RankStateNames, CommunicationClassification) {
+  EXPECT_FALSE(is_communication_state(RankState::kCompute));
+  EXPECT_TRUE(is_communication_state(RankState::kSend));
+  EXPECT_TRUE(is_communication_state(RankState::kIdle));
+}
+
+}  // namespace
+}  // namespace pals

@@ -1,0 +1,184 @@
+#include "trace/transform.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace pals {
+namespace {
+
+Trace base_trace() {
+  Trace t(2);
+  TraceBuilder(t, 0).compute(1.0).send(1, 0, 10).compute(2.0, 1);
+  TraceBuilder(t, 1).recv(0, 0, 10).compute(4.0, 0);
+  return t;
+}
+
+TEST(ScaleCompute, ScalesPerRank) {
+  const std::vector<double> factors{2.0, 0.5};
+  const Trace scaled = scale_compute(base_trace(), factors);
+  EXPECT_DOUBLE_EQ(scaled.computation_time(0), 6.0);  // (1 + 2) * 2
+  EXPECT_DOUBLE_EQ(scaled.computation_time(1), 2.0);  // 4 * 0.5
+}
+
+TEST(ScaleCompute, LeavesCommunicationUntouched) {
+  const std::vector<double> factors{3.0, 3.0};
+  const Trace scaled = scale_compute(base_trace(), factors);
+  const auto* send = std::get_if<SendEvent>(&scaled.events(0)[1]);
+  ASSERT_NE(send, nullptr);
+  EXPECT_EQ(send->bytes, 10u);
+}
+
+TEST(ScaleCompute, IdentityFactorIsNoOp) {
+  const std::vector<double> factors{1.0, 1.0};
+  EXPECT_EQ(scale_compute(base_trace(), factors), base_trace());
+}
+
+TEST(ScaleCompute, RejectsWrongFactorCount) {
+  const std::vector<double> factors{1.0};
+  EXPECT_THROW(scale_compute(base_trace(), factors), Error);
+}
+
+TEST(ScaleCompute, RejectsNonPositiveFactor) {
+  EXPECT_THROW(scale_compute(base_trace(), std::vector<double>{1.0, 0.0}),
+               Error);
+  EXPECT_THROW(scale_compute(base_trace(), std::vector<double>{-1.0, 1.0}),
+               Error);
+}
+
+TEST(ScaleComputeUniform, AppliesEverywhere) {
+  const Trace scaled = scale_compute_uniform(base_trace(), 10.0);
+  EXPECT_DOUBLE_EQ(scaled.computation_time(0), 30.0);
+  EXPECT_DOUBLE_EQ(scaled.computation_time(1), 40.0);
+}
+
+TEST(ScaleComputePerPhase, UsesPhaseFactors) {
+  // Rank 0: unphased burst 1.0 uses default; phase-1 burst 2.0 uses [1].
+  // Rank 1: phase-0 burst 4.0 uses [0].
+  const std::vector<std::vector<double>> factors{{1.0, 3.0}, {0.25, 1.0}};
+  const std::vector<double> defaults{5.0, 7.0};
+  const Trace scaled =
+      scale_compute_per_phase(base_trace(), factors, defaults);
+  EXPECT_DOUBLE_EQ(scaled.computation_time(0), 1.0 * 5.0 + 2.0 * 3.0);
+  EXPECT_DOUBLE_EQ(scaled.computation_time(1), 4.0 * 0.25);
+}
+
+TEST(ScaleComputePerPhase, RejectsMissingPhaseFactor) {
+  const std::vector<std::vector<double>> factors{{1.0}, {1.0}};  // no phase 1
+  const std::vector<double> defaults{1.0, 1.0};
+  EXPECT_THROW(scale_compute_per_phase(base_trace(), factors, defaults),
+               Error);
+}
+
+TEST(ScaleComputePerPhase, RejectsRankCountMismatch) {
+  const std::vector<std::vector<double>> factors{{1.0, 1.0}};
+  const std::vector<double> defaults{1.0, 1.0};
+  EXPECT_THROW(scale_compute_per_phase(base_trace(), factors, defaults),
+               Error);
+}
+
+Trace marked_trace(int iterations) {
+  Trace t(2);
+  for (Rank r = 0; r < 2; ++r) {
+    TraceBuilder b(t, r);
+    b.compute(0.5);  // prologue outside any iteration
+    for (int i = 0; i < iterations; ++i) {
+      b.marker(MarkerKind::kIterationBegin, i)
+          .compute((r + 1.0) * (i + 1.0))
+          .collective(CollectiveOp::kBarrier, 0)
+          .marker(MarkerKind::kIterationEnd, i);
+    }
+  }
+  return t;
+}
+
+TEST(ScaleComputePerIteration, ScalesOnlyInsideIterations) {
+  const Trace t = marked_trace(2);
+  const std::vector<std::vector<double>> factors{{2.0, 2.0}, {3.0, 3.0}};
+  const Trace scaled = scale_compute_per_iteration(t, factors);
+  // Rank 0: prologue 0.5 untouched; iter 0: 1*2; iter 1: 2*3.
+  EXPECT_DOUBLE_EQ(scaled.computation_time(0), 0.5 + 2.0 + 6.0);
+  // Rank 1: prologue 0.5; iter 0: 2*2; iter 1: 4*3.
+  EXPECT_DOUBLE_EQ(scaled.computation_time(1), 0.5 + 4.0 + 12.0);
+}
+
+TEST(ScaleComputePerIteration, PerRankFactorsApply) {
+  const Trace t = marked_trace(1);
+  const std::vector<std::vector<double>> factors{{10.0, 0.5}};
+  const Trace scaled = scale_compute_per_iteration(t, factors);
+  EXPECT_DOUBLE_EQ(scaled.computation_time(0), 0.5 + 10.0);
+  EXPECT_DOUBLE_EQ(scaled.computation_time(1), 0.5 + 1.0);
+}
+
+TEST(ScaleComputePerIteration, RejectsUnmarkedTrace) {
+  EXPECT_THROW(scale_compute_per_iteration(base_trace(), {{1.0, 1.0}}),
+               Error);
+}
+
+TEST(ScaleComputePerIteration, RejectsMissingIterationFactors) {
+  const Trace t = marked_trace(3);
+  EXPECT_THROW(scale_compute_per_iteration(t, {{1.0, 1.0}}), Error);
+}
+
+TEST(AddIterationOverhead, InsertsBurstsAfterBeginMarkers) {
+  const Trace t = marked_trace(2);
+  const std::vector<std::vector<Seconds>> overhead{{0.1, 0.0}, {0.0, 0.2}};
+  const Trace out = add_iteration_overhead(t, overhead);
+  EXPECT_DOUBLE_EQ(out.computation_time(0),
+                   t.computation_time(0) + 0.1);
+  EXPECT_DOUBLE_EQ(out.computation_time(1),
+                   t.computation_time(1) + 0.2);
+  // The burst lands inside the right iteration.
+  const auto per_iteration = iteration_computation_times(out);
+  EXPECT_DOUBLE_EQ(per_iteration[0][0], 1.0 + 0.1);
+  EXPECT_DOUBLE_EQ(per_iteration[1][1], 4.0 + 0.2);
+}
+
+TEST(AddIterationOverhead, ZeroOverheadIsIdentity) {
+  const Trace t = marked_trace(2);
+  const std::vector<std::vector<Seconds>> overhead{{0.0, 0.0}, {0.0, 0.0}};
+  EXPECT_EQ(add_iteration_overhead(t, overhead), t);
+}
+
+TEST(AddIterationOverhead, RejectsBadInput) {
+  EXPECT_THROW(add_iteration_overhead(base_trace(), {{0.0, 0.0}}), Error);
+  const Trace t = marked_trace(2);
+  EXPECT_THROW(add_iteration_overhead(t, {{0.0, 0.0}}), Error);  // 1 of 2
+  EXPECT_THROW(add_iteration_overhead(t, {{-0.1, 0.0}, {0.0, 0.0}}), Error);
+}
+
+TEST(IterationComputationTimes, PerIterationPerRank) {
+  const Trace t = marked_trace(3);
+  const auto times = iteration_computation_times(t);
+  ASSERT_EQ(times.size(), 3u);
+  EXPECT_DOUBLE_EQ(times[0][0], 1.0);
+  EXPECT_DOUBLE_EQ(times[0][1], 2.0);
+  EXPECT_DOUBLE_EQ(times[2][0], 3.0);
+  EXPECT_DOUBLE_EQ(times[2][1], 6.0);
+}
+
+TEST(IterationComputationTimes, IgnoresPrologue) {
+  const Trace t = marked_trace(1);
+  const auto times = iteration_computation_times(t);
+  EXPECT_DOUBLE_EQ(times[0][0], 1.0);  // prologue 0.5 excluded
+}
+
+TEST(IterationComputationTimes, RejectsUnmarkedTrace) {
+  EXPECT_THROW(iteration_computation_times(base_trace()), Error);
+}
+
+TEST(ScaleCompute, ComposesMultiplicatively) {
+  const std::vector<double> f1{2.0, 3.0};
+  const std::vector<double> f2{0.5, 1.0 / 3.0};
+  const Trace round_trip =
+      scale_compute(scale_compute(base_trace(), f1), f2);
+  EXPECT_NEAR(round_trip.computation_time(0),
+              base_trace().computation_time(0), 1e-12);
+  EXPECT_NEAR(round_trip.computation_time(1),
+              base_trace().computation_time(1), 1e-12);
+}
+
+}  // namespace
+}  // namespace pals

@@ -1,0 +1,99 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace pals {
+namespace {
+
+CliParser make_parser() {
+  CliParser cli;
+  cli.add_option("ranks", "number of ranks", "32");
+  cli.add_option("beta", "memory boundedness");
+  cli.add_flag("verbose", "chatty output");
+  return cli;
+}
+
+TEST(Cli, DefaultsApplyWhenUnset) {
+  CliParser cli = make_parser();
+  const char* argv[] = {"prog"};
+  cli.parse(1, argv);
+  EXPECT_EQ(cli.get("ranks"), "32");
+  EXPECT_EQ(cli.get_int("ranks", 0), 32);
+  EXPECT_FALSE(cli.get_flag("verbose"));
+}
+
+TEST(Cli, EqualsForm) {
+  CliParser cli = make_parser();
+  const char* argv[] = {"prog", "--ranks=64"};
+  cli.parse(2, argv);
+  EXPECT_EQ(cli.get_int("ranks", 0), 64);
+}
+
+TEST(Cli, SpaceSeparatedForm) {
+  CliParser cli = make_parser();
+  const char* argv[] = {"prog", "--beta", "0.7"};
+  cli.parse(3, argv);
+  EXPECT_DOUBLE_EQ(cli.get_double("beta", 0.0), 0.7);
+}
+
+TEST(Cli, FlagForm) {
+  CliParser cli = make_parser();
+  const char* argv[] = {"prog", "--verbose"};
+  cli.parse(2, argv);
+  EXPECT_TRUE(cli.get_flag("verbose"));
+}
+
+TEST(Cli, UnknownOptionThrows) {
+  CliParser cli = make_parser();
+  const char* argv[] = {"prog", "--bogus=1"};
+  EXPECT_THROW(cli.parse(2, argv), Error);
+}
+
+TEST(Cli, MissingValueThrows) {
+  CliParser cli = make_parser();
+  const char* argv[] = {"prog", "--beta"};
+  EXPECT_THROW(cli.parse(2, argv), Error);
+}
+
+TEST(Cli, FlagWithValueThrows) {
+  CliParser cli = make_parser();
+  const char* argv[] = {"prog", "--verbose=1"};
+  EXPECT_THROW(cli.parse(2, argv), Error);
+}
+
+TEST(Cli, MissingRequiredThrows) {
+  CliParser cli = make_parser();
+  const char* argv[] = {"prog"};
+  cli.parse(1, argv);
+  EXPECT_THROW(cli.get("beta"), Error);
+  EXPECT_EQ(cli.get_or("beta", "0.5"), "0.5");
+}
+
+TEST(Cli, PositionalArgumentsCollected) {
+  CliParser cli = make_parser();
+  const char* argv[] = {"prog", "input.palst", "--verbose", "out.csv"};
+  cli.parse(4, argv);
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "input.palst");
+  EXPECT_EQ(cli.positional()[1], "out.csv");
+}
+
+TEST(Cli, DuplicateDeclarationThrows) {
+  CliParser cli;
+  cli.add_option("x", "");
+  EXPECT_THROW(cli.add_option("x", ""), Error);
+  EXPECT_THROW(cli.add_flag("x", ""), Error);
+}
+
+TEST(Cli, UsageMentionsOptionsAndDefaults) {
+  CliParser cli = make_parser();
+  const std::string usage = cli.usage("prog");
+  EXPECT_NE(usage.find("--ranks"), std::string::npos);
+  EXPECT_NE(usage.find("default: 32"), std::string::npos);
+  EXPECT_NE(usage.find("--verbose"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pals

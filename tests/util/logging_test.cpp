@@ -1,0 +1,70 @@
+#include "util/logging.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace pals {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+protected:
+  void SetUp() override { saved_ = log_level(); }
+  void TearDown() override { set_log_level(saved_); }
+  LogLevel saved_ = LogLevel::kWarn;
+};
+
+TEST_F(LoggingTest, SetAndGetRoundTrip) {
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kOff);
+  EXPECT_EQ(log_level(), LogLevel::kOff);
+}
+
+TEST_F(LoggingTest, ParseAcceptsAllNames) {
+  EXPECT_EQ(parse_log_level("trace"), LogLevel::kTrace);
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+}
+
+TEST_F(LoggingTest, ParseRejectsUnknown) {
+  EXPECT_THROW(parse_log_level("loud"), Error);
+}
+
+TEST_F(LoggingTest, ToStringRoundTrips) {
+  for (LogLevel level : {LogLevel::kTrace, LogLevel::kDebug, LogLevel::kInfo,
+                         LogLevel::kWarn, LogLevel::kError, LogLevel::kOff}) {
+    EXPECT_EQ(parse_log_level(to_string(level)), level);
+  }
+}
+
+TEST_F(LoggingTest, MacroDoesNotEvaluateBelowThreshold) {
+  set_log_level(LogLevel::kOff);
+  int evaluations = 0;
+  PALS_INFO("side effect " << ++evaluations);
+  EXPECT_EQ(evaluations, 0);
+  set_log_level(LogLevel::kTrace);
+  PALS_ERROR("side effect " << ++evaluations);
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(LoggingTest, CheckMacroThrowsWithContext) {
+  try {
+    PALS_CHECK_MSG(1 == 2, "context " << 42);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("context 42"), std::string::npos);
+  }
+}
+
+TEST_F(LoggingTest, CheckMacroPassesSilently) {
+  EXPECT_NO_THROW(PALS_CHECK(2 + 2 == 4));
+}
+
+}  // namespace
+}  // namespace pals

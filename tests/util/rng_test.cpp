@@ -1,0 +1,115 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace pals {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformStaysInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(2.0, 5.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformRangeRejectsInverted) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform(5.0, 2.0), Error);
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng rng(11);
+  std::vector<int> seen(6, 0);
+  for (int i = 0; i < 6000; ++i)
+    ++seen[static_cast<std::size_t>(rng.uniform_int(0, 5))];
+  for (int count : seen) EXPECT_GT(count, 700);  // ~1000 expected each
+}
+
+TEST(Rng, UniformIntSinglePoint) {
+  Rng rng(5);
+  EXPECT_EQ(rng.uniform_int(42, 42), 42u);
+}
+
+TEST(Rng, NormalMomentsAreSane) {
+  Rng rng(13);
+  OnlineStats stats;
+  for (int i = 0; i < 50000; ++i) stats.add(rng.normal());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.03);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.03);
+}
+
+TEST(Rng, NormalWithParamsShiftsAndScales) {
+  Rng rng(17);
+  OnlineStats stats;
+  for (int i = 0; i < 50000; ++i) stats.add(rng.normal(10.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 10.0, 0.1);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, ExponentialMeanIsInverseRate) {
+  Rng rng(19);
+  OnlineStats stats;
+  for (int i = 0; i < 50000; ++i) stats.add(rng.exponential(4.0));
+  EXPECT_NEAR(stats.mean(), 0.25, 0.01);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveRate) {
+  Rng rng(1);
+  EXPECT_THROW(rng.exponential(0.0), Error);
+  EXPECT_THROW(rng.exponential(-1.0), Error);
+}
+
+TEST(Rng, LognormalIsPositive) {
+  Rng rng(23);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(rng.lognormal(0.0, 1.0), 0.0);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(31);
+  Rng child = parent.fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (parent.next() == child.next()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(Rng::min() == 0);
+  static_assert(Rng::max() == ~std::uint64_t{0});
+  Rng rng(1);
+  EXPECT_NE(rng(), rng());
+}
+
+}  // namespace
+}  // namespace pals

@@ -1,0 +1,89 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace pals {
+namespace {
+
+TEST(Split, KeepsEmptyFields) {
+  const auto parts = split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(Split, SingleFieldWithoutSeparator) {
+  const auto parts = split("hello", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "hello");
+}
+
+TEST(Split, LeadingAndTrailingSeparators) {
+  const auto parts = split(",x,", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(SplitWs, DropsAllWhitespaceRuns) {
+  const auto parts = split_ws("  a\t b \n c  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(SplitWs, EmptyInputGivesNoFields) {
+  EXPECT_TRUE(split_ws("").empty());
+  EXPECT_TRUE(split_ws("   \t\n").empty());
+}
+
+TEST(Trim, StripsBothEnds) {
+  EXPECT_EQ(trim("  abc  "), "abc");
+  EXPECT_EQ(trim("abc"), "abc");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("  "), "");
+}
+
+TEST(StartsEndsWith, BasicCases) {
+  EXPECT_TRUE(starts_with("pals-trace", "pals"));
+  EXPECT_FALSE(starts_with("pa", "pals"));
+  EXPECT_TRUE(ends_with("trace.palst", ".palst"));
+  EXPECT_FALSE(ends_with("palst", "trace.palst"));
+}
+
+TEST(ParseDouble, ParsesPlainAndNegative) {
+  EXPECT_DOUBLE_EQ(parse_double("3.5"), 3.5);
+  EXPECT_DOUBLE_EQ(parse_double("-0.25"), -0.25);
+  EXPECT_DOUBLE_EQ(parse_double(" 2 "), 2.0);
+}
+
+TEST(ParseDouble, RejectsGarbage) {
+  EXPECT_THROW(parse_double("abc"), Error);
+  EXPECT_THROW(parse_double("1.5x"), Error);
+  EXPECT_THROW(parse_double(""), Error);
+}
+
+TEST(ParseInt, ParsesAndRejects) {
+  EXPECT_EQ(parse_int("42"), 42);
+  EXPECT_EQ(parse_int("-7"), -7);
+  EXPECT_THROW(parse_int("3.5"), Error);
+  EXPECT_THROW(parse_int("four"), Error);
+}
+
+TEST(FormatFixed, RoundsToRequestedDigits) {
+  EXPECT_EQ(format_fixed(0.61234, 2), "0.61");
+  EXPECT_EQ(format_fixed(1.0, 3), "1.000");
+  EXPECT_EQ(format_fixed(-2.5, 0), "-2");  // banker-style from snprintf %.0f
+}
+
+TEST(FormatPercent, ScalesRatio) {
+  EXPECT_EQ(format_percent(0.3521), "35.21%");
+  EXPECT_EQ(format_percent(1.0, 0), "100%");
+}
+
+}  // namespace
+}  // namespace pals

@@ -1,0 +1,61 @@
+// prv2palst — translate a Paraver trace into a logical replay trace (the
+// paper's "Paraver traces were translated to Dimemas trace files" step),
+// and back: re-simulate a .palst file and export the timed execution as
+// .prv for visualization.
+//
+//   prv2palst in.prv out.palst          translate Paraver -> logical
+//   prv2palst --export in.palst out.prv replay + export logical -> Paraver
+#include <iostream>
+
+#include "paraver/export.hpp"
+#include "paraver/translate.hpp"
+#include "replay/replay.hpp"
+#include "trace/io.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+
+namespace pals {
+namespace {
+
+int run(int argc, char** argv) {
+  CliParser cli;
+  cli.add_flag("export", "reverse direction: .palst -> replay -> .prv");
+  cli.add_flag("help", "show usage");
+  cli.parse(argc, argv);
+  if (cli.get_flag("help") || cli.positional().size() != 2) {
+    std::cout << "usage: prv2palst [--export] <input> <output>\n"
+                 "  default:  translate a .prv trace into a .palst trace\n"
+                 "  --export: replay a .palst trace and write the timed\n"
+                 "            execution as .prv\n";
+    return cli.get_flag("help") ? 0 : 2;
+  }
+  const std::string& input = cli.positional()[0];
+  const std::string& output = cli.positional()[1];
+
+  if (cli.get_flag("export")) {
+    const Trace trace = read_trace_auto(input);
+    const ReplayResult result = replay(trace, ReplayConfig{});
+    write_prv_file(export_prv(result), output);
+    std::cout << "replayed " << trace.n_ranks() << " ranks ("
+              << result.makespan * 1e3 << " ms) and wrote " << output << '\n';
+  } else {
+    const PrvTrace prv = read_prv_file(input);
+    const Trace trace = translate_prv(prv);
+    write_trace_auto(trace, output);
+    std::cout << "translated " << prv.n_tasks << " tasks, "
+              << trace.total_events() << " events -> " << output << '\n';
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace pals
+
+int main(int argc, char** argv) {
+  try {
+    return pals::run(argc, argv);
+  } catch (const pals::Error& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,44 @@
+// update_golden — regenerate the pinned experiment results under golden/.
+//
+// Run after an *intentional* model or workload change, review the diff,
+// and commit; the integration tests (integration/golden_test.cpp) fail
+// when fresh runs drift from these files unexpectedly.
+//
+//   update_golden [--dir=golden]
+#include <iostream>
+
+#include "analysis/figures.hpp"
+#include "analysis/golden.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+
+namespace pals {
+namespace {
+
+int run(int argc, char** argv) {
+  CliParser cli;
+  cli.add_option("dir", "output directory", "golden");
+  cli.parse(argc, argv);
+  const std::string dir = cli.get("dir");
+
+  TraceCache cache;
+  save_rows_csv(table3_rows(cache), dir + "/table3.csv");
+  std::cout << "wrote " << dir << "/table3.csv\n";
+  save_rows_csv(figure9_rows(cache), dir + "/fig9.csv");
+  std::cout << "wrote " << dir << "/fig9.csv\n";
+  save_rows_csv(figure10_rows(cache), dir + "/fig10.csv");
+  std::cout << "wrote " << dir << "/fig10.csv\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace pals
+
+int main(int argc, char** argv) {
+  try {
+    return pals::run(argc, argv);
+  } catch (const pals::Error& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}
