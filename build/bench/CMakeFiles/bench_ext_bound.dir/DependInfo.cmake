@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ext_bound.cpp" "bench/CMakeFiles/bench_ext_bound.dir/bench_ext_bound.cpp.o" "gcc" "bench/CMakeFiles/bench_ext_bound.dir/bench_ext_bound.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/pals_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pals_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/pals_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpisim/CMakeFiles/pals_mpisim.dir/DependInfo.cmake"
+  "/root/repo/build/src/replay/CMakeFiles/pals_replay.dir/DependInfo.cmake"
+  "/root/repo/build/src/network/CMakeFiles/pals_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/pals_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/pals_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/pals_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pals_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

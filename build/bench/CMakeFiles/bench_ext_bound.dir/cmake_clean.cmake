@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_bound.dir/bench_ext_bound.cpp.o"
+  "CMakeFiles/bench_ext_bound.dir/bench_ext_bound.cpp.o.d"
+  "bench_ext_bound"
+  "bench_ext_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

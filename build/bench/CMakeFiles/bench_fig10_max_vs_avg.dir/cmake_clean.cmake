@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_max_vs_avg.dir/bench_fig10_max_vs_avg.cpp.o"
+  "CMakeFiles/bench_fig10_max_vs_avg.dir/bench_fig10_max_vs_avg.cpp.o.d"
+  "bench_fig10_max_vs_avg"
+  "bench_fig10_max_vs_avg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_max_vs_avg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

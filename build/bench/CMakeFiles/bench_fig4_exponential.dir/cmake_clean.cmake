@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_exponential.dir/bench_fig4_exponential.cpp.o"
+  "CMakeFiles/bench_fig4_exponential.dir/bench_fig4_exponential.cpp.o.d"
+  "bench_fig4_exponential"
+  "bench_fig4_exponential.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_exponential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

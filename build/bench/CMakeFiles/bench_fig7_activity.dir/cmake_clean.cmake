@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_activity.dir/bench_fig7_activity.cpp.o"
+  "CMakeFiles/bench_fig7_activity.dir/bench_fig7_activity.cpp.o.d"
+  "bench_fig7_activity"
+  "bench_fig7_activity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_activity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_avg_continuous.dir/bench_fig8_avg_continuous.cpp.o"
+  "CMakeFiles/bench_fig8_avg_continuous.dir/bench_fig8_avg_continuous.cpp.o.d"
+  "bench_fig8_avg_continuous"
+  "bench_fig8_avg_continuous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_avg_continuous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_avg_discrete.dir/bench_fig9_avg_discrete.cpp.o"
+  "CMakeFiles/bench_fig9_avg_discrete.dir/bench_fig9_avg_discrete.cpp.o.d"
+  "bench_fig9_avg_discrete"
+  "bench_fig9_avg_discrete.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_avg_discrete.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scaling_imbalance.dir/bench_scaling_imbalance.cpp.o"
+  "CMakeFiles/bench_scaling_imbalance.dir/bench_scaling_imbalance.cpp.o.d"
+  "bench_scaling_imbalance"
+  "bench_scaling_imbalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scaling_imbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_table2_gearsets.dir/bench_table1_table2_gearsets.cpp.o"
+  "CMakeFiles/bench_table1_table2_gearsets.dir/bench_table1_table2_gearsets.cpp.o.d"
+  "bench_table1_table2_gearsets"
+  "bench_table1_table2_gearsets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_table2_gearsets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

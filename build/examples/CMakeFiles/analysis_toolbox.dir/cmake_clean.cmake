@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_toolbox.dir/analysis_toolbox.cpp.o"
+  "CMakeFiles/analysis_toolbox.dir/analysis_toolbox.cpp.o.d"
+  "analysis_toolbox"
+  "analysis_toolbox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_toolbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gearset_designer.dir/gearset_designer.cpp.o"
+  "CMakeFiles/gearset_designer.dir/gearset_designer.cpp.o.d"
+  "gearset_designer"
+  "gearset_designer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gearset_designer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

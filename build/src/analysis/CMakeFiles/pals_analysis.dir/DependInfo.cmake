@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/comm_stats.cpp" "src/analysis/CMakeFiles/pals_analysis.dir/comm_stats.cpp.o" "gcc" "src/analysis/CMakeFiles/pals_analysis.dir/comm_stats.cpp.o.d"
+  "/root/repo/src/analysis/critical_path.cpp" "src/analysis/CMakeFiles/pals_analysis.dir/critical_path.cpp.o" "gcc" "src/analysis/CMakeFiles/pals_analysis.dir/critical_path.cpp.o.d"
+  "/root/repo/src/analysis/experiments.cpp" "src/analysis/CMakeFiles/pals_analysis.dir/experiments.cpp.o" "gcc" "src/analysis/CMakeFiles/pals_analysis.dir/experiments.cpp.o.d"
+  "/root/repo/src/analysis/figures.cpp" "src/analysis/CMakeFiles/pals_analysis.dir/figures.cpp.o" "gcc" "src/analysis/CMakeFiles/pals_analysis.dir/figures.cpp.o.d"
+  "/root/repo/src/analysis/gantt.cpp" "src/analysis/CMakeFiles/pals_analysis.dir/gantt.cpp.o" "gcc" "src/analysis/CMakeFiles/pals_analysis.dir/gantt.cpp.o.d"
+  "/root/repo/src/analysis/golden.cpp" "src/analysis/CMakeFiles/pals_analysis.dir/golden.cpp.o" "gcc" "src/analysis/CMakeFiles/pals_analysis.dir/golden.cpp.o.d"
+  "/root/repo/src/analysis/iteration_stats.cpp" "src/analysis/CMakeFiles/pals_analysis.dir/iteration_stats.cpp.o" "gcc" "src/analysis/CMakeFiles/pals_analysis.dir/iteration_stats.cpp.o.d"
+  "/root/repo/src/analysis/svg.cpp" "src/analysis/CMakeFiles/pals_analysis.dir/svg.cpp.o" "gcc" "src/analysis/CMakeFiles/pals_analysis.dir/svg.cpp.o.d"
+  "/root/repo/src/analysis/svg_chart.cpp" "src/analysis/CMakeFiles/pals_analysis.dir/svg_chart.cpp.o" "gcc" "src/analysis/CMakeFiles/pals_analysis.dir/svg_chart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pals_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/pals_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pals_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/pals_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/pals_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/replay/CMakeFiles/pals_replay.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/pals_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/network/CMakeFiles/pals_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpisim/CMakeFiles/pals_mpisim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

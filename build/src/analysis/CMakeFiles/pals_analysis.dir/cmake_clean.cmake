@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pals_analysis.dir/comm_stats.cpp.o"
+  "CMakeFiles/pals_analysis.dir/comm_stats.cpp.o.d"
+  "CMakeFiles/pals_analysis.dir/critical_path.cpp.o"
+  "CMakeFiles/pals_analysis.dir/critical_path.cpp.o.d"
+  "CMakeFiles/pals_analysis.dir/experiments.cpp.o"
+  "CMakeFiles/pals_analysis.dir/experiments.cpp.o.d"
+  "CMakeFiles/pals_analysis.dir/figures.cpp.o"
+  "CMakeFiles/pals_analysis.dir/figures.cpp.o.d"
+  "CMakeFiles/pals_analysis.dir/gantt.cpp.o"
+  "CMakeFiles/pals_analysis.dir/gantt.cpp.o.d"
+  "CMakeFiles/pals_analysis.dir/golden.cpp.o"
+  "CMakeFiles/pals_analysis.dir/golden.cpp.o.d"
+  "CMakeFiles/pals_analysis.dir/iteration_stats.cpp.o"
+  "CMakeFiles/pals_analysis.dir/iteration_stats.cpp.o.d"
+  "CMakeFiles/pals_analysis.dir/svg.cpp.o"
+  "CMakeFiles/pals_analysis.dir/svg.cpp.o.d"
+  "CMakeFiles/pals_analysis.dir/svg_chart.cpp.o"
+  "CMakeFiles/pals_analysis.dir/svg_chart.cpp.o.d"
+  "libpals_analysis.a"
+  "libpals_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pals_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pals_core.dir/algorithms.cpp.o"
+  "CMakeFiles/pals_core.dir/algorithms.cpp.o.d"
+  "CMakeFiles/pals_core.dir/bound.cpp.o"
+  "CMakeFiles/pals_core.dir/bound.cpp.o.d"
+  "CMakeFiles/pals_core.dir/jitter.cpp.o"
+  "CMakeFiles/pals_core.dir/jitter.cpp.o.d"
+  "CMakeFiles/pals_core.dir/pipeline.cpp.o"
+  "CMakeFiles/pals_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/pals_core.dir/system_energy.cpp.o"
+  "CMakeFiles/pals_core.dir/system_energy.cpp.o.d"
+  "libpals_core.a"
+  "libpals_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pals_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

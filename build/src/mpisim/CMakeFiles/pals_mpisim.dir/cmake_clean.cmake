@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pals_mpisim.dir/vmpi.cpp.o"
+  "CMakeFiles/pals_mpisim.dir/vmpi.cpp.o.d"
+  "libpals_mpisim.a"
+  "libpals_mpisim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pals_mpisim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pals_network.dir/platform.cpp.o"
+  "CMakeFiles/pals_network.dir/platform.cpp.o.d"
+  "libpals_network.a"
+  "libpals_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pals_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpals_network.a"
+)

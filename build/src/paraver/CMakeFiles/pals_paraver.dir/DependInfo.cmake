@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/paraver/export.cpp" "src/paraver/CMakeFiles/pals_paraver.dir/export.cpp.o" "gcc" "src/paraver/CMakeFiles/pals_paraver.dir/export.cpp.o.d"
+  "/root/repo/src/paraver/prv.cpp" "src/paraver/CMakeFiles/pals_paraver.dir/prv.cpp.o" "gcc" "src/paraver/CMakeFiles/pals_paraver.dir/prv.cpp.o.d"
+  "/root/repo/src/paraver/translate.cpp" "src/paraver/CMakeFiles/pals_paraver.dir/translate.cpp.o" "gcc" "src/paraver/CMakeFiles/pals_paraver.dir/translate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pals_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/pals_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/replay/CMakeFiles/pals_replay.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/pals_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/network/CMakeFiles/pals_network.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

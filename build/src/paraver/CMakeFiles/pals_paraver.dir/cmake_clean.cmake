@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pals_paraver.dir/export.cpp.o"
+  "CMakeFiles/pals_paraver.dir/export.cpp.o.d"
+  "CMakeFiles/pals_paraver.dir/prv.cpp.o"
+  "CMakeFiles/pals_paraver.dir/prv.cpp.o.d"
+  "CMakeFiles/pals_paraver.dir/translate.cpp.o"
+  "CMakeFiles/pals_paraver.dir/translate.cpp.o.d"
+  "libpals_paraver.a"
+  "libpals_paraver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pals_paraver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pals_power.dir/gearset.cpp.o"
+  "CMakeFiles/pals_power.dir/gearset.cpp.o.d"
+  "CMakeFiles/pals_power.dir/power_model.cpp.o"
+  "CMakeFiles/pals_power.dir/power_model.cpp.o.d"
+  "libpals_power.a"
+  "libpals_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pals_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

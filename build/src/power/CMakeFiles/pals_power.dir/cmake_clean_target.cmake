@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpals_power.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pals_replay.dir/replay.cpp.o"
+  "CMakeFiles/pals_replay.dir/replay.cpp.o.d"
+  "libpals_replay.a"
+  "libpals_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pals_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pals_simcore.dir/engine.cpp.o"
+  "CMakeFiles/pals_simcore.dir/engine.cpp.o.d"
+  "libpals_simcore.a"
+  "libpals_simcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pals_simcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/binary_io.cpp" "src/trace/CMakeFiles/pals_trace.dir/binary_io.cpp.o" "gcc" "src/trace/CMakeFiles/pals_trace.dir/binary_io.cpp.o.d"
+  "/root/repo/src/trace/cutter.cpp" "src/trace/CMakeFiles/pals_trace.dir/cutter.cpp.o" "gcc" "src/trace/CMakeFiles/pals_trace.dir/cutter.cpp.o.d"
+  "/root/repo/src/trace/event.cpp" "src/trace/CMakeFiles/pals_trace.dir/event.cpp.o" "gcc" "src/trace/CMakeFiles/pals_trace.dir/event.cpp.o.d"
+  "/root/repo/src/trace/io.cpp" "src/trace/CMakeFiles/pals_trace.dir/io.cpp.o" "gcc" "src/trace/CMakeFiles/pals_trace.dir/io.cpp.o.d"
+  "/root/repo/src/trace/timeline.cpp" "src/trace/CMakeFiles/pals_trace.dir/timeline.cpp.o" "gcc" "src/trace/CMakeFiles/pals_trace.dir/timeline.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "src/trace/CMakeFiles/pals_trace.dir/trace.cpp.o" "gcc" "src/trace/CMakeFiles/pals_trace.dir/trace.cpp.o.d"
+  "/root/repo/src/trace/transform.cpp" "src/trace/CMakeFiles/pals_trace.dir/transform.cpp.o" "gcc" "src/trace/CMakeFiles/pals_trace.dir/transform.cpp.o.d"
+  "/root/repo/src/trace/types.cpp" "src/trace/CMakeFiles/pals_trace.dir/types.cpp.o" "gcc" "src/trace/CMakeFiles/pals_trace.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pals_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pals_trace.dir/binary_io.cpp.o"
+  "CMakeFiles/pals_trace.dir/binary_io.cpp.o.d"
+  "CMakeFiles/pals_trace.dir/cutter.cpp.o"
+  "CMakeFiles/pals_trace.dir/cutter.cpp.o.d"
+  "CMakeFiles/pals_trace.dir/event.cpp.o"
+  "CMakeFiles/pals_trace.dir/event.cpp.o.d"
+  "CMakeFiles/pals_trace.dir/io.cpp.o"
+  "CMakeFiles/pals_trace.dir/io.cpp.o.d"
+  "CMakeFiles/pals_trace.dir/timeline.cpp.o"
+  "CMakeFiles/pals_trace.dir/timeline.cpp.o.d"
+  "CMakeFiles/pals_trace.dir/trace.cpp.o"
+  "CMakeFiles/pals_trace.dir/trace.cpp.o.d"
+  "CMakeFiles/pals_trace.dir/transform.cpp.o"
+  "CMakeFiles/pals_trace.dir/transform.cpp.o.d"
+  "CMakeFiles/pals_trace.dir/types.cpp.o"
+  "CMakeFiles/pals_trace.dir/types.cpp.o.d"
+  "libpals_trace.a"
+  "libpals_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pals_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pals_util.dir/binio.cpp.o"
+  "CMakeFiles/pals_util.dir/binio.cpp.o.d"
+  "CMakeFiles/pals_util.dir/cli.cpp.o"
+  "CMakeFiles/pals_util.dir/cli.cpp.o.d"
+  "CMakeFiles/pals_util.dir/csv.cpp.o"
+  "CMakeFiles/pals_util.dir/csv.cpp.o.d"
+  "CMakeFiles/pals_util.dir/kvconfig.cpp.o"
+  "CMakeFiles/pals_util.dir/kvconfig.cpp.o.d"
+  "CMakeFiles/pals_util.dir/logging.cpp.o"
+  "CMakeFiles/pals_util.dir/logging.cpp.o.d"
+  "CMakeFiles/pals_util.dir/rng.cpp.o"
+  "CMakeFiles/pals_util.dir/rng.cpp.o.d"
+  "CMakeFiles/pals_util.dir/stats.cpp.o"
+  "CMakeFiles/pals_util.dir/stats.cpp.o.d"
+  "CMakeFiles/pals_util.dir/strings.cpp.o"
+  "CMakeFiles/pals_util.dir/strings.cpp.o.d"
+  "libpals_util.a"
+  "libpals_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pals_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

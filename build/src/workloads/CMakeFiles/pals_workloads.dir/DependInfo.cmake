@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/amr_drift.cpp" "src/workloads/CMakeFiles/pals_workloads.dir/amr_drift.cpp.o" "gcc" "src/workloads/CMakeFiles/pals_workloads.dir/amr_drift.cpp.o.d"
+  "/root/repo/src/workloads/apps_common.cpp" "src/workloads/CMakeFiles/pals_workloads.dir/apps_common.cpp.o" "gcc" "src/workloads/CMakeFiles/pals_workloads.dir/apps_common.cpp.o.d"
+  "/root/repo/src/workloads/bt_mz.cpp" "src/workloads/CMakeFiles/pals_workloads.dir/bt_mz.cpp.o" "gcc" "src/workloads/CMakeFiles/pals_workloads.dir/bt_mz.cpp.o.d"
+  "/root/repo/src/workloads/imbalance.cpp" "src/workloads/CMakeFiles/pals_workloads.dir/imbalance.cpp.o" "gcc" "src/workloads/CMakeFiles/pals_workloads.dir/imbalance.cpp.o.d"
+  "/root/repo/src/workloads/nas_cg.cpp" "src/workloads/CMakeFiles/pals_workloads.dir/nas_cg.cpp.o" "gcc" "src/workloads/CMakeFiles/pals_workloads.dir/nas_cg.cpp.o.d"
+  "/root/repo/src/workloads/nas_ft.cpp" "src/workloads/CMakeFiles/pals_workloads.dir/nas_ft.cpp.o" "gcc" "src/workloads/CMakeFiles/pals_workloads.dir/nas_ft.cpp.o.d"
+  "/root/repo/src/workloads/nas_is.cpp" "src/workloads/CMakeFiles/pals_workloads.dir/nas_is.cpp.o" "gcc" "src/workloads/CMakeFiles/pals_workloads.dir/nas_is.cpp.o.d"
+  "/root/repo/src/workloads/nas_lu.cpp" "src/workloads/CMakeFiles/pals_workloads.dir/nas_lu.cpp.o" "gcc" "src/workloads/CMakeFiles/pals_workloads.dir/nas_lu.cpp.o.d"
+  "/root/repo/src/workloads/nas_mg.cpp" "src/workloads/CMakeFiles/pals_workloads.dir/nas_mg.cpp.o" "gcc" "src/workloads/CMakeFiles/pals_workloads.dir/nas_mg.cpp.o.d"
+  "/root/repo/src/workloads/pepc.cpp" "src/workloads/CMakeFiles/pals_workloads.dir/pepc.cpp.o" "gcc" "src/workloads/CMakeFiles/pals_workloads.dir/pepc.cpp.o.d"
+  "/root/repo/src/workloads/registry.cpp" "src/workloads/CMakeFiles/pals_workloads.dir/registry.cpp.o" "gcc" "src/workloads/CMakeFiles/pals_workloads.dir/registry.cpp.o.d"
+  "/root/repo/src/workloads/specfem3d.cpp" "src/workloads/CMakeFiles/pals_workloads.dir/specfem3d.cpp.o" "gcc" "src/workloads/CMakeFiles/pals_workloads.dir/specfem3d.cpp.o.d"
+  "/root/repo/src/workloads/wrf.cpp" "src/workloads/CMakeFiles/pals_workloads.dir/wrf.cpp.o" "gcc" "src/workloads/CMakeFiles/pals_workloads.dir/wrf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pals_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/pals_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpisim/CMakeFiles/pals_mpisim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

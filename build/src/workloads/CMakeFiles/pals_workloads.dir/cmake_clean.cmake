@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pals_workloads.dir/amr_drift.cpp.o"
+  "CMakeFiles/pals_workloads.dir/amr_drift.cpp.o.d"
+  "CMakeFiles/pals_workloads.dir/apps_common.cpp.o"
+  "CMakeFiles/pals_workloads.dir/apps_common.cpp.o.d"
+  "CMakeFiles/pals_workloads.dir/bt_mz.cpp.o"
+  "CMakeFiles/pals_workloads.dir/bt_mz.cpp.o.d"
+  "CMakeFiles/pals_workloads.dir/imbalance.cpp.o"
+  "CMakeFiles/pals_workloads.dir/imbalance.cpp.o.d"
+  "CMakeFiles/pals_workloads.dir/nas_cg.cpp.o"
+  "CMakeFiles/pals_workloads.dir/nas_cg.cpp.o.d"
+  "CMakeFiles/pals_workloads.dir/nas_ft.cpp.o"
+  "CMakeFiles/pals_workloads.dir/nas_ft.cpp.o.d"
+  "CMakeFiles/pals_workloads.dir/nas_is.cpp.o"
+  "CMakeFiles/pals_workloads.dir/nas_is.cpp.o.d"
+  "CMakeFiles/pals_workloads.dir/nas_lu.cpp.o"
+  "CMakeFiles/pals_workloads.dir/nas_lu.cpp.o.d"
+  "CMakeFiles/pals_workloads.dir/nas_mg.cpp.o"
+  "CMakeFiles/pals_workloads.dir/nas_mg.cpp.o.d"
+  "CMakeFiles/pals_workloads.dir/pepc.cpp.o"
+  "CMakeFiles/pals_workloads.dir/pepc.cpp.o.d"
+  "CMakeFiles/pals_workloads.dir/registry.cpp.o"
+  "CMakeFiles/pals_workloads.dir/registry.cpp.o.d"
+  "CMakeFiles/pals_workloads.dir/specfem3d.cpp.o"
+  "CMakeFiles/pals_workloads.dir/specfem3d.cpp.o.d"
+  "CMakeFiles/pals_workloads.dir/wrf.cpp.o"
+  "CMakeFiles/pals_workloads.dir/wrf.cpp.o.d"
+  "libpals_workloads.a"
+  "libpals_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pals_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration.dir/integration/analysis_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/analysis_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/comm_stats_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/comm_stats_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/consistency_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/consistency_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/critical_path_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/critical_path_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/figures_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/figures_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/golden_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/golden_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/iteration_stats_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/iteration_stats_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/paper_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/paper_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/property_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/property_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/svg_chart_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/svg_chart_test.cpp.o.d"
+  "test_integration"
+  "test_integration.pdb"
+  "test_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_power_core.dir/core/algorithms_property_test.cpp.o"
+  "CMakeFiles/test_power_core.dir/core/algorithms_property_test.cpp.o.d"
+  "CMakeFiles/test_power_core.dir/core/algorithms_test.cpp.o"
+  "CMakeFiles/test_power_core.dir/core/algorithms_test.cpp.o.d"
+  "CMakeFiles/test_power_core.dir/core/bound_test.cpp.o"
+  "CMakeFiles/test_power_core.dir/core/bound_test.cpp.o.d"
+  "CMakeFiles/test_power_core.dir/core/jitter_test.cpp.o"
+  "CMakeFiles/test_power_core.dir/core/jitter_test.cpp.o.d"
+  "CMakeFiles/test_power_core.dir/core/pipeline_test.cpp.o"
+  "CMakeFiles/test_power_core.dir/core/pipeline_test.cpp.o.d"
+  "CMakeFiles/test_power_core.dir/core/system_energy_test.cpp.o"
+  "CMakeFiles/test_power_core.dir/core/system_energy_test.cpp.o.d"
+  "CMakeFiles/test_power_core.dir/power/gearset_property_test.cpp.o"
+  "CMakeFiles/test_power_core.dir/power/gearset_property_test.cpp.o.d"
+  "CMakeFiles/test_power_core.dir/power/gearset_test.cpp.o"
+  "CMakeFiles/test_power_core.dir/power/gearset_test.cpp.o.d"
+  "CMakeFiles/test_power_core.dir/power/power_model_test.cpp.o"
+  "CMakeFiles/test_power_core.dir/power/power_model_test.cpp.o.d"
+  "test_power_core"
+  "test_power_core.pdb"
+  "test_power_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_power_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibrate_workloads.dir/calibrate_workloads.cpp.o"
+  "CMakeFiles/calibrate_workloads.dir/calibrate_workloads.cpp.o.d"
+  "calibrate_workloads"
+  "calibrate_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibrate_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pals_reproduce.dir/pals_reproduce.cpp.o"
+  "CMakeFiles/pals_reproduce.dir/pals_reproduce.cpp.o.d"
+  "pals_reproduce"
+  "pals_reproduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pals_reproduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

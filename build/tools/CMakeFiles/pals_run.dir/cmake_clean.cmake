@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pals_run.dir/pals_run.cpp.o"
+  "CMakeFiles/pals_run.dir/pals_run.cpp.o.d"
+  "pals_run"
+  "pals_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pals_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

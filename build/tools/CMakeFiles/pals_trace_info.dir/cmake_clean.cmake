@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pals_trace_info.dir/pals_trace_info.cpp.o"
+  "CMakeFiles/pals_trace_info.dir/pals_trace_info.cpp.o.d"
+  "pals_trace_info"
+  "pals_trace_info.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pals_trace_info.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

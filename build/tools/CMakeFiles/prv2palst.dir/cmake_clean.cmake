@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prv2palst.dir/prv2palst.cpp.o"
+  "CMakeFiles/prv2palst.dir/prv2palst.cpp.o.d"
+  "prv2palst"
+  "prv2palst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prv2palst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

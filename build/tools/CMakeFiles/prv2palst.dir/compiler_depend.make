@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for prv2palst.
+# This may be replaced when dependencies are built.

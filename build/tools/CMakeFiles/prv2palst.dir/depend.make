@@ -1,0 +1,2 @@
+# Empty dependencies file for prv2palst.
+# This may be replaced when dependencies are built.

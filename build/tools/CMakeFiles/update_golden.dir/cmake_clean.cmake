@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/update_golden.dir/update_golden.cpp.o"
+  "CMakeFiles/update_golden.dir/update_golden.cpp.o.d"
+  "update_golden"
+  "update_golden.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/update_golden.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
