@@ -1,50 +1,51 @@
 // Extension study: predictions for NAS benchmarks beyond the paper's
 // subset (LU's pipelined wavefront, FT's transpose-dominated FFT), plus
 // the paper set at a glance — all under the MAX algorithm with the
-// uniform 6-gear set.
-#include <string>
-#include <vector>
+// uniform 6-gear set. Runs on the parallel sweep engine; pass --jobs=N
+// to fan the scenarios across N threads (the output is identical for
+// every N).
+#include <iostream>
 
-#include "analysis/experiments.hpp"
-#include "workloads/apps.hpp"
-#include "workloads/registry.hpp"
+#include "analysis/sweep.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
 
 namespace pals {
 namespace {
 
-int run() {
-  std::vector<ExperimentRow> rows;
+int run(int argc, char** argv) {
+  CliParser cli;
+  cli.add_option("jobs", "worker threads (0 = hardware concurrency)", "1");
+  cli.add_option("out", "CSV output path", "ext_suite.csv");
+  cli.parse(argc, argv);
+
+  SweepGrid grid;
   // LU and FT are not characterized in Table 3; run them at plausible
   // load-balance levels (LU mildly imbalanced from SSOR pivoting noise,
-  // FT nearly perfectly balanced).
-  for (const auto& [family, lb] :
-       {std::pair<const char*, double>{"lu", 0.93},
-        std::pair<const char*, double>{"ft", 0.985}}) {
-    for (const Rank ranks : {32, 64}) {
-      WorkloadConfig config;
-      config.ranks = ranks;
-      config.iterations = 6;
-      config.target_lb = lb;
-      const Trace trace = workload_factory(family)(config);
-      rows.push_back(run_experiment(
-          trace, std::string(family) + "-" + std::to_string(ranks),
-          "uniform-6", default_pipeline_config(paper_uniform(6))));
-    }
-  }
-  // Paper instances for side-by-side context.
-  TraceCache cache;
-  for (const char* name : {"CG-32", "MG-32", "IS-32"}) {
-    const auto inst = benchmark_by_name(name);
-    rows.push_back(run_experiment(cache.get(*inst), name, "uniform-6",
-                                  default_pipeline_config(paper_uniform(6))));
-  }
-  print_rows(rows,
+  // FT nearly perfectly balanced). Paper instances for side-by-side
+  // context.
+  grid.workloads = {"lu:32:0.93:6", "lu:64:0.93:6", "ft:32:0.985:6",
+                    "ft:64:0.985:6", "CG-32", "MG-32", "IS-32"};
+  grid.gear_sets = {"uniform-6"};
+
+  SweepOptions options;
+  options.jobs = static_cast<int>(cli.get_int("jobs", 1));
+  const SweepResult result = run_sweep(grid, options);
+  print_rows(result.rows,
              "Extension: suite predictions for LU and FT (MAX, uniform-6)",
-             "ext_suite.csv");
+             cli.get("out"));
+  std::cout << "\n# sweep summary\n" << result.stats.to_kv();
   return 0;
 }
 
 }  // namespace
 }  // namespace pals
 
-int main() { return pals::run(); }
+int main(int argc, char** argv) {
+  try {
+    return pals::run(argc, argv);
+  } catch (const pals::Error& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 verification: full build + test suite, then the parallel-sweep
+# determinism test again under AddressSanitizer + UBSan (data races in
+# the sweep engine show up as ASan heap errors or torn reads long before
+# they corrupt a CSV).
+#
+# Usage: scripts/tier1.sh [build-dir] [asan-build-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${1:-build}
+ASAN_DIR=${2:-build-asan}
+JOBS=$(nproc 2>/dev/null || echo 2)
+
+echo "== tier 1: build + full test suite (${BUILD_DIR}) =="
+cmake -B "${BUILD_DIR}" -S .
+cmake --build "${BUILD_DIR}" -j "${JOBS}"
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
+
+echo "== tier 1: sweep determinism under ASan/UBSan (${ASAN_DIR}) =="
+cmake -B "${ASAN_DIR}" -S . -DPALS_SANITIZE="address;undefined"
+cmake --build "${ASAN_DIR}" -j "${JOBS}" --target test_sweep
+ctest --test-dir "${ASAN_DIR}" --output-on-failure -j "${JOBS}" \
+      -R 'SweepDeterminism|SweepGridFile|SweepErrors'
+
+echo "tier 1 OK"

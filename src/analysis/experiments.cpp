@@ -2,6 +2,7 @@
 
 #include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "util/csv.hpp"
 #include "util/kvconfig.hpp"
@@ -56,10 +57,10 @@ void apply_config_file(PipelineConfig& config, const std::string& path) {
   config.validate();
 }
 
-ExperimentRow run_experiment(const Trace& trace, const std::string& instance,
-                             const std::string& variant,
-                             const PipelineConfig& config) {
-  const PipelineResult result = run_pipeline(trace, config);
+namespace {
+
+ExperimentRow flatten(const PipelineResult& result, const std::string& instance,
+                      const std::string& variant) {
   ExperimentRow row;
   row.instance = instance;
   row.variant = variant;
@@ -72,10 +73,31 @@ ExperimentRow run_experiment(const Trace& trace, const std::string& instance,
   return row;
 }
 
+}  // namespace
+
+ExperimentRow run_experiment(const Trace& trace, const std::string& instance,
+                             const std::string& variant,
+                             const PipelineConfig& config) {
+  return flatten(run_pipeline(trace, config), instance, variant);
+}
+
+ExperimentRow run_experiment(const Trace& trace, const ReplayResult& baseline,
+                             const std::string& instance,
+                             const std::string& variant,
+                             const PipelineConfig& config) {
+  return flatten(run_pipeline(trace, config, baseline), instance, variant);
+}
+
 const Trace& TraceCache::get(const BenchmarkInstance& instance) {
-  const auto it = traces_.find(instance.name);
+  return get(instance.name, [&instance] { return instance.make(); });
+}
+
+const Trace& TraceCache::get(const std::string& key,
+                             const std::function<Trace()>& build) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = traces_.find(key);
   if (it != traces_.end()) return it->second;
-  return traces_.emplace(instance.name, instance.make()).first->second;
+  return traces_.emplace(key, build()).first->second;
 }
 
 void print_rows(const std::vector<ExperimentRow>& rows,
@@ -94,25 +116,37 @@ void print_rows(const std::vector<ExperimentRow>& rows,
   table.print(std::cout);
 
   if (!csv_path.empty()) {
-    std::ofstream out(csv_path);
-    PALS_CHECK_MSG(out.good(), "cannot open " << csv_path);
-    CsvWriter csv(out);
-    csv.row({"instance", "variant", "load_balance", "parallel_efficiency",
-             "normalized_energy", "normalized_time", "normalized_edp",
-             "overclocked_fraction"});
-    for (const ExperimentRow& r : rows) {
-      csv.field(r.instance)
-          .field(r.variant)
-          .field(r.load_balance)
-          .field(r.parallel_efficiency)
-          .field(r.normalized_energy)
-          .field(r.normalized_time)
-          .field(r.normalized_edp)
-          .field(r.overclocked_fraction);
-      csv.end_row();
-    }
+    write_rows_csv(rows, csv_path);
     std::cout << "csv written to " << csv_path << '\n';
   }
+}
+
+std::string rows_to_csv(const std::vector<ExperimentRow>& rows) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.row({"instance", "variant", "load_balance", "parallel_efficiency",
+           "normalized_energy", "normalized_time", "normalized_edp",
+           "overclocked_fraction"});
+  for (const ExperimentRow& r : rows) {
+    csv.field(r.instance)
+        .field(r.variant)
+        .field(r.load_balance)
+        .field(r.parallel_efficiency)
+        .field(r.normalized_energy)
+        .field(r.normalized_time)
+        .field(r.normalized_edp)
+        .field(r.overclocked_fraction);
+    csv.end_row();
+  }
+  return out.str();
+}
+
+void write_rows_csv(const std::vector<ExperimentRow>& rows,
+                    const std::string& path) {
+  std::ofstream out(path);
+  PALS_CHECK_MSG(out.good(), "cannot open " << path);
+  out << rows_to_csv(rows);
+  PALS_CHECK_MSG(out.good(), "write failure on " << path);
 }
 
 }  // namespace pals

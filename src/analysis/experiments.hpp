@@ -7,6 +7,7 @@
 
 #include <functional>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -47,13 +48,27 @@ ExperimentRow run_experiment(const Trace& trace, const std::string& instance,
                              const std::string& variant,
                              const PipelineConfig& config);
 
+/// Same, but reuse a precomputed baseline replay (see the matching
+/// run_pipeline overload); the sweep engine computes it once per workload.
+ExperimentRow run_experiment(const Trace& trace, const ReplayResult& baseline,
+                             const std::string& instance,
+                             const std::string& variant,
+                             const PipelineConfig& config);
+
 /// Caches generated traces by instance name so multi-variant sweeps build
-/// each workload once.
+/// each workload once. Thread-safe: the sweep engine shares one cache
+/// across workers (std::map never invalidates references, so the returned
+/// Trace& stays valid while the cache lives).
 class TraceCache {
 public:
   const Trace& get(const BenchmarkInstance& instance);
+  /// Generic keyed access for non-registry workloads: builds (under the
+  /// cache lock) and memoizes `build()` on first use of `key`.
+  const Trace& get(const std::string& key,
+                   const std::function<Trace()>& build);
 
 private:
+  std::mutex mutex_;
   std::map<std::string, Trace> traces_;
 };
 
@@ -61,5 +76,14 @@ private:
 /// `csv_path` is non-empty, as CSV.
 void print_rows(const std::vector<ExperimentRow>& rows,
                 const std::string& title, const std::string& csv_path = "");
+
+/// The exact CSV emitted by print_rows, as a string. The formatting is
+/// shared so sweep outputs can be compared byte-for-byte across thread
+/// counts.
+std::string rows_to_csv(const std::vector<ExperimentRow>& rows);
+
+/// Write rows_to_csv(rows) to `path` (throws on I/O failure).
+void write_rows_csv(const std::vector<ExperimentRow>& rows,
+                    const std::string& path);
 
 }  // namespace pals

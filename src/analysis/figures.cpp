@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "analysis/sweep.hpp"
 #include "replay/replay.hpp"
 #include "util/strings.hpp"
 
@@ -28,20 +29,21 @@ std::vector<ExperimentRow> table3_rows(TraceCache& cache, int iterations) {
   return rows;
 }
 
-std::vector<ExperimentRow> figure2_rows(TraceCache& cache) {
-  std::vector<ExperimentRow> rows;
+std::vector<ExperimentRow> figure2_rows(TraceCache& cache, int jobs) {
+  std::vector<Scenario> scenarios;
   for (const BenchmarkInstance& inst : figure2_benchmarks()) {
-    const Trace& trace = cache.get(inst);
-    const auto measure = [&](const GearSet& set, const std::string& label) {
-      rows.push_back(run_experiment(trace, inst.name, label,
-                                    default_pipeline_config(set)));
+    const auto measure = [&](const std::string& set) {
+      scenarios.push_back(Scenario{inst.name, set, Algorithm::kMax, 0.5, ""});
     };
-    measure(paper_unlimited_continuous(), "continuous-unlimited");
-    measure(paper_limited_continuous(), "continuous-limited");
+    measure("continuous-unlimited");
+    measure("continuous-limited");
     for (int gears = 2; gears <= 15; ++gears)
-      measure(paper_uniform(gears), "uniform-" + std::to_string(gears));
+      measure("uniform-" + std::to_string(gears));
   }
-  return rows;
+  SweepOptions options;
+  options.jobs = jobs;
+  options.trace_cache = &cache;
+  return run_sweep(scenarios, options).rows;
 }
 
 std::vector<ExperimentRow> figure3_rows(TraceCache& cache) {
@@ -148,18 +150,18 @@ std::vector<ExperimentRow> figure9_rows(TraceCache& cache) {
   return rows;
 }
 
-std::vector<ExperimentRow> figure10_rows(TraceCache& cache) {
-  std::vector<ExperimentRow> rows;
+std::vector<ExperimentRow> figure10_rows(TraceCache& cache, int jobs) {
+  std::vector<Scenario> scenarios;
   for (const BenchmarkInstance& inst : paper_benchmarks()) {
-    const Trace& trace = cache.get(inst);
-    rows.push_back(
-        run_experiment(trace, inst.name, "MAX uniform-6",
-                       default_pipeline_config(paper_uniform(6))));
-    rows.push_back(run_experiment(
-        trace, inst.name, "AVG uniform-6+2.6GHz",
-        default_pipeline_config(paper_avg_discrete(), Algorithm::kAvg)));
+    scenarios.push_back(Scenario{inst.name, "uniform-6", Algorithm::kMax, 0.5,
+                                 "MAX uniform-6"});
+    scenarios.push_back(Scenario{inst.name, "avg-discrete", Algorithm::kAvg,
+                                 0.5, "AVG uniform-6+2.6GHz"});
   }
-  return rows;
+  SweepOptions options;
+  options.jobs = jobs;
+  options.trace_cache = &cache;
+  return run_sweep(scenarios, options).rows;
 }
 
 std::string rows_to_markdown(const std::vector<ExperimentRow>& rows) {

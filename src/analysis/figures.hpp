@@ -17,8 +17,10 @@ namespace pals {
 std::vector<ExperimentRow> table3_rows(TraceCache& cache, int iterations = 10);
 
 /// Figure 2: energy/EDP vs gear-set size (continuous sets + uniform
-/// 2..15) over the paper's five-instance subset.
-std::vector<ExperimentRow> figure2_rows(TraceCache& cache);
+/// 2..15) over the paper's five-instance subset. Runs on the parallel
+/// sweep engine; `jobs` is the worker count (1 = serial, 0 = hardware
+/// concurrency). Results are identical for every jobs value.
+std::vector<ExperimentRow> figure2_rows(TraceCache& cache, int jobs = 1);
 
 /// Figure 3: energy vs load balance for unlimited/2-gear/6-gear sets,
 /// sorted by load balance.
@@ -42,8 +44,9 @@ std::vector<ExperimentRow> figure8_rows(TraceCache& cache);
 /// Figure 9: AVG with uniform-6 + (2.6 GHz, 1.6 V).
 std::vector<ExperimentRow> figure9_rows(TraceCache& cache);
 
-/// Figure 10: MAX vs AVG side by side.
-std::vector<ExperimentRow> figure10_rows(TraceCache& cache);
+/// Figure 10: MAX vs AVG side by side. Runs on the parallel sweep engine
+/// (see figure2_rows for the `jobs` semantics).
+std::vector<ExperimentRow> figure10_rows(TraceCache& cache, int jobs = 1);
 
 /// Render rows as a GitHub-flavoured Markdown table.
 std::string rows_to_markdown(const std::vector<ExperimentRow>& rows);

@@ -58,22 +58,7 @@ std::vector<ExperimentRow> load_rows_csv(const std::string& path) {
 
 void save_rows_csv(const std::vector<ExperimentRow>& rows,
                    const std::string& path) {
-  std::ofstream out(path);
-  PALS_CHECK_MSG(out.good(), "cannot open '" << path << "' for writing");
-  out << kHeader << '\n';
-  CsvWriter csv(out);
-  for (const ExperimentRow& r : rows) {
-    csv.field(r.instance)
-        .field(r.variant)
-        .field(r.load_balance)
-        .field(r.parallel_efficiency)
-        .field(r.normalized_energy)
-        .field(r.normalized_time)
-        .field(r.normalized_edp)
-        .field(r.overclocked_fraction);
-    csv.end_row();
-  }
-  PALS_CHECK_MSG(out.good(), "write failure on '" << path << "'");
+  write_rows_csv(rows, path);
 }
 
 std::vector<RowDifference> compare_rows(

@@ -1,0 +1,252 @@
+#include "analysis/sweep.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <utility>
+
+#include "power/gearset.hpp"
+#include "replay/replay.hpp"
+#include "util/error.hpp"
+#include "util/kvconfig.hpp"
+#include "util/strings.hpp"
+#include "util/thread_pool.hpp"
+
+namespace pals {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+Algorithm algorithm_by_name(const std::string& name) {
+  if (name == "max") return Algorithm::kMax;
+  if (name == "avg") return Algorithm::kAvg;
+  if (name == "energy-optimal") return Algorithm::kEnergyOptimalMax;
+  throw Error("unknown algorithm '" + name +
+              "' (try max, avg, energy-optimal)");
+}
+
+/// A resolved workload: cache key, display name and trace builder.
+struct WorkloadRef {
+  std::string key;
+  std::string display;
+  std::function<Trace()> build;
+};
+
+WorkloadRef resolve_workload(const std::string& spec, int default_iterations) {
+  if (spec.find(':') == std::string::npos) {
+    const auto instance = benchmark_by_name(spec, default_iterations);
+    PALS_CHECK_MSG(instance.has_value(),
+                   "unknown workload '"
+                       << spec
+                       << "' (not a Table 3 instance; inline specs use "
+                          "family:ranks:lb[:iterations])");
+    return WorkloadRef{spec, spec,
+                       [inst = *instance] { return inst.make(); }};
+  }
+  const std::vector<std::string> parts = split(spec, ':');
+  PALS_CHECK_MSG(parts.size() == 3 || parts.size() == 4,
+                 "bad workload spec '" << spec
+                                       << "' (family:ranks:lb[:iterations])");
+  WorkloadConfig config;
+  config.ranks = static_cast<Rank>(parse_int(parts[1]));
+  config.target_lb = parse_double(parts[2]);
+  config.iterations =
+      parts.size() == 4 ? static_cast<int>(parse_int(parts[3]))
+                        : default_iterations;
+  PALS_CHECK_MSG(config.ranks > 0, "workload spec '" << spec
+                                                     << "': ranks must be > 0");
+  PALS_CHECK_MSG(config.target_lb > 0.0 && config.target_lb <= 1.0,
+                 "workload spec '" << spec << "': lb must be in (0, 1]");
+  PALS_CHECK_MSG(config.iterations > 0,
+                 "workload spec '" << spec << "': iterations must be > 0");
+  const std::string family = parts[0];
+  const auto factory = workload_factory(family);  // throws on unknown family
+  // Canonical key includes the resolved iteration count so grids with
+  // different defaults never collide in a shared cache.
+  const std::string key = parts.size() == 4
+                              ? spec
+                              : spec + ":" + std::to_string(config.iterations);
+  return WorkloadRef{key, family + "-" + parts[1],
+                     [factory, config] { return factory(config); }};
+}
+
+std::vector<double> parse_beta_list(const std::string& text) {
+  std::vector<double> betas;
+  for (const std::string& field : split(text, ','))
+    betas.push_back(parse_double(trim(field)));
+  return betas;
+}
+
+std::vector<std::string> parse_name_list(const std::string& text) {
+  std::vector<std::string> names;
+  for (const std::string& field : split(text, ','))
+    names.emplace_back(trim(field));
+  return names;
+}
+
+}  // namespace
+
+std::string Scenario::variant_label() const {
+  if (!label.empty()) return label;
+  std::string derived;
+  switch (algorithm) {
+    case Algorithm::kMax: break;  // the paper's default; no prefix
+    case Algorithm::kAvg: derived += "AVG "; break;
+    case Algorithm::kEnergyOptimalMax: derived += "EOPT "; break;
+  }
+  derived += gear_set;
+  if (beta != 0.5) derived += " beta=" + format_fixed(beta, 2);
+  return derived;
+}
+
+SweepGrid SweepGrid::from_file(const std::string& path) {
+  const KvConfig kv = KvConfig::parse_file(path);
+  kv.require_known_keys(
+      {"workloads", "gear_sets", "algorithms", "betas", "iterations"});
+  SweepGrid grid;
+  grid.workloads = parse_name_list(kv.get_string("workloads"));
+  grid.gear_sets = parse_name_list(kv.get_string("gear_sets"));
+  if (kv.has("algorithms")) {
+    grid.algorithms.clear();
+    for (const std::string& name : parse_name_list(kv.get_string("algorithms")))
+      grid.algorithms.push_back(algorithm_by_name(name));
+  }
+  if (kv.has("betas")) grid.betas = parse_beta_list(kv.get_string("betas"));
+  grid.iterations =
+      static_cast<int>(kv.get_int_or("iterations", grid.iterations));
+  grid.validate();
+  return grid;
+}
+
+void SweepGrid::validate() const {
+  PALS_CHECK_MSG(!workloads.empty(), "sweep grid has no workloads");
+  PALS_CHECK_MSG(!gear_sets.empty(), "sweep grid has no gear sets");
+  PALS_CHECK_MSG(!algorithms.empty(), "sweep grid has no algorithms");
+  PALS_CHECK_MSG(!betas.empty(), "sweep grid has no betas");
+  PALS_CHECK_MSG(iterations > 0, "sweep grid iterations must be > 0");
+  for (const double beta : betas)
+    PALS_CHECK_MSG(beta > 0.0 && beta <= 1.0,
+                   "sweep grid beta " << beta << " outside (0, 1]");
+}
+
+std::vector<Scenario> SweepGrid::expand() const {
+  validate();
+  std::vector<Scenario> scenarios;
+  scenarios.reserve(workloads.size() * gear_sets.size() * algorithms.size() *
+                    betas.size());
+  for (const std::string& workload : workloads)
+    for (const std::string& gear_set : gear_sets)
+      for (const Algorithm algorithm : algorithms)
+        for (const double beta : betas)
+          scenarios.push_back(Scenario{workload, gear_set, algorithm, beta, ""});
+  return scenarios;
+}
+
+std::string SweepStats::to_kv() const {
+  std::string out;
+  const auto put = [&out](const std::string& key, const std::string& value) {
+    out += key + " = " + value + "\n";
+  };
+  put("scenarios", std::to_string(scenarios));
+  put("workloads", std::to_string(workloads));
+  put("jobs", std::to_string(jobs));
+  put("wall_seconds", format_fixed(wall_seconds, 6));
+  put("scenarios_per_second", format_fixed(scenarios_per_second, 6));
+  put("baseline_cache_misses", std::to_string(baseline_cache_misses));
+  put("baseline_cache_hits", std::to_string(baseline_cache_hits));
+  put("baseline_cache_hit_rate", format_fixed(baseline_cache_hit_rate, 6));
+  put("scenario_seconds_total", format_fixed(scenario_seconds_total, 6));
+  put("scenario_seconds_max", format_fixed(scenario_seconds_max, 6));
+  return out;
+}
+
+SweepResult run_sweep(const std::vector<Scenario>& scenarios,
+                      const SweepOptions& options) {
+  PALS_CHECK_MSG(!scenarios.empty(), "sweep has no scenarios");
+  options.base.validate();
+  const auto sweep_start = Clock::now();
+
+  // Resolve everything serially up front so bad names fail with scenario
+  // context before any thread spawns, and workers only do numeric work.
+  std::vector<WorkloadRef> workloads;
+  std::map<std::string, std::size_t> workload_index;
+  std::vector<std::size_t> scenario_workload(scenarios.size());
+  std::vector<GearSet> scenario_gears;
+  scenario_gears.reserve(scenarios.size());
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const Scenario& s = scenarios[i];
+    WorkloadRef ref = resolve_workload(s.workload, options.iterations);
+    const auto [it, inserted] =
+        workload_index.emplace(ref.key, workloads.size());
+    if (inserted) workloads.push_back(std::move(ref));
+    scenario_workload[i] = it->second;
+    scenario_gears.push_back(gear_set_by_name(s.gear_set));
+  }
+
+  TraceCache private_cache;
+  TraceCache& cache =
+      options.trace_cache ? *options.trace_cache : private_cache;
+  ThreadPool pool(options.jobs);
+
+  // Phase 1: one trace + baseline replay per unique workload. The
+  // baseline depends only on the trace and the platform, so every
+  // scenario of the workload shares it.
+  std::vector<const Trace*> traces(workloads.size());
+  std::vector<ReplayResult> baselines(workloads.size());
+  pool.parallel_for(workloads.size(), [&](std::size_t w) {
+    traces[w] = &cache.get(workloads[w].key, workloads[w].build);
+    baselines[w] = replay(*traces[w], options.base.replay);
+  });
+
+  // Phase 2: the scenario fan-out. Each worker runs the pipeline on
+  // private state and writes into its pre-allocated slot, so the merged
+  // row order is the canonical grid order regardless of thread count.
+  SweepResult result;
+  result.rows.resize(scenarios.size());
+  result.scenario_seconds.resize(scenarios.size());
+  pool.parallel_for(scenarios.size(), [&](std::size_t i) {
+    const auto scenario_start = Clock::now();
+    const Scenario& s = scenarios[i];
+    const std::size_t w = scenario_workload[i];
+    PipelineConfig config = options.base;
+    config.algorithm.algorithm = s.algorithm;
+    config.algorithm.gear_set = scenario_gears[i];
+    set_beta(config, s.beta);
+    result.rows[i] = run_experiment(*traces[w], baselines[w],
+                                    workloads[w].display, s.variant_label(),
+                                    config);
+    result.scenario_seconds[i] = seconds_since(scenario_start);
+  });
+
+  SweepStats& stats = result.stats;
+  stats.scenarios = scenarios.size();
+  stats.workloads = workloads.size();
+  stats.jobs = pool.size();
+  stats.wall_seconds = seconds_since(sweep_start);
+  stats.scenarios_per_second =
+      stats.wall_seconds > 0.0
+          ? static_cast<double>(stats.scenarios) / stats.wall_seconds
+          : 0.0;
+  stats.baseline_cache_misses = workloads.size();
+  stats.baseline_cache_hits = scenarios.size() - workloads.size();
+  stats.baseline_cache_hit_rate =
+      static_cast<double>(stats.baseline_cache_hits) /
+      static_cast<double>(stats.scenarios);
+  for (const double s : result.scenario_seconds) {
+    stats.scenario_seconds_total += s;
+    stats.scenario_seconds_max = std::max(stats.scenario_seconds_max, s);
+  }
+  return result;
+}
+
+SweepResult run_sweep(const SweepGrid& grid, const SweepOptions& options) {
+  SweepOptions resolved = options;
+  resolved.iterations = grid.iterations;
+  return run_sweep(grid.expand(), resolved);
+}
+
+}  // namespace pals

@@ -1,0 +1,118 @@
+// Parallel scenario-sweep engine.
+//
+// Every figure/table reproduction is a grid of (workload × gear set ×
+// algorithm × β) scenarios, each an independent run_pipeline call — an
+// embarrassingly parallel structure the serial drivers leave on the
+// table. This layer fans a declarative grid out across a work-stealing
+// thread pool (util/thread_pool.hpp) with two guarantees:
+//
+//  * Determinism: results are merged in canonical grid order into
+//    pre-allocated slots, so the output rows — and the CSV rendered from
+//    them — are byte-identical regardless of the thread count.
+//  * Baseline sharing: the baseline replay of each workload depends only
+//    on the trace and the platform, not on the gear point, so it is
+//    computed once per workload and reused by every scenario instead of
+//    once per (workload, gear, algorithm, β) combination.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/experiments.hpp"
+#include "core/algorithms.hpp"
+
+namespace pals {
+
+/// One point of the scenario grid.
+struct Scenario {
+  /// Registry instance name ("CG-32") or an inline workload spec
+  /// "family:ranks:target_lb[:iterations]" (e.g. "lu:32:0.93:6").
+  std::string workload;
+  /// Gear-set name for gear_set_by_name() ("uniform-6", "avg-discrete",
+  /// "continuous-unlimited", ...).
+  std::string gear_set = "uniform-6";
+  Algorithm algorithm = Algorithm::kMax;
+  double beta = 0.5;
+  /// Variant label for the result row; empty derives one from the
+  /// gear set / algorithm / β.
+  std::string label;
+
+  std::string variant_label() const;
+};
+
+/// Declarative cross-product grid; expand() yields the canonical scenario
+/// order (workload-major, then gear set, algorithm, β).
+struct SweepGrid {
+  std::vector<std::string> workloads;
+  std::vector<std::string> gear_sets;
+  std::vector<Algorithm> algorithms = {Algorithm::kMax};
+  std::vector<double> betas = {0.5};
+  /// Iterations for workloads that do not carry their own count.
+  int iterations = 10;
+
+  /// Parse a key = value grid file (util/kvconfig.hpp) with
+  /// comma-separated lists:
+  ///
+  ///   workloads  = CG-32, MG-32, lu:32:0.93:6
+  ///   gear_sets  = uniform-6, avg-discrete
+  ///   algorithms = max, avg
+  ///   betas      = 0.5
+  ///   iterations = 10
+  static SweepGrid from_file(const std::string& path);
+
+  void validate() const;
+  std::vector<Scenario> expand() const;
+};
+
+struct SweepOptions {
+  /// Worker threads; 0 = hardware concurrency, 1 = serial.
+  int jobs = 1;
+  /// Iterations for registry workloads and specs without an explicit
+  /// count (SweepGrid::expand carries the grid's value through
+  /// run_sweep(grid, ...)).
+  int iterations = 10;
+  /// Configuration applied to every scenario; the scenario's gear set,
+  /// algorithm and β override the corresponding fields. Platform and
+  /// power knobs (static fraction, activity ratio, ...) pass through.
+  PipelineConfig base = default_pipeline_config(paper_uniform(6));
+  /// Optional shared trace cache (must outlive the call); run_sweep uses
+  /// a private one when null.
+  TraceCache* trace_cache = nullptr;
+};
+
+/// Timing/throughput counters of one sweep, for the machine-readable
+/// summary (timings are wall-clock and therefore *not* deterministic —
+/// only SweepResult::rows is).
+struct SweepStats {
+  std::size_t scenarios = 0;
+  std::size_t workloads = 0;  ///< unique workloads (= baseline replays run)
+  int jobs = 1;
+  double wall_seconds = 0.0;
+  double scenarios_per_second = 0.0;
+  std::size_t baseline_cache_misses = 0;  ///< baselines actually computed
+  std::size_t baseline_cache_hits = 0;    ///< scenarios served from cache
+  double baseline_cache_hit_rate = 0.0;
+  double scenario_seconds_total = 0.0;  ///< Σ per-scenario replay time
+  double scenario_seconds_max = 0.0;    ///< slowest single scenario
+
+  /// "key = value" lines, parseable by util/kvconfig.hpp.
+  std::string to_kv() const;
+};
+
+struct SweepResult {
+  /// One row per scenario, in canonical grid order.
+  std::vector<ExperimentRow> rows;
+  /// Wall-clock seconds each scenario's pipeline took (same order).
+  std::vector<double> scenario_seconds;
+  SweepStats stats;
+};
+
+/// Run an explicit scenario list. Scenario errors (unknown workload or
+/// gear set) throw pals::Error naming the offending scenario.
+SweepResult run_sweep(const std::vector<Scenario>& scenarios,
+                      const SweepOptions& options = {});
+
+/// Expand and run a grid (grid.iterations overrides options.iterations).
+SweepResult run_sweep(const SweepGrid& grid, const SweepOptions& options = {});
+
+}  // namespace pals

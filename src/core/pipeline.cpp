@@ -43,11 +43,17 @@ double parallel_efficiency(std::span<const Seconds> computation_time,
 
 PipelineResult run_pipeline(const Trace& trace, const PipelineConfig& config) {
   config.validate();
+  return run_pipeline(trace, config, replay(trace, config.replay));
+}
+
+PipelineResult run_pipeline(const Trace& trace, const PipelineConfig& config,
+                            const ReplayResult& baseline) {
+  config.validate();
   const PowerModel power(config.power);
   const auto n = static_cast<std::size_t>(trace.n_ranks());
 
   PipelineResult result;
-  result.baseline_replay = replay(trace, config.replay);
+  result.baseline_replay = baseline;
   result.baseline_time = result.baseline_replay.makespan;
   result.baseline_energy =
       power.baseline_energy(result.baseline_replay.timeline);

@@ -63,6 +63,14 @@ struct PipelineResult {
 
 PipelineResult run_pipeline(const Trace& trace, const PipelineConfig& config);
 
+/// Same pipeline, but reuse a precomputed baseline replay instead of
+/// re-simulating it. `baseline` must be the result of
+/// replay(trace, config.replay); the sweep engine (analysis/sweep.hpp)
+/// uses this to run the baseline once per workload instead of once per
+/// gear point.
+PipelineResult run_pipeline(const Trace& trace, const PipelineConfig& config,
+                            const ReplayResult& baseline);
+
 /// Equations (4) and (5) of the paper.
 double load_balance(std::span<const Seconds> computation_time);
 double parallel_efficiency(std::span<const Seconds> computation_time,

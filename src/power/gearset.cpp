@@ -212,4 +212,19 @@ GearSet paper_avg_discrete() {
   return paper_uniform(6).with_extra_gear(Gear{2.6, 1.6});
 }
 
+GearSet gear_set_by_name(const std::string& name) {
+  if (name == "unlimited" || name == "continuous-unlimited")
+    return paper_unlimited_continuous();
+  if (name == "limited" || name == "continuous-limited")
+    return paper_limited_continuous();
+  if (name == "avg-discrete") return paper_avg_discrete();
+  if (starts_with(name, "uniform-"))
+    return paper_uniform(static_cast<int>(parse_int(name.substr(8))));
+  if (starts_with(name, "exponential-"))
+    return paper_exponential(static_cast<int>(parse_int(name.substr(12))));
+  throw Error("unknown gear set '" + name +
+              "' (try unlimited, limited, uniform-N, exponential-N, "
+              "avg-discrete)");
+}
+
 }  // namespace pals

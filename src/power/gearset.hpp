@@ -111,4 +111,10 @@ GearSet paper_exponential(int n_gears);
 /// Uniform 6-gear set + (2.6 GHz, 1.6 V) used by the discrete AVG study.
 GearSet paper_avg_discrete();
 
+/// Look up a gear set by the CLI/grid-file name: unlimited, limited,
+/// uniform-N, exponential-N, avg-discrete (continuous-unlimited and
+/// continuous-limited are accepted as aliases of the first two). Throws
+/// pals::Error listing the options for unknown names.
+GearSet gear_set_by_name(const std::string& name);
+
 }  // namespace pals

@@ -251,6 +251,94 @@ TEST(Replay, DeadlockIsDetectedAndReported) {
   }
 }
 
+TEST(Replay, WaitallOnNeverCompletedRequestReportsBlockedRank) {
+  // Rank 0 waits on an irecv whose matching send never happens; rank 1
+  // finishes normally. The replay must terminate with a diagnostic that
+  // names the stuck rank, not hang.
+  Trace t(2);
+  TraceBuilder(t, 0).irecv(1, 0, 100, 0).waitall();
+  TraceBuilder(t, 1).compute(1.0);
+  try {
+    replay(t, unit_config());
+    FAIL() << "expected deadlock error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("deadlock"), std::string::npos) << what;
+    EXPECT_NE(what.find("rank 0"), std::string::npos) << what;
+    // The finished rank must not be reported as blocked.
+    EXPECT_EQ(what.find("rank 1"), std::string::npos) << what;
+  }
+}
+
+TEST(Replay, WaitOnNeverCompletedRequestReportsBlockedRank) {
+  Trace t(2);
+  TraceBuilder(t, 0).irecv(1, 0, 100, 0).compute(0.5).wait(0);
+  TraceBuilder(t, 1).compute(1.0);
+  try {
+    replay(t, unit_config());
+    FAIL() << "expected deadlock error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("deadlock"), std::string::npos) << what;
+    EXPECT_NE(what.find("rank 0"), std::string::npos) << what;
+    EXPECT_EQ(what.find("rank 1"), std::string::npos) << what;
+  }
+}
+
+TEST(Replay, CollectiveMissingFromOneRankRejectedUpFront) {
+  // A collective only a subset of ranks ever issues is caught by trace
+  // validation before replay, naming the short rank.
+  Trace t(3);
+  TraceBuilder(t, 0).collective(CollectiveOp::kBarrier, 0);
+  TraceBuilder(t, 1).compute(1.0).collective(CollectiveOp::kBarrier, 0);
+  TraceBuilder(t, 2).compute(2.0);
+  try {
+    replay(t, unit_config());
+    FAIL() << "expected validation error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("rank 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("collective"), std::string::npos) << what;
+  }
+}
+
+TEST(Replay, CollectiveEnteredBySubsetReportsAllBlockedRanks) {
+  // Ranks 1 and 2 enter a barrier; rank 0 is stuck in an unmatched recv
+  // before its own barrier, so the collective never completes. The
+  // report must show every rank blocked, each at its real event.
+  Trace t(3);
+  TraceBuilder(t, 0).recv(1, 5, 10).collective(CollectiveOp::kBarrier, 0);
+  TraceBuilder(t, 1).collective(CollectiveOp::kBarrier, 0);
+  TraceBuilder(t, 2).compute(1.0).collective(CollectiveOp::kBarrier, 0);
+  try {
+    replay(t, unit_config());
+    FAIL() << "expected deadlock error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("deadlock"), std::string::npos) << what;
+    EXPECT_NE(what.find("rank 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("rank 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("rank 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("recv"), std::string::npos) << what;
+    EXPECT_NE(what.find("coll"), std::string::npos) << what;
+  }
+}
+
+TEST(Replay, DeadlockReportIncludesEventPosition) {
+  // The diagnostic points at the event each blocked rank is stuck on.
+  Trace t(2);
+  TraceBuilder(t, 0).compute(1.0).recv(1, 0, 10);
+  TraceBuilder(t, 1).compute(1.0);
+  try {
+    replay(t, unit_config());
+    FAIL() << "expected deadlock error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("stuck at event"), std::string::npos) << what;
+    EXPECT_NE(what.find("recv"), std::string::npos) << what;
+  }
+}
+
 TEST(Replay, CrossedBlockingRendezvousSendsDeadlock) {
   Trace t(2);
   TraceBuilder(t, 0).send(1, 0, 500).recv(1, 1, 500);

@@ -1,0 +1,23 @@
+# End-to-end determinism check for pals_sweep: the same grid run with
+# 1 and 8 worker threads must produce byte-identical CSVs.
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+function(run_step)
+  execute_process(COMMAND ${ARGN} RESULT_VARIABLE code)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "step failed (${code}): ${ARGN}")
+  endif()
+endfunction()
+
+run_step(${PALS_SWEEP} --grid=${GRID} --jobs=1 --quiet
+         --out=${WORK_DIR}/sweep_j1.csv --summary=${WORK_DIR}/sweep_j1.kv)
+run_step(${PALS_SWEEP} --grid=${GRID} --jobs=8 --quiet
+         --out=${WORK_DIR}/sweep_j8.csv --summary=${WORK_DIR}/sweep_j8.kv)
+
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                ${WORK_DIR}/sweep_j1.csv ${WORK_DIR}/sweep_j8.csv
+                RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  message(FATAL_ERROR
+          "pals_sweep CSVs differ between --jobs=1 and --jobs=8")
+endif()

@@ -134,6 +134,57 @@ TEST(BinaryTrace, RejectsBadMagicAndTruncation) {
   EXPECT_THROW(read_trace_binary(buffer.data(), buffer.size() / 2), Error);
 }
 
+TEST(BinaryTrace, RejectsEmptyBuffer) {
+  const std::vector<std::uint8_t> empty;
+  EXPECT_THROW(read_trace_binary(empty), Error);
+}
+
+TEST(BinaryTrace, RejectsTruncatedHeader) {
+  // Cutting anywhere inside the magic + rank-count header must throw;
+  // a 6-byte .palsb file is never valid.
+  const auto buffer = write_trace_binary(sample_trace());
+  for (std::size_t size = 0; size <= 6; ++size) {
+    EXPECT_THROW(read_trace_binary(buffer.data(), size), Error)
+        << "prefix of " << size << " bytes accepted";
+  }
+}
+
+TEST(BinaryTrace, RejectsBadVersionByte) {
+  // The format version is baked into the magic ("PALSB1"); a bumped
+  // version byte must be rejected, not misparsed.
+  auto buffer = write_trace_binary(sample_trace());
+  buffer[5] = '2';
+  EXPECT_THROW(read_trace_binary(buffer), Error);
+}
+
+TEST(BinaryTrace, RejectsTruncatedComputeBurstPayload) {
+  // One compute burst: tag byte + 8-byte f64 duration + phase varint.
+  // Every cut inside that payload must fail cleanly.
+  Trace t(1);
+  t.set_name("");
+  TraceBuilder(t, 0).compute(0.25, 3);
+  const auto buffer = write_trace_binary(t);
+  for (std::size_t cut = 1; cut <= 9; ++cut) {
+    ASSERT_LT(cut, buffer.size());
+    EXPECT_THROW(read_trace_binary(buffer.data(), buffer.size() - cut), Error)
+        << "payload cut of " << cut << " bytes accepted";
+  }
+}
+
+TEST(BinaryTrace, EveryPrefixThrowsOrValidates) {
+  // Sweeping all prefix truncations must never crash or produce a trace
+  // that fails validation.
+  const auto buffer = write_trace_binary(sample_trace());
+  for (std::size_t size = 0; size < buffer.size(); ++size) {
+    try {
+      const Trace t = read_trace_binary(buffer.data(), size);
+      EXPECT_NO_THROW(t.validate());
+    } catch (const Error&) {
+      // truncated input must throw, not crash
+    }
+  }
+}
+
 TEST(BinaryTrace, RejectsTrailingBytes) {
   auto buffer = write_trace_binary(sample_trace());
   buffer.push_back(0);

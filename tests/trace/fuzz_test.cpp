@@ -3,10 +3,13 @@
 // crash, hang, or corrupt state.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "paraver/prv.hpp"
+#include "trace/binary_io.hpp"
 #include "trace/io.hpp"
 #include "trace/timeline.hpp"
 #include "util/error.hpp"
@@ -116,6 +119,28 @@ TEST_P(ParserFuzz, PrvParserNeverCrashes) {
       const PrvTrace prv = read_prv(in);
       EXPECT_NO_THROW(prv.validate());
     } catch (const Error&) {
+    }
+  }
+}
+
+TEST_P(ParserFuzz, BinaryTraceReaderNeverCrashesOnGarbage) {
+  // Pure random bytes — with and without a valid magic prefix — must
+  // throw or decode to a coherent trace, never crash or hang.
+  Rng rng(GetParam() + 5000);
+  for (int i = 0; i < 100; ++i) {
+    std::vector<std::uint8_t> garbage(rng.uniform_int(0, 512));
+    for (auto& byte : garbage)
+      byte = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    if (i % 2 == 0 && garbage.size() >= 6) {
+      const char magic[] = {'P', 'A', 'L', 'S', 'B', '1'};
+      for (std::size_t b = 0; b < 6; ++b)
+        garbage[b] = static_cast<std::uint8_t>(magic[b]);
+    }
+    try {
+      const Trace t = read_trace_binary(garbage);
+      EXPECT_NO_THROW(t.validate());
+    } catch (const Error&) {
+      // expected for malformed input
     }
   }
 }

@@ -29,19 +29,6 @@
 namespace pals {
 namespace {
 
-GearSet gear_set_by_name(const std::string& name) {
-  if (name == "unlimited") return paper_unlimited_continuous();
-  if (name == "limited") return paper_limited_continuous();
-  if (name == "avg-discrete") return paper_avg_discrete();
-  if (starts_with(name, "uniform-"))
-    return paper_uniform(static_cast<int>(parse_int(name.substr(8))));
-  if (starts_with(name, "exponential-"))
-    return paper_exponential(static_cast<int>(parse_int(name.substr(12))));
-  throw Error("unknown gear set '" + name +
-              "' (try unlimited, limited, uniform-N, exponential-N, "
-              "avg-discrete)");
-}
-
 int run(int argc, char** argv) {
   CliParser cli;
   cli.add_option("trace", "input .palst trace file");
