@@ -1,15 +1,17 @@
 #!/usr/bin/env bash
-# Tier-1 verification: full build + test suite, then the parallel-sweep
-# determinism test again under AddressSanitizer + UBSan (data races in
-# the sweep engine show up as ASan heap errors or torn reads long before
-# they corrupt a CSV).
+# Tier-1 verification: full build + test suite, a static-lint pass over
+# the shipped example traces, then the parallel-sweep determinism test
+# again under AddressSanitizer + UBSan and (when supported) under
+# ThreadSanitizer — data races in the sweep engine show up as sanitizer
+# reports long before they corrupt a CSV.
 #
-# Usage: scripts/tier1.sh [build-dir] [asan-build-dir]
+# Usage: scripts/tier1.sh [build-dir] [asan-build-dir] [tsan-build-dir]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=${1:-build}
 ASAN_DIR=${2:-build-asan}
+TSAN_DIR=${3:-build-tsan}
 JOBS=$(nproc 2>/dev/null || echo 2)
 
 echo "== tier 1: build + full test suite (${BUILD_DIR}) =="
@@ -17,10 +19,31 @@ cmake -B "${BUILD_DIR}" -S .
 cmake --build "${BUILD_DIR}" -j "${JOBS}"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
 
+echo "== tier 1: static lint of the shipped example traces =="
+for trace in examples/traces/*.palst; do
+  "${BUILD_DIR}/tools/pals_lint" --strict --quiet "${trace}"
+done
+
 echo "== tier 1: sweep determinism under ASan/UBSan (${ASAN_DIR}) =="
 cmake -B "${ASAN_DIR}" -S . -DPALS_SANITIZE="address;undefined"
 cmake --build "${ASAN_DIR}" -j "${JOBS}" --target test_sweep
 ctest --test-dir "${ASAN_DIR}" --output-on-failure -j "${JOBS}" \
       -R 'SweepDeterminism|SweepGridFile|SweepErrors'
+
+# ThreadSanitizer is the race detector proper, but not every toolchain
+# image ships its runtime — probe before committing to the leg.
+echo "== tier 1: probing for ThreadSanitizer support =="
+if echo 'int main(){return 0;}' | \
+   c++ -fsanitize=thread -x c++ - -o /tmp/pals_tsan_probe 2>/dev/null && \
+   /tmp/pals_tsan_probe; then
+  echo "== tier 1: thread-pool + sweep races under TSan (${TSAN_DIR}) =="
+  cmake -B "${TSAN_DIR}" -S . -DPALS_SANITIZE="thread"
+  cmake --build "${TSAN_DIR}" -j "${JOBS}" --target test_util test_sweep
+  ctest --test-dir "${TSAN_DIR}" --output-on-failure -j "${JOBS}" \
+        -R 'ThreadPool|SweepDeterminism'
+else
+  echo "== tier 1: TSan unavailable on this toolchain; skipping =="
+fi
+rm -f /tmp/pals_tsan_probe
 
 echo "tier 1 OK"

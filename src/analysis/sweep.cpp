@@ -5,6 +5,7 @@
 #include <map>
 #include <utility>
 
+#include "lint/lint.hpp"
 #include "power/gearset.hpp"
 #include "replay/replay.hpp"
 #include "util/error.hpp"
@@ -194,11 +195,20 @@ SweepResult run_sweep(const std::vector<Scenario>& scenarios,
 
   // Phase 1: one trace + baseline replay per unique workload. The
   // baseline depends only on the trace and the platform, so every
-  // scenario of the workload shares it.
+  // scenario of the workload shares it. With the opt-in lint hook
+  // (options.base.lint) each workload trace is statically verified here,
+  // once, so a bad grid cell aborts with the full diagnostic report
+  // before any replay starts.
   std::vector<const Trace*> traces(workloads.size());
   std::vector<ReplayResult> baselines(workloads.size());
   pool.parallel_for(workloads.size(), [&](std::size_t w) {
     traces[w] = &cache.get(workloads[w].key, workloads[w].build);
+    if (options.base.lint) {
+      lint::LintOptions lint_options;
+      lint_options.eager_threshold =
+          options.base.replay.platform.eager_threshold;
+      lint::enforce_lint(*traces[w], lint_options, workloads[w].display);
+    }
     baselines[w] = replay(*traces[w], options.base.replay);
   });
 
@@ -215,6 +225,7 @@ SweepResult run_sweep(const std::vector<Scenario>& scenarios,
     PipelineConfig config = options.base;
     config.algorithm.algorithm = s.algorithm;
     config.algorithm.gear_set = scenario_gears[i];
+    config.lint = false;  // each workload was already linted in phase 1
     set_beta(config, s.beta);
     result.rows[i] = run_experiment(*traces[w], baselines[w],
                                     workloads[w].display, s.variant_label(),

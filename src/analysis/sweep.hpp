@@ -74,6 +74,9 @@ struct SweepOptions {
   /// Configuration applied to every scenario; the scenario's gear set,
   /// algorithm and β override the corresponding fields. Platform and
   /// power knobs (static fraction, activity ratio, ...) pass through.
+  /// Setting base.lint statically verifies every workload trace once,
+  /// up front (phase 1), aborting the sweep with a full lint report
+  /// instead of a mid-replay deadlock throw.
   PipelineConfig base = default_pipeline_config(paper_uniform(6));
   /// Optional shared trace cache (must outlive the call); run_sweep uses
   /// a private one when null.

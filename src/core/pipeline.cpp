@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "lint/lint.hpp"
 #include "trace/transform.hpp"
 #include "util/error.hpp"
 
@@ -41,14 +42,35 @@ double parallel_efficiency(std::span<const Seconds> computation_time,
   return total / (static_cast<double>(computation_time.size()) * total_time);
 }
 
+namespace {
+
+/// The opt-in PipelineConfig::lint hook: verify the trace statically and
+/// abort with the exhaustive report instead of a mid-replay throw.
+void lint_input_trace(const Trace& trace, const PipelineConfig& config) {
+  lint::LintOptions options;
+  options.eager_threshold = config.replay.platform.eager_threshold;
+  lint::enforce_lint(trace, options,
+                     trace.name().empty() ? "pipeline input trace"
+                                          : trace.name());
+}
+
+}  // namespace
+
 PipelineResult run_pipeline(const Trace& trace, const PipelineConfig& config) {
   config.validate();
+  if (config.lint) {
+    lint_input_trace(trace, config);
+    PipelineConfig linted = config;
+    linted.lint = false;  // already verified; skip the re-check below
+    return run_pipeline(trace, linted, replay(trace, linted.replay));
+  }
   return run_pipeline(trace, config, replay(trace, config.replay));
 }
 
 PipelineResult run_pipeline(const Trace& trace, const PipelineConfig& config,
                             const ReplayResult& baseline) {
   config.validate();
+  if (config.lint) lint_input_trace(trace, config);
   const PowerModel power(config.power);
   const auto n = static_cast<std::size_t>(trace.n_ranks());
 

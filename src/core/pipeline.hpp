@@ -27,6 +27,12 @@ struct PipelineConfig {
   /// of one per rank (the paper uses a single setting; PEPC's 20 % slowdown
   /// stems from that restriction).
   bool per_phase = false;
+  /// Opt-in fail-fast verification: statically lint the input trace
+  /// (lint/lint.hpp, with this config's eager threshold) before the
+  /// baseline replay and throw the full diagnostic report on any error —
+  /// a malformed or deadlocking trace aborts up front instead of
+  /// mid-replay.
+  bool lint = false;
 
   void validate() const;
 };

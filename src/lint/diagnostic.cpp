@@ -1,0 +1,126 @@
+#include "lint/diagnostic.hpp"
+
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+
+namespace pals {
+namespace lint {
+
+std::string to_string(Severity severity) {
+  switch (severity) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  throw Error("invalid Severity enum value");
+}
+
+std::string to_string(Code code) {
+  switch (code) {
+    case Code::kUnmatchedSend: return "unmatched-send";
+    case Code::kUnmatchedRecv: return "unmatched-recv";
+    case Code::kBytesMismatch: return "bytes-mismatch";
+    case Code::kPeerOutOfRange: return "peer-out-of-range";
+    case Code::kSelfMessage: return "self-message";
+    case Code::kCollectiveCountMismatch: return "collective-count-mismatch";
+    case Code::kCollectiveKindMismatch: return "collective-kind-mismatch";
+    case Code::kCollectiveRootMismatch: return "collective-root-mismatch";
+    case Code::kCollectiveRootOutOfRange: return "collective-root-out-of-range";
+    case Code::kRequestAlreadyOpen: return "request-already-open";
+    case Code::kWaitUnknownRequest: return "wait-unknown-request";
+    case Code::kRequestNeverWaited: return "request-never-waited";
+    case Code::kWaitAllNoPending: return "waitall-no-pending";
+    case Code::kNonFiniteDuration: return "non-finite-duration";
+    case Code::kNegativeDuration: return "negative-duration";
+    case Code::kZeroDuration: return "zero-duration";
+    case Code::kHugeDuration: return "huge-duration";
+    case Code::kEmptyIteration: return "empty-iteration";
+    case Code::kUnbalancedMarkers: return "unbalanced-markers";
+    case Code::kEmptyRank: return "empty-rank";
+    case Code::kEmptyTrace: return "empty-trace";
+    case Code::kDeadlock: return "deadlock";
+  }
+  throw Error("invalid lint Code enum value");
+}
+
+Severity severity_of(Code code) {
+  switch (code) {
+    case Code::kUnmatchedSend:
+    case Code::kUnmatchedRecv:
+    case Code::kPeerOutOfRange:
+    case Code::kSelfMessage:
+    case Code::kCollectiveCountMismatch:
+    case Code::kCollectiveKindMismatch:
+    case Code::kCollectiveRootMismatch:
+    case Code::kCollectiveRootOutOfRange:
+    case Code::kRequestAlreadyOpen:
+    case Code::kWaitUnknownRequest:
+    case Code::kRequestNeverWaited:
+    case Code::kNonFiniteDuration:
+    case Code::kNegativeDuration:
+    case Code::kEmptyTrace:
+    case Code::kDeadlock:
+      return Severity::kError;
+    case Code::kBytesMismatch:
+    case Code::kWaitAllNoPending:
+    case Code::kHugeDuration:
+    case Code::kEmptyIteration:
+    case Code::kUnbalancedMarkers:
+    case Code::kEmptyRank:
+      return Severity::kWarning;
+    case Code::kZeroDuration:
+      return Severity::kInfo;
+  }
+  throw Error("invalid lint Code enum value");
+}
+
+std::string Diagnostic::to_text() const {
+  std::ostringstream os;
+  os << to_string(severity) << '[' << to_string(code) << ']';
+  if (rank >= 0) {
+    os << " rank " << rank;
+    if (event_index >= 0) os << " event " << event_index;
+  }
+  os << ": " << message;
+  return os.str();
+}
+
+std::string LintReport::summary() const {
+  std::ostringstream os;
+  os << errors << (errors == 1 ? " error, " : " errors, ") << warnings
+     << (warnings == 1 ? " warning, " : " warnings, ") << infos
+     << (infos == 1 ? " info" : " infos");
+  if (dropped > 0) os << " (" << dropped << " diagnostics not shown)";
+  return os.str();
+}
+
+std::string to_text(const LintReport& report) {
+  std::string out;
+  for (const Diagnostic& d : report.diagnostics) {
+    out += d.to_text();
+    out += '\n';
+  }
+  out += report.summary();
+  out += '\n';
+  return out;
+}
+
+std::string to_csv(const LintReport& report) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.row({"severity", "code", "rank", "event", "message"});
+  for (const Diagnostic& d : report.diagnostics) {
+    csv.field(to_string(d.severity))
+        .field(to_string(d.code))
+        .field(static_cast<long long>(d.rank))
+        .field(static_cast<long long>(d.event_index))
+        .field(d.message);
+    csv.end_row();
+  }
+  return os.str();
+}
+
+}  // namespace lint
+}  // namespace pals

@@ -1,0 +1,101 @@
+// Structured diagnostics produced by the static trace verifier.
+//
+// Unlike Trace::validate(), which throws on the first violated invariant,
+// the linter records every finding as a Diagnostic and keeps going, so one
+// run reports the complete damage of a malformed trace. Diagnostics carry
+// a stable machine-readable code (kebab-case in text output) plus the
+// rank/event coordinates the finding anchors to.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/types.hpp"
+
+namespace pals {
+namespace lint {
+
+enum class Severity {
+  kInfo,     ///< stylistic or merely unusual; never fails a lint run
+  kWarning,  ///< suspicious data; fails only under --strict
+  kError,    ///< the trace is wrong: replay would misbehave or throw
+};
+
+std::string to_string(Severity severity);
+
+/// Stable diagnostic codes; to_string() yields the kebab-case identifier
+/// used in text/CSV output and documented in docs/lint.md.
+enum class Code {
+  // Point-to-point match graph.
+  kUnmatchedSend,         ///< send/isend with no matching recv on the peer
+  kUnmatchedRecv,         ///< recv/irecv with no matching send on the peer
+  kBytesMismatch,         ///< matched pair disagrees on payload size
+  kPeerOutOfRange,        ///< p2p peer is not a rank of this trace
+  kSelfMessage,           ///< p2p event targets its own rank
+  // Collective participation.
+  kCollectiveCountMismatch,  ///< rank issues more/fewer collectives than rank 0
+  kCollectiveKindMismatch,   ///< k-th collective op differs from rank 0's
+  kCollectiveRootMismatch,   ///< k-th collective root differs from rank 0's
+  kCollectiveRootOutOfRange, ///< root is not a rank of this trace
+  // Request discipline.
+  kRequestAlreadyOpen,   ///< isend/irecv reuses a request id still open
+  kWaitUnknownRequest,   ///< wait on a request never posted (or already waited)
+  kRequestNeverWaited,   ///< request still open when the rank's stream ends
+  kWaitAllNoPending,     ///< waitall with no open requests (no-op)
+  // Suspicious data.
+  kNonFiniteDuration,    ///< NaN/inf compute duration
+  kNegativeDuration,     ///< negative compute duration
+  kZeroDuration,         ///< zero-length compute burst
+  kHugeDuration,         ///< burst longer than LintOptions::huge_duration
+  kEmptyIteration,       ///< iteration markers with nothing between them
+  kUnbalancedMarkers,    ///< begin/end markers do not pair up
+  kEmptyRank,            ///< rank with an empty event stream
+  kEmptyTrace,           ///< trace with zero ranks
+  // Cross-rank dependency analysis.
+  kDeadlock,             ///< blocked dependency cycle (or starved rank)
+};
+
+std::string to_string(Code code);
+Severity severity_of(Code code);
+
+/// One finding. rank/event_index are -1 for trace-level diagnostics.
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  Rank rank = -1;
+  std::int64_t event_index = -1;
+  Code code = Code::kEmptyTrace;
+  std::string message;
+
+  /// "error[unmatched-send] rank 1 event 4: <message>".
+  std::string to_text() const;
+
+  bool operator==(const Diagnostic&) const = default;
+};
+
+/// The linter's output: diagnostics in canonical order (per-rank findings
+/// sorted by rank then event index, trace-level findings last) plus
+/// severity totals counted before any max-diagnostics truncation.
+struct LintReport {
+  std::vector<Diagnostic> diagnostics;
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  std::size_t infos = 0;
+  /// Diagnostics dropped by LintOptions::max_diagnostics.
+  std::size_t dropped = 0;
+
+  bool clean() const { return errors + warnings + infos == 0; }
+  bool has_errors() const { return errors > 0; }
+
+  /// "3 errors, 1 warning, 0 infos" (plus a dropped note when truncated).
+  std::string summary() const;
+};
+
+/// One line per diagnostic followed by the summary line.
+std::string to_text(const LintReport& report);
+
+/// RFC-4180 CSV with header "severity,code,rank,event,message".
+std::string to_csv(const LintReport& report);
+
+}  // namespace lint
+}  // namespace pals

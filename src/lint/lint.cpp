@@ -1,0 +1,744 @@
+#include "lint/lint.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace pals {
+namespace lint {
+namespace {
+
+/// Ordered p2p channel; FIFO matching per key mirrors MPI non-overtaking.
+struct ChannelKey {
+  Rank src;
+  Rank dst;
+  std::int32_t tag;
+
+  bool operator<(const ChannelKey& o) const {
+    if (src != o.src) return src < o.src;
+    if (dst != o.dst) return dst < o.dst;
+    return tag < o.tag;
+  }
+};
+
+/// One side of a p2p operation, for the static match graph.
+struct MatchSite {
+  Rank rank = 0;
+  std::int64_t event_index = 0;
+  Bytes bytes = 0;
+  bool blocking = true;
+};
+
+const char* send_kind(const MatchSite& site) {
+  return site.blocking ? "send" : "isend";
+}
+
+const char* recv_kind(const MatchSite& site) {
+  return site.blocking ? "recv" : "irecv";
+}
+
+std::string rank_list(const std::vector<Rank>& ranks) {
+  std::ostringstream os;
+  os << (ranks.size() == 1 ? "rank " : "ranks ");
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << ranks[i];
+  }
+  return os.str();
+}
+
+class Linter {
+ public:
+  Linter(const Trace& trace, const LintOptions& options)
+      : trace_(trace), options_(options), n_(trace.n_ranks()) {}
+
+  LintReport run() {
+    if (n_ == 0) {
+      add(Code::kEmptyTrace, -1, -1, "trace has zero ranks");
+      return finish();
+    }
+    per_rank_pass();
+    match_graph_pass();
+    collective_pass();
+    if (options_.deadlock && !structural_error_) {
+      const DeadlockInfo info = analyze_deadlock(trace_, options_.eager_threshold);
+      if (info.deadlocked) report_deadlock(info);
+    }
+    return finish();
+  }
+
+ private:
+  void add(Code code, Rank rank, std::int64_t event_index, std::string message) {
+    diagnostics_.push_back(Diagnostic{severity_of(code), rank, event_index,
+                                      code, std::move(message)});
+  }
+
+  bool valid_peer(Rank rank, Rank peer) const {
+    return peer >= 0 && peer < n_ && peer != rank;
+  }
+
+  /// Pass 3: per-rank discipline and data hygiene. Also records which
+  /// structural errors poison the abstract machine (pass 4).
+  void per_rank_pass() {
+    for (Rank r = 0; r < n_; ++r) {
+      const std::span<const Event> stream = trace_.events(r);
+      if (stream.empty()) {
+        add(Code::kEmptyRank, r, -1, "rank has no events");
+        continue;
+      }
+      // Open requests: id -> posting event index (insertion-ordered report).
+      std::map<RequestId, std::pair<std::int64_t, std::string>> open;
+      // Open iteration frames: {begin index, id, saw a payload event}.
+      struct IterFrame {
+        std::int64_t begin_index;
+        std::int32_t id;
+        bool payload = false;
+      };
+      std::vector<IterFrame> iterations;
+      std::int64_t phase_depth = 0;
+
+      for (std::size_t i = 0; i < stream.size(); ++i) {
+        const auto index = static_cast<std::int64_t>(i);
+        const Event& e = stream[i];
+        if (!iterations.empty() && !std::holds_alternative<MarkerEvent>(e))
+          iterations.back().payload = true;
+
+        if (const auto* c = std::get_if<ComputeEvent>(&e)) {
+          if (!std::isfinite(c->duration)) {
+            std::ostringstream os;
+            os << "compute duration is " << c->duration;
+            add(Code::kNonFiniteDuration, r, index, os.str());
+          } else if (c->duration < 0.0) {
+            std::ostringstream os;
+            os << "compute duration is negative (" << c->duration << " s)";
+            add(Code::kNegativeDuration, r, index, os.str());
+          } else if (c->duration == 0.0) {
+            add(Code::kZeroDuration, r, index, "zero-length compute burst");
+          } else if (c->duration > options_.huge_duration) {
+            std::ostringstream os;
+            os << "compute burst of " << c->duration << " s exceeds "
+               << options_.huge_duration << " s";
+            add(Code::kHugeDuration, r, index, os.str());
+          }
+        } else if (const auto* s = std::get_if<SendEvent>(&e)) {
+          check_peer(r, index, s->peer, "send");
+        } else if (const auto* v = std::get_if<RecvEvent>(&e)) {
+          check_peer(r, index, v->peer, "recv");
+        } else if (const auto* is = std::get_if<IsendEvent>(&e)) {
+          check_peer(r, index, is->peer, "isend");
+          open_request(open, r, index, is->request,
+                       "isend to rank " + std::to_string(is->peer));
+        } else if (const auto* ir = std::get_if<IrecvEvent>(&e)) {
+          check_peer(r, index, ir->peer, "irecv");
+          open_request(open, r, index, ir->request,
+                       "irecv from rank " + std::to_string(ir->peer));
+        } else if (const auto* w = std::get_if<WaitEvent>(&e)) {
+          if (open.erase(w->request) == 0) {
+            structural_error_ = true;
+            add(Code::kWaitUnknownRequest, r, index,
+                "wait on request " + std::to_string(w->request) +
+                    " which is not open (never posted, or already waited)");
+          }
+        } else if (std::holds_alternative<WaitAllEvent>(e)) {
+          if (open.empty())
+            add(Code::kWaitAllNoPending, r, index,
+                "waitall with no open requests (no-op)");
+          open.clear();
+        } else if (const auto* coll = std::get_if<CollectiveEvent>(&e)) {
+          if (coll->root < 0 || coll->root >= n_) {
+            std::ostringstream os;
+            os << to_string(coll->op) << " root " << coll->root
+               << " is outside 0.." << (n_ - 1);
+            add(Code::kCollectiveRootOutOfRange, r, index, os.str());
+          }
+        } else if (const auto* m = std::get_if<MarkerEvent>(&e)) {
+          switch (m->kind) {
+            case MarkerKind::kIterationBegin:
+              iterations.push_back(IterFrame{index, m->id});
+              break;
+            case MarkerKind::kIterationEnd:
+              if (iterations.empty()) {
+                add(Code::kUnbalancedMarkers, r, index,
+                    "iteration end marker without a matching begin");
+              } else {
+                const IterFrame frame = iterations.back();
+                iterations.pop_back();
+                if (!frame.payload)
+                  add(Code::kEmptyIteration, r, frame.begin_index,
+                      "iteration " + std::to_string(frame.id) +
+                          " contains no compute or communication events");
+              }
+              break;
+            case MarkerKind::kPhaseBegin: ++phase_depth; break;
+            case MarkerKind::kPhaseEnd:
+              if (phase_depth == 0)
+                add(Code::kUnbalancedMarkers, r, index,
+                    "phase end marker without a matching begin");
+              else
+                --phase_depth;
+              break;
+          }
+        }
+      }
+
+      for (const auto& [req, site] : open)
+        add(Code::kRequestNeverWaited, r, site.first,
+            "request " + std::to_string(req) + " (" + site.second +
+                ") still open at end of trace");
+      for (const IterFrame& frame : iterations)
+        add(Code::kUnbalancedMarkers, r, frame.begin_index,
+            "iteration begin marker without a matching end");
+      if (phase_depth > 0) {
+        std::ostringstream os;
+        os << phase_depth << " phase begin marker(s) without a matching end";
+        add(Code::kUnbalancedMarkers, r,
+            static_cast<std::int64_t>(stream.size()) - 1, os.str());
+      }
+    }
+  }
+
+  void check_peer(Rank rank, std::int64_t index, Rank peer, const char* kind) {
+    if (peer < 0 || peer >= n_) {
+      structural_error_ = true;
+      std::ostringstream os;
+      os << kind << " peer " << peer << " is outside 0.." << (n_ - 1);
+      add(Code::kPeerOutOfRange, rank, index, os.str());
+    } else if (peer == rank) {
+      structural_error_ = true;
+      add(Code::kSelfMessage, rank, index,
+          std::string(kind) + " targets its own rank");
+    }
+  }
+
+  void open_request(
+      std::map<RequestId, std::pair<std::int64_t, std::string>>& open,
+      Rank rank, std::int64_t index, RequestId request, std::string what) {
+    const auto [it, inserted] =
+        open.emplace(request, std::make_pair(index, std::move(what)));
+    if (!inserted) {
+      structural_error_ = true;
+      add(Code::kRequestAlreadyOpen, rank, index,
+          "request " + std::to_string(request) +
+              " re-posted while still open (opened at event " +
+              std::to_string(it->second.first) + ")");
+    }
+  }
+
+  /// Pass 1: the cross-rank match graph. Events with invalid peers are
+  /// excluded (already reported by pass 3).
+  void match_graph_pass() {
+    std::map<ChannelKey, std::vector<MatchSite>> sends;
+    std::map<ChannelKey, std::vector<MatchSite>> recvs;
+    for (Rank r = 0; r < n_; ++r) {
+      const std::span<const Event> stream = trace_.events(r);
+      for (std::size_t i = 0; i < stream.size(); ++i) {
+        const auto index = static_cast<std::int64_t>(i);
+        if (const auto* s = std::get_if<SendEvent>(&stream[i])) {
+          if (valid_peer(r, s->peer))
+            sends[{r, s->peer, s->tag}].push_back(
+                MatchSite{r, index, s->bytes, true});
+        } else if (const auto* is = std::get_if<IsendEvent>(&stream[i])) {
+          if (valid_peer(r, is->peer))
+            sends[{r, is->peer, is->tag}].push_back(
+                MatchSite{r, index, is->bytes, false});
+        } else if (const auto* v = std::get_if<RecvEvent>(&stream[i])) {
+          if (valid_peer(r, v->peer))
+            recvs[{v->peer, r, v->tag}].push_back(
+                MatchSite{r, index, v->bytes, true});
+        } else if (const auto* ir = std::get_if<IrecvEvent>(&stream[i])) {
+          if (valid_peer(r, ir->peer))
+            recvs[{ir->peer, r, ir->tag}].push_back(
+                MatchSite{r, index, ir->bytes, false});
+        }
+      }
+    }
+
+    const std::vector<MatchSite> kNone;
+    std::set<ChannelKey> channels;
+    for (const auto& [key, sites] : sends) channels.insert(key);
+    for (const auto& [key, sites] : recvs) channels.insert(key);
+    for (const ChannelKey& key : channels) {
+      const auto s_it = sends.find(key);
+      const auto r_it = recvs.find(key);
+      const std::vector<MatchSite>& s = s_it == sends.end() ? kNone : s_it->second;
+      const std::vector<MatchSite>& v = r_it == recvs.end() ? kNone : r_it->second;
+      const std::size_t paired = std::min(s.size(), v.size());
+      for (std::size_t k = 0; k < paired; ++k) {
+        if (s[k].bytes != v[k].bytes) {
+          std::ostringstream os;
+          os << recv_kind(v[k]) << " expects " << v[k].bytes
+             << " bytes but matching " << send_kind(s[k]) << " (rank "
+             << key.src << " event " << s[k].event_index << ") carries "
+             << s[k].bytes << " bytes";
+          add(Code::kBytesMismatch, key.dst, v[k].event_index, os.str());
+        }
+      }
+      for (std::size_t k = paired; k < s.size(); ++k) {
+        std::ostringstream os;
+        os << send_kind(s[k]) << " to rank " << key.dst << " (tag " << key.tag
+           << ", " << s[k].bytes << " bytes) never matched by a recv";
+        add(Code::kUnmatchedSend, key.src, s[k].event_index, os.str());
+      }
+      for (std::size_t k = paired; k < v.size(); ++k) {
+        std::ostringstream os;
+        os << recv_kind(v[k]) << " from rank " << key.src << " (tag " << key.tag
+           << ", " << v[k].bytes << " bytes) never matched by a send";
+        add(Code::kUnmatchedRecv, key.dst, v[k].event_index, os.str());
+      }
+    }
+  }
+
+  /// Pass 2: collective participation, rank 0 as reference (matching
+  /// Trace::validate(), but exhaustive and position-precise).
+  void collective_pass() {
+    struct CollSite {
+      CollectiveOp op;
+      Rank root;
+      std::int64_t event_index;
+    };
+    std::vector<std::vector<CollSite>> per_rank(static_cast<std::size_t>(n_));
+    for (Rank r = 0; r < n_; ++r) {
+      const std::span<const Event> stream = trace_.events(r);
+      for (std::size_t i = 0; i < stream.size(); ++i)
+        if (const auto* c = std::get_if<CollectiveEvent>(&stream[i]))
+          per_rank[static_cast<std::size_t>(r)].push_back(
+              CollSite{c->op, c->root, static_cast<std::int64_t>(i)});
+    }
+    const std::vector<CollSite>& reference = per_rank[0];
+    for (Rank r = 1; r < n_; ++r) {
+      const std::vector<CollSite>& mine = per_rank[static_cast<std::size_t>(r)];
+      const std::size_t common = std::min(mine.size(), reference.size());
+      for (std::size_t k = 0; k < common; ++k) {
+        if (mine[k].op != reference[k].op) {
+          std::ostringstream os;
+          os << "collective " << k << " is " << to_string(mine[k].op)
+             << " but rank 0 issues " << to_string(reference[k].op)
+             << " (event " << reference[k].event_index << ")";
+          add(Code::kCollectiveKindMismatch, r, mine[k].event_index, os.str());
+        } else if (mine[k].root != reference[k].root) {
+          std::ostringstream os;
+          os << "collective " << k << " (" << to_string(mine[k].op)
+             << ") uses root " << mine[k].root << " but rank 0 uses root "
+             << reference[k].root;
+          add(Code::kCollectiveRootMismatch, r, mine[k].event_index, os.str());
+        }
+      }
+      if (mine.size() != reference.size()) {
+        std::ostringstream os;
+        os << "rank issues " << mine.size() << " collectives but rank 0 issues "
+           << reference.size();
+        const std::int64_t anchor =
+            mine.size() > reference.size() ? mine[common].event_index : -1;
+        add(Code::kCollectiveCountMismatch, r, anchor, os.str());
+      }
+    }
+  }
+
+  void report_deadlock(const DeadlockInfo& info) {
+    for (const BlockedRank& b : info.blocked) {
+      std::ostringstream os;
+      os << "blocked at " << b.event << ", waiting on "
+         << rank_list(b.waiting_on);
+      add(Code::kDeadlock, b.rank, static_cast<std::int64_t>(b.event_index),
+          os.str());
+    }
+    std::ostringstream os;
+    if (!info.cycle.empty()) {
+      os << "dependency cycle: ";
+      for (const Rank r : info.cycle) os << "rank " << r << " -> ";
+      os << "rank " << info.cycle.front();
+    } else {
+      os << "starvation: a blocked rank waits on a rank that already finished";
+    }
+    add(Code::kDeadlock, -1, -1, os.str());
+  }
+
+  LintReport finish() {
+    LintReport report;
+    for (const Diagnostic& d : diagnostics_) {
+      switch (d.severity) {
+        case Severity::kError: ++report.errors; break;
+        case Severity::kWarning: ++report.warnings; break;
+        case Severity::kInfo: ++report.infos; break;
+      }
+    }
+    // Canonical order: per-rank findings by (rank, event index), trace-level
+    // findings (rank -1) last. Stable so same-site diagnostics keep pass
+    // order.
+    std::stable_sort(diagnostics_.begin(), diagnostics_.end(),
+                     [](const Diagnostic& a, const Diagnostic& b) {
+                       const auto key = [](const Diagnostic& d) {
+                         return std::make_pair(
+                             d.rank < 0 ? std::numeric_limits<Rank>::max()
+                                        : d.rank,
+                             d.event_index < 0
+                                 ? std::numeric_limits<std::int64_t>::max()
+                                 : d.event_index);
+                       };
+                       return key(a) < key(b);
+                     });
+    if (options_.max_diagnostics > 0 &&
+        diagnostics_.size() > options_.max_diagnostics) {
+      report.dropped = diagnostics_.size() - options_.max_diagnostics;
+      diagnostics_.resize(options_.max_diagnostics);
+    }
+    report.diagnostics = std::move(diagnostics_);
+    return report;
+  }
+
+  const Trace& trace_;
+  const LintOptions& options_;
+  const Rank n_;
+  std::vector<Diagnostic> diagnostics_;
+  /// True when pass-1/3 errors make the abstract machine meaningless.
+  bool structural_error_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Abstract replay: the matching semantics of replay/replay.cpp without time.
+
+struct PendSend {
+  bool eager = false;
+  bool blocking = false;
+  RequestId request = -1;
+};
+
+struct PendRecv {
+  bool blocking = false;
+  RequestId request = -1;
+};
+
+enum class Block { kNone, kSend, kRecv, kWait, kWaitAll, kCollective };
+
+class AbstractMachine {
+ public:
+  AbstractMachine(const Trace& trace, Bytes eager_threshold)
+      : trace_(trace),
+        threshold_(eager_threshold),
+        n_(trace.n_ranks()),
+        ranks_(static_cast<std::size_t>(trace.n_ranks())) {
+    for (Rank r = 0; r < n_; ++r) ctx(r).stream = trace.events(r);
+  }
+
+  DeadlockInfo run() {
+    for (Rank r = 0; r < n_; ++r) runnable_.push_back(r);
+    while (!runnable_.empty()) {
+      const Rank r = runnable_.front();
+      runnable_.pop_front();
+      advance(r);
+    }
+    return diagnose();
+  }
+
+ private:
+  struct RankCtx {
+    std::span<const Event> stream;
+    std::size_t cursor = 0;
+    bool finished = false;
+
+    Block block = Block::kNone;
+    Rank block_peer = -1;          ///< kSend/kRecv target
+    RequestId waiting_request = -1;  ///< kWait
+    std::size_t collective_slot = 0; ///< kCollective
+
+    std::map<RequestId, Rank> open;       ///< posted, counterpart not seen
+    std::set<RequestId> completed;        ///< counterpart seen, not waited
+    std::size_t collective_index = 0;
+  };
+
+  RankCtx& ctx(Rank r) { return ranks_[static_cast<std::size_t>(r)]; }
+
+  void advance(Rank r) {
+    RankCtx& c = ctx(r);
+    while (c.cursor < c.stream.size()) {
+      bool blocked = false;
+      std::visit([&](const auto& ev) { blocked = !handle(r, ev); },
+                 c.stream[c.cursor]);
+      if (blocked) return;
+      ++c.cursor;
+    }
+    c.finished = true;
+  }
+
+  bool handle(Rank, const ComputeEvent&) { return true; }
+  bool handle(Rank, const MarkerEvent&) { return true; }
+
+  bool handle(Rank r, const SendEvent& e) {
+    return post_send(r, e.peer, e.tag, e.bytes, true, -1);
+  }
+  bool handle(Rank r, const IsendEvent& e) {
+    return post_send(r, e.peer, e.tag, e.bytes, false, e.request);
+  }
+  bool handle(Rank r, const RecvEvent& e) {
+    return post_recv(r, e.peer, e.tag, true, -1);
+  }
+  bool handle(Rank r, const IrecvEvent& e) {
+    return post_recv(r, e.peer, e.tag, false, e.request);
+  }
+
+  bool handle(Rank r, const WaitEvent& e) {
+    RankCtx& c = ctx(r);
+    if (c.completed.erase(e.request) == 1) return true;
+    PALS_CHECK_MSG(c.open.count(e.request),
+                   "lint machine: rank " << r << " waits on unknown request "
+                                         << e.request);
+    c.block = Block::kWait;
+    c.waiting_request = e.request;
+    return false;
+  }
+
+  bool handle(Rank r, const WaitAllEvent&) {
+    RankCtx& c = ctx(r);
+    if (c.open.empty()) {
+      c.completed.clear();
+      return true;
+    }
+    c.block = Block::kWaitAll;
+    return false;
+  }
+
+  bool handle(Rank r, const CollectiveEvent&) {
+    RankCtx& c = ctx(r);
+    const std::size_t k = c.collective_index++;
+    if (k >= arrivals_.size()) arrivals_.resize(k + 1);
+    arrivals_[k].push_back(r);
+    c.block = Block::kCollective;
+    c.collective_slot = k;
+    if (arrivals_[k].size() == static_cast<std::size_t>(n_)) {
+      for (const Rank rank : arrivals_[k]) resume(rank);
+    }
+    return false;  // even the last arriver resumes through resume()
+  }
+
+  bool post_send(Rank r, Rank peer, std::int32_t tag, Bytes bytes,
+                 bool blocking, RequestId request) {
+    RankCtx& c = ctx(r);
+    const bool eager = bytes <= threshold_;
+    auto& recvs = pending_recvs_[{r, peer, tag}];
+    if (!recvs.empty()) {
+      const PendRecv rv = recvs.front();
+      recvs.pop_front();
+      if (rv.blocking) {
+        resume(peer);
+      } else {
+        complete_request_remote(peer, rv.request);
+      }
+      if (!blocking) c.completed.insert(request);
+      return true;
+    }
+    pending_sends_[{r, peer, tag}].push_back(
+        PendSend{eager, blocking, request});
+    if (eager) {
+      // The payload leaves regardless of the receiver; the sender (and a
+      // non-blocking sender's request) completes immediately.
+      if (!blocking) c.completed.insert(request);
+      return true;
+    }
+    if (blocking) {
+      c.block = Block::kSend;
+      c.block_peer = peer;
+      return false;
+    }
+    c.open.emplace(request, peer);
+    return true;
+  }
+
+  bool post_recv(Rank r, Rank peer, std::int32_t tag, bool blocking,
+                 RequestId request) {
+    RankCtx& c = ctx(r);
+    auto& sends = pending_sends_[{peer, r, tag}];
+    if (!sends.empty()) {
+      const PendSend sd = sends.front();
+      sends.pop_front();
+      if (!sd.eager) {
+        // Release or complete the sender half of the rendezvous.
+        if (sd.blocking) {
+          resume(peer);
+        } else {
+          complete_request_remote(peer, sd.request);
+        }
+      }
+      if (!blocking) c.completed.insert(request);
+      return true;
+    }
+    pending_recvs_[{peer, r, tag}].push_back(PendRecv{blocking, request});
+    if (blocking) {
+      c.block = Block::kRecv;
+      c.block_peer = peer;
+      return false;
+    }
+    c.open.emplace(request, peer);
+    return true;
+  }
+
+  void complete_request_remote(Rank r, RequestId request) {
+    RankCtx& c = ctx(r);
+    c.open.erase(request);
+    c.completed.insert(request);
+    if (c.block == Block::kWait && c.waiting_request == request) {
+      c.completed.erase(request);
+      c.waiting_request = -1;
+      resume(r);
+    } else if (c.block == Block::kWaitAll && c.open.empty()) {
+      c.completed.clear();
+      resume(r);
+    }
+  }
+
+  void resume(Rank r) {
+    RankCtx& c = ctx(r);
+    PALS_CHECK_MSG(c.block != Block::kNone,
+                   "lint machine: resume of non-blocked rank " << r);
+    c.block = Block::kNone;
+    c.block_peer = -1;
+    ++c.cursor;  // the blocking event is done
+    runnable_.push_back(r);
+  }
+
+  std::vector<Rank> waiting_on(const RankCtx& c) const {
+    std::vector<Rank> peers;
+    switch (c.block) {
+      case Block::kSend:
+      case Block::kRecv:
+        peers.push_back(c.block_peer);
+        break;
+      case Block::kWait: {
+        const auto it = c.open.find(c.waiting_request);
+        if (it != c.open.end()) peers.push_back(it->second);
+        break;
+      }
+      case Block::kWaitAll:
+        for (const auto& [req, peer] : c.open) peers.push_back(peer);
+        break;
+      case Block::kCollective: {
+        std::vector<bool> arrived(static_cast<std::size_t>(n_), false);
+        for (const Rank rank : arrivals_[c.collective_slot])
+          arrived[static_cast<std::size_t>(rank)] = true;
+        for (Rank rank = 0; rank < n_; ++rank)
+          if (!arrived[static_cast<std::size_t>(rank)]) peers.push_back(rank);
+        break;
+      }
+      case Block::kNone:
+        break;
+    }
+    std::sort(peers.begin(), peers.end());
+    peers.erase(std::unique(peers.begin(), peers.end()), peers.end());
+    return peers;
+  }
+
+  DeadlockInfo diagnose() {
+    DeadlockInfo info;
+    std::map<Rank, std::vector<Rank>> edges;
+    for (Rank r = 0; r < n_; ++r) {
+      const RankCtx& c = ctx(r);
+      if (c.finished) continue;
+      info.deadlocked = true;
+      BlockedRank b;
+      b.rank = r;
+      b.event_index = c.cursor;
+      b.stream_size = c.stream.size();
+      b.event = c.cursor < c.stream.size() ? to_string(c.stream[c.cursor])
+                                           : "<end of stream>";
+      b.waiting_on = waiting_on(c);
+      edges.emplace(r, b.waiting_on);
+      info.blocked.push_back(std::move(b));
+    }
+    if (!info.deadlocked) return info;
+    info.cycle = find_cycle(edges);
+    return info;
+  }
+
+  /// DFS over the blocked-rank wait-for graph; returns the first cycle in
+  /// ascending-rank order, or empty (pure starvation).
+  std::vector<Rank> find_cycle(
+      const std::map<Rank, std::vector<Rank>>& edges) const {
+    std::map<Rank, int> color;  // 0 white, 1 gray, 2 black
+    std::vector<Rank> path;
+    std::vector<Rank> cycle;
+
+    const std::function<bool(Rank)> visit = [&](Rank r) {
+      color[r] = 1;
+      path.push_back(r);
+      const auto it = edges.find(r);
+      if (it != edges.end()) {
+        for (const Rank next : it->second) {
+          if (edges.find(next) == edges.end()) continue;  // finished rank
+          const int c = color[next];
+          if (c == 1) {
+            const auto start = std::find(path.begin(), path.end(), next);
+            cycle.assign(start, path.end());
+            return true;
+          }
+          if (c == 0 && visit(next)) return true;
+        }
+      }
+      color[r] = 2;
+      path.pop_back();
+      return false;
+    };
+    for (const auto& [r, targets] : edges) {
+      if (color[r] == 0 && visit(r)) return cycle;
+    }
+    return {};
+  }
+
+  const Trace& trace_;
+  const Bytes threshold_;
+  const Rank n_;
+  std::vector<RankCtx> ranks_;
+  std::deque<Rank> runnable_;
+  std::map<ChannelKey, std::deque<PendSend>> pending_sends_;
+  std::map<ChannelKey, std::deque<PendRecv>> pending_recvs_;
+  std::vector<std::vector<Rank>> arrivals_;  ///< per collective slot
+};
+
+}  // namespace
+
+LintReport lint_trace(const Trace& trace, const LintOptions& options) {
+  return Linter(trace, options).run();
+}
+
+void enforce_lint(const Trace& trace, const LintOptions& options,
+                  const std::string& context) {
+  const LintReport report = lint_trace(trace, options);
+  if (!report.has_errors()) return;
+  std::string message = "trace lint failed";
+  if (!context.empty()) message += " for " + context;
+  message += ":\n" + to_text(report);
+  throw Error(message);
+}
+
+std::string DeadlockInfo::describe() const {
+  if (!deadlocked) return "";
+  std::ostringstream os;
+  for (const BlockedRank& b : blocked) {
+    os << "\n  rank " << b.rank << " stuck at event " << b.event_index << '/'
+       << b.stream_size << " (" << b.event << "), waiting on "
+       << rank_list(b.waiting_on);
+  }
+  if (!cycle.empty()) {
+    os << "\n  dependency cycle: ";
+    for (const Rank r : cycle) os << "rank " << r << " -> ";
+    os << "rank " << cycle.front();
+  } else {
+    os << "\n  starvation: a blocked rank waits on a rank that already "
+          "finished";
+  }
+  return os.str();
+}
+
+DeadlockInfo analyze_deadlock(const Trace& trace, Bytes eager_threshold) {
+  PALS_CHECK_MSG(trace.n_ranks() > 0, "deadlock analysis of an empty trace");
+  return AbstractMachine(trace, eager_threshold).run();
+}
+
+}  // namespace lint
+}  // namespace pals

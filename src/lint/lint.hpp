@@ -1,0 +1,95 @@
+// Static trace verifier (pals::lint).
+//
+// Analyzes a logical Trace *before* replay and reports everything wrong
+// with it at once, instead of the first-error throw of Trace::validate()
+// or a mid-replay deadlock. Four analysis passes:
+//
+//  1. Point-to-point match graph: sends and recvs are paired per ordered
+//     (src, dst, tag) channel in program order (MPI's non-overtaking
+//     rule), so the k-th send matches the k-th recv. Extra operations on
+//     either side are unmatched; matched pairs with different payload
+//     sizes are flagged.
+//  2. Collective participation: every rank must issue the same sequence
+//     of (op, root) collectives; divergence is reported per rank and
+//     per position.
+//  3. Per-rank discipline and data hygiene: request open/wait pairing,
+//     non-finite/negative/zero/huge burst durations, marker balance,
+//     empty iterations, empty ranks.
+//  4. Deadlock analysis: a timeless abstract replay with the same
+//     matching semantics as replay/replay.hpp (eager sends never block,
+//     rendezvous sends block until the recv posts, collectives
+//     synchronize). If the machine wedges, the blocked-rank wait-for
+//     graph is searched for a cycle, which is reported with per-rank
+//     event indices — a proof of the deadlock rather than a symptom.
+//
+// Pass 4 runs only when passes 1-3 found no structural errors that would
+// make the abstract machine meaningless (unknown peers, broken request
+// discipline).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/diagnostic.hpp"
+#include "network/platform.hpp"
+#include "trace/trace.hpp"
+
+namespace pals {
+namespace lint {
+
+struct LintOptions {
+  /// Messages <= this use the eager protocol and never block the sender;
+  /// must match the replay platform for exact deadlock equivalence.
+  Bytes eager_threshold = PlatformModel{}.eager_threshold;
+  /// Keep at most this many diagnostics (0 = all); totals in the report
+  /// still count everything.
+  std::size_t max_diagnostics = 0;
+  /// Compute bursts longer than this (seconds at reference frequency)
+  /// draw a huge-duration warning.
+  Seconds huge_duration = 1e6;
+  /// Run the abstract-replay deadlock analysis (pass 4).
+  bool deadlock = true;
+};
+
+/// Run all passes over `trace`. Never throws on trace content; the trace
+/// does not need to pass Trace::validate() first.
+LintReport lint_trace(const Trace& trace, const LintOptions& options = {});
+
+/// Throw pals::Error carrying the full lint report when `trace` has any
+/// error-severity finding. `context` names the trace in the message
+/// (workload name, grid cell, file path).
+void enforce_lint(const Trace& trace, const LintOptions& options,
+                  const std::string& context);
+
+/// One blocked rank of a wedged abstract replay.
+struct BlockedRank {
+  Rank rank = -1;
+  std::size_t event_index = 0;     ///< index of the event it is stuck on
+  std::size_t stream_size = 0;
+  std::string event;               ///< to_string() of the blocking event
+  std::vector<Rank> waiting_on;    ///< ranks that must act to unblock it
+};
+
+/// Result of the abstract-replay deadlock analysis.
+struct DeadlockInfo {
+  bool deadlocked = false;
+  std::vector<BlockedRank> blocked;  ///< sorted by rank
+  /// A wait-for cycle among the blocked ranks: cycle[i] waits on
+  /// cycle[i+1], and cycle.back() waits on cycle.front(). Empty when the
+  /// deadlock is starvation (a blocked rank waits on a finished one).
+  std::vector<Rank> cycle;
+
+  /// Multi-line diagnosis: one "rank R stuck at event i/n (event)" line
+  /// per blocked rank plus the dependency-cycle (or starvation) line.
+  /// Every line starts with "\n  "; empty string when not deadlocked.
+  std::string describe() const;
+};
+
+/// Run only the abstract replay. The trace must be structurally sound
+/// (i.e. pass Trace::validate(), or lint with no pass-1/3 errors);
+/// replay/replay.cpp calls this to turn its deadlock throw into a cycle
+/// diagnosis.
+DeadlockInfo analyze_deadlock(const Trace& trace, Bytes eager_threshold);
+
+}  // namespace lint
+}  // namespace pals

@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "lint/lint.hpp"
 #include "simcore/engine.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
@@ -448,20 +449,31 @@ private:
   }
 
   void check_completion() const {
-    std::ostringstream blocked;
     bool deadlock = false;
+    for (Rank r = 0; r < n_; ++r)
+      if (!ranks_[static_cast<std::size_t>(r)].finished) deadlock = true;
+    if (!deadlock) return;
+    // Re-derive the blocked state with the static linter's abstract
+    // machine: same matching semantics, but it names the wait-for cycle
+    // (or starved rank) instead of just listing stuck ranks.
+    const lint::DeadlockInfo info =
+        lint::analyze_deadlock(trace_, config_.platform.eager_threshold);
+    if (info.deadlocked)
+      throw Error("replay deadlock: not all ranks completed" +
+                  info.describe());
+    // The abstract machine should agree with the replay; if it ever does
+    // not, fall back to the replay's own view rather than report success.
+    std::ostringstream blocked;
     for (Rank r = 0; r < n_; ++r) {
       const RankCtx& c = ranks_[static_cast<std::size_t>(r)];
       if (!c.finished) {
-        deadlock = true;
         blocked << "\n  rank " << r << " stuck at event " << c.cursor << "/"
                 << c.stream.size();
         if (c.cursor < c.stream.size())
           blocked << " (" << to_string(c.stream[c.cursor]) << ")";
       }
     }
-    if (deadlock)
-      throw Error("replay deadlock: not all ranks completed" + blocked.str());
+    throw Error("replay deadlock: not all ranks completed" + blocked.str());
   }
 
   const Trace& trace_;

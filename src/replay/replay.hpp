@@ -18,7 +18,9 @@
 //  * A configurable number of shared buses serializes concurrent transfers.
 //
 // Deadlocks (e.g. a recv whose send never happens) are detected and
-// reported with the blocked ranks.
+// reported with the blocked ranks plus the wait-for cycle diagnosed by
+// the static linter (lint/lint.hpp). Running lint_trace() before replay
+// — or setting PipelineConfig::lint — catches them without simulating.
 #pragma once
 
 #include <cstddef>

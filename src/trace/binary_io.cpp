@@ -177,7 +177,8 @@ void write_trace_binary_file(const Trace& trace, const std::string& path) {
   PALS_CHECK_MSG(out.good(), "write failure on '" << path << "'");
 }
 
-Trace read_trace_binary(const std::uint8_t* data, std::size_t size) {
+Trace read_trace_binary(const std::uint8_t* data, std::size_t size,
+                        bool validate) {
   ByteReader in(data, size);
   for (const char c : kMagic)
     PALS_CHECK_MSG(in.get_u8() == static_cast<std::uint8_t>(c),
@@ -195,15 +196,16 @@ Trace read_trace_binary(const std::uint8_t* data, std::size_t size) {
       trace.append(r, decode_event(in));
   }
   PALS_CHECK_MSG(in.exhausted(), "trailing bytes after binary trace");
-  trace.validate();
+  if (validate) trace.validate();
   return trace;
 }
 
-Trace read_trace_binary(const std::vector<std::uint8_t>& buffer) {
-  return read_trace_binary(buffer.data(), buffer.size());
+Trace read_trace_binary(const std::vector<std::uint8_t>& buffer,
+                        bool validate) {
+  return read_trace_binary(buffer.data(), buffer.size(), validate);
 }
 
-Trace read_trace_binary_file(const std::string& path) {
+Trace read_trace_binary_file(const std::string& path, bool validate) {
   std::ifstream in(path, std::ios::binary | std::ios::ate);
   PALS_CHECK_MSG(in.good(), "cannot open '" << path << "' for reading");
   const std::streamsize size = in.tellg();
@@ -211,7 +213,7 @@ Trace read_trace_binary_file(const std::string& path) {
   std::vector<std::uint8_t> buffer(static_cast<std::size_t>(size));
   in.read(reinterpret_cast<char*>(buffer.data()), size);
   PALS_CHECK_MSG(in.good(), "read failure on '" << path << "'");
-  return read_trace_binary(buffer);
+  return read_trace_binary(buffer, validate);
 }
 
 }  // namespace pals

@@ -11,7 +11,8 @@
 //     zig-zag for signed, f64 for durations)
 //
 // Both formats hold identical information; read_trace_binary validates
-// the result exactly like the text reader.
+// the result exactly like the text reader (pass validate = false to load
+// a broken trace for the static verifier, see trace/io.hpp).
 #pragma once
 
 #include <cstdint>
@@ -25,8 +26,10 @@ namespace pals {
 std::vector<std::uint8_t> write_trace_binary(const Trace& trace);
 void write_trace_binary_file(const Trace& trace, const std::string& path);
 
-Trace read_trace_binary(const std::uint8_t* data, std::size_t size);
-Trace read_trace_binary(const std::vector<std::uint8_t>& buffer);
-Trace read_trace_binary_file(const std::string& path);
+Trace read_trace_binary(const std::uint8_t* data, std::size_t size,
+                        bool validate = true);
+Trace read_trace_binary(const std::vector<std::uint8_t>& buffer,
+                        bool validate = true);
+Trace read_trace_binary_file(const std::string& path, bool validate = true);
 
 }  // namespace pals

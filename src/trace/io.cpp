@@ -44,7 +44,7 @@ void write_trace_file(const Trace& trace, const std::string& path) {
   PALS_CHECK_MSG(out.good(), "write failure on '" << path << "'");
 }
 
-Trace read_trace(std::istream& in) {
+Trace read_trace(std::istream& in, bool validate) {
   std::string line;
   std::size_t line_no = 0;
   bool magic_seen = false;
@@ -155,19 +155,19 @@ Trace read_trace(std::istream& in) {
   if (!magic_seen) throw Error("trace parse error: empty input");
   if (!ranks_seen) throw Error("trace parse error: missing 'ranks' line");
   trace.set_name(name);
-  trace.validate();
+  if (validate) trace.validate();
   return trace;
 }
 
-Trace read_trace_file(const std::string& path) {
+Trace read_trace_file(const std::string& path, bool validate) {
   std::ifstream in(path);
   PALS_CHECK_MSG(in.good(), "cannot open '" << path << "' for reading");
-  return read_trace(in);
+  return read_trace(in, validate);
 }
 
-Trace read_trace_auto(const std::string& path) {
-  if (ends_with(path, ".palsb")) return read_trace_binary_file(path);
-  return read_trace_file(path);
+Trace read_trace_auto(const std::string& path, bool validate) {
+  if (ends_with(path, ".palsb")) return read_trace_binary_file(path, validate);
+  return read_trace_file(path, validate);
 }
 
 void write_trace_auto(const Trace& trace, const std::string& path) {

@@ -29,13 +29,17 @@ void write_trace(const Trace& trace, std::ostream& out);
 void write_trace_file(const Trace& trace, const std::string& path);
 
 /// Parses a .palst stream; throws pals::Error with a line number on any
-/// malformed record. The result is validated.
-Trace read_trace(std::istream& in);
-Trace read_trace_file(const std::string& path);
+/// malformed record. With `validate` (the default) the result must pass
+/// Trace::validate(); pass false to load a structurally parseable but
+/// semantically broken trace — the static verifier (lint/lint.hpp and
+/// tools/pals_lint) reads this way so it can report *all* problems
+/// instead of inheriting validate()'s first-error throw.
+Trace read_trace(std::istream& in, bool validate = true);
+Trace read_trace_file(const std::string& path, bool validate = true);
 
 /// Extension-dispatching loaders/writers: ".palsb" uses the binary format
 /// (trace/binary_io.hpp), anything else the text format.
-Trace read_trace_auto(const std::string& path);
+Trace read_trace_auto(const std::string& path, bool validate = true);
 void write_trace_auto(const Trace& trace, const std::string& path);
 
 }  // namespace pals

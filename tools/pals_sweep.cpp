@@ -33,6 +33,8 @@ int run(int argc, char** argv) {
   cli.add_option("summary", "write the run summary (key = value) to a file");
   cli.add_option("config", "key=value platform/power overrides "
                            "(applied to every scenario)");
+  cli.add_flag("lint", "statically verify every workload trace before "
+                       "replaying (abort with a lint report on errors)");
   cli.add_flag("quiet", "skip the aligned result table");
   cli.add_flag("help", "show usage");
 
@@ -54,6 +56,7 @@ int run(int argc, char** argv) {
   const SweepGrid grid = SweepGrid::from_file(cli.get("grid"));
   SweepOptions options;
   options.jobs = static_cast<int>(cli.get_int("jobs", 0));
+  options.base.lint = cli.get_flag("lint");
   if (cli.has("config")) apply_config_file(options.base, cli.get("config"));
 
   const SweepResult result = run_sweep(grid, options);
