@@ -1,0 +1,72 @@
+// Throughput benchmark of the full pipeline (baseline replay, gear
+// assignment, rescale, scaled replay, energy), built on the pals::obs
+// profiling harness. Prints the phase breakdown and writes the
+// machine-readable report to BENCH_replay.json (events_per_second,
+// scenarios_per_second, per-phase seconds) for cross-commit tracking.
+//
+//   bench_replay_profile [--workload CG-32] [--repeat N] [--jobs N]
+//                        [--out BENCH_replay.json]
+#include <fstream>
+#include <iostream>
+
+#include "analysis/profile.hpp"
+#include "analysis/sweep.hpp"
+#include "power/gearset.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace pals {
+namespace {
+
+int run(int argc, char** argv) {
+  CliParser cli;
+  cli.add_option("workload", "registry instance or inline spec", "CG-32");
+  cli.add_option("repeat", "pipeline repetitions", "16");
+  cli.add_option("jobs", "worker threads (0 = hardware concurrency)", "0");
+  cli.add_option("out", "report path", "BENCH_replay.json");
+  cli.parse(argc, argv);
+
+  const WorkloadRef ref = resolve_workload(cli.get("workload"), 10);
+  const Trace trace = ref.build();
+
+  ProfileOptions options;
+  options.repeat = static_cast<int>(cli.get_int("repeat", 16));
+  options.jobs = static_cast<int>(cli.get_int("jobs", 0));
+  options.config = default_pipeline_config(paper_uniform(6));
+
+  const ProfileReport report = profile_pipeline(trace, options);
+
+  std::cout << "bench_replay_profile: " << ref.display << ", "
+            << report.pipelines << " pipeline run(s), " << report.jobs
+            << " job(s)\n"
+            << "  wall time:      " << format_fixed(report.wall_seconds, 3)
+            << " s\n"
+            << "  scenarios/sec:  "
+            << format_fixed(report.pipelines_per_second, 1) << '\n'
+            << "  events/sec:     "
+            << format_fixed(report.events_per_second / 1e6, 2) << " M\n";
+  for (const PhaseProfile& phase : report.phases)
+    std::cout << "  phase " << phase.name << ": "
+              << format_fixed(phase.seconds * 1e3, 3) << " ms over "
+              << phase.count << " span(s)\n";
+
+  std::ofstream out(cli.get("out"), std::ios::binary);
+  PALS_CHECK_MSG(out.good(), "cannot open " << cli.get("out"));
+  out << report.bench_json();
+  PALS_CHECK_MSG(out.good(), "write failure on " << cli.get("out"));
+  std::cout << "report written to " << cli.get("out") << '\n';
+  return 0;
+}
+
+}  // namespace
+}  // namespace pals
+
+int main(int argc, char** argv) {
+  try {
+    return pals::run(argc, argv);
+  } catch (const pals::Error& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -24,6 +24,30 @@ for trace in examples/traces/*.palst; do
   "${BUILD_DIR}/tools/pals_lint" --strict --quiet "${trace}"
 done
 
+echo "== tier 1: observability artifacts (pals_profile) =="
+OBS_DIR="${BUILD_DIR}/Testing/tier1-obs"
+mkdir -p "${OBS_DIR}"
+# Two runs at different thread counts: the full metrics snapshot must
+# carry the replay / thread-pool / span keys, and the simulation-only
+# metrics and simulated Chrome trace must be byte-identical across runs.
+"${BUILD_DIR}/tools/pals_profile" --trace=examples/traces/ring.palst \
+    --repeat=4 --jobs=1 --quiet \
+    --metrics="${OBS_DIR}/metrics_j1.json" \
+    --sim-metrics="${OBS_DIR}/sim_metrics_j1.json" \
+    --sim-trace="${OBS_DIR}/sim_trace_j1.json" \
+    --bench-json="${OBS_DIR}/BENCH_replay.json"
+"${BUILD_DIR}/tools/pals_profile" --trace=examples/traces/ring.palst \
+    --repeat=4 --jobs=4 --quiet \
+    --sim-metrics="${OBS_DIR}/sim_metrics_j4.json" \
+    --sim-trace="${OBS_DIR}/sim_trace_j4.json"
+"${BUILD_DIR}/tools/pals_json_check" --quiet "${OBS_DIR}/metrics_j1.json" \
+    --require=replay.events,replay.messages_matched,pool.tasks_executed,span.pipeline.scaled_replay.wall_ns
+"${BUILD_DIR}/tools/pals_json_check" --quiet "${OBS_DIR}/BENCH_replay.json" \
+    --require=events_per_second,scenarios_per_second
+cmp "${OBS_DIR}/sim_metrics_j1.json" "${OBS_DIR}/sim_metrics_j4.json"
+cmp "${OBS_DIR}/sim_trace_j1.json" "${OBS_DIR}/sim_trace_j4.json"
+diff golden/ring_chrome_trace.json "${OBS_DIR}/sim_trace_j1.json"
+
 echo "== tier 1: sweep determinism under ASan/UBSan (${ASAN_DIR}) =="
 cmake -B "${ASAN_DIR}" -S . -DPALS_SANITIZE="address;undefined"
 cmake --build "${ASAN_DIR}" -j "${JOBS}" --target test_sweep

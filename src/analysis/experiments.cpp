@@ -26,6 +26,44 @@ PipelineConfig default_pipeline_config(const GearSet& gear_set,
   return config;
 }
 
+WorkloadRef resolve_workload(const std::string& spec, int default_iterations) {
+  if (spec.find(':') == std::string::npos) {
+    const auto instance = benchmark_by_name(spec, default_iterations);
+    PALS_CHECK_MSG(instance.has_value(),
+                   "unknown workload '"
+                       << spec
+                       << "' (not a Table 3 instance; inline specs use "
+                          "family:ranks:lb[:iterations])");
+    return WorkloadRef{spec, spec,
+                       [inst = *instance] { return inst.make(); }};
+  }
+  const std::vector<std::string> parts = split(spec, ':');
+  PALS_CHECK_MSG(parts.size() == 3 || parts.size() == 4,
+                 "bad workload spec '" << spec
+                                       << "' (family:ranks:lb[:iterations])");
+  WorkloadConfig config;
+  config.ranks = static_cast<Rank>(parse_int(parts[1]));
+  config.target_lb = parse_double(parts[2]);
+  config.iterations =
+      parts.size() == 4 ? static_cast<int>(parse_int(parts[3]))
+                        : default_iterations;
+  PALS_CHECK_MSG(config.ranks > 0, "workload spec '" << spec
+                                                     << "': ranks must be > 0");
+  PALS_CHECK_MSG(config.target_lb > 0.0 && config.target_lb <= 1.0,
+                 "workload spec '" << spec << "': lb must be in (0, 1]");
+  PALS_CHECK_MSG(config.iterations > 0,
+                 "workload spec '" << spec << "': iterations must be > 0");
+  const std::string family = parts[0];
+  const auto factory = workload_factory(family);  // throws on unknown family
+  // Canonical key includes the resolved iteration count so grids with
+  // different defaults never collide in a shared cache.
+  const std::string key = parts.size() == 4
+                              ? spec
+                              : spec + ":" + std::to_string(config.iterations);
+  return WorkloadRef{key, family + "-" + parts[1],
+                     [factory, config] { return factory(config); }};
+}
+
 void set_beta(PipelineConfig& config, double beta) {
   config.algorithm.beta = beta;
   config.power.beta = beta;

@@ -31,6 +31,20 @@ void set_beta(PipelineConfig& config, double beta);
 /// Unknown keys throw (typo detection).
 void apply_config_file(PipelineConfig& config, const std::string& path);
 
+/// A resolved workload: cache key, display name and trace builder.
+struct WorkloadRef {
+  std::string key;
+  std::string display;
+  std::function<Trace()> build;
+};
+
+/// Resolve a registry instance name ("CG-32") or an inline spec
+/// "family:ranks:lb[:iterations]" (e.g. "lu:32:0.93:6") to a WorkloadRef.
+/// Specs without an iteration count use `default_iterations`; the cache
+/// key always carries the resolved count so grids with different defaults
+/// never collide. Throws pals::Error on unknown names or malformed specs.
+WorkloadRef resolve_workload(const std::string& spec, int default_iterations);
+
 /// One measured row of an experiment.
 struct ExperimentRow {
   std::string instance;     ///< e.g. "CG-32"

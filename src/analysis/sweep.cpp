@@ -2,10 +2,16 @@
 
 #include <algorithm>
 #include <chrono>
+#include <condition_variable>
 #include <map>
+#include <mutex>
+#include <ostream>
+#include <thread>
 #include <utility>
 
 #include "lint/lint.hpp"
+#include "obs/record.hpp"
+#include "obs/span.hpp"
 #include "power/gearset.hpp"
 #include "replay/replay.hpp"
 #include "util/error.hpp"
@@ -22,58 +28,70 @@ double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
-Algorithm algorithm_by_name(const std::string& name) {
-  if (name == "max") return Algorithm::kMax;
-  if (name == "avg") return Algorithm::kAvg;
-  if (name == "energy-optimal") return Algorithm::kEnergyOptimalMax;
-  throw Error("unknown algorithm '" + name +
-              "' (try max, avg, energy-optimal)");
-}
-
-/// A resolved workload: cache key, display name and trace builder.
-struct WorkloadRef {
-  std::string key;
-  std::string display;
-  std::function<Trace()> build;
-};
-
-WorkloadRef resolve_workload(const std::string& spec, int default_iterations) {
-  if (spec.find(':') == std::string::npos) {
-    const auto instance = benchmark_by_name(spec, default_iterations);
-    PALS_CHECK_MSG(instance.has_value(),
-                   "unknown workload '"
-                       << spec
-                       << "' (not a Table 3 instance; inline specs use "
-                          "family:ranks:lb[:iterations])");
-    return WorkloadRef{spec, spec,
-                       [inst = *instance] { return inst.make(); }};
+/// Background reporter for SweepOptions::progress_stream: wakes every
+/// interval, reads the completion counter and prints one whole line.
+/// Joined (with a final line) before run_sweep returns.
+class ProgressMonitor {
+ public:
+  ProgressMonitor(std::ostream* out, double interval_seconds,
+                  std::size_t total, const obs::Counter& completed,
+                  std::uint64_t baseline)
+      : out_(out), total_(total), completed_(completed), baseline_(baseline) {
+    if (out_ == nullptr) return;
+    start_ = Clock::now();
+    thread_ = std::thread([this, interval_seconds] {
+      std::unique_lock<std::mutex> lock(mutex_);
+      while (!done_) {
+        stop_.wait_for(lock,
+                       std::chrono::duration<double>(interval_seconds));
+        if (done_) break;
+        print_line();
+      }
+    });
   }
-  const std::vector<std::string> parts = split(spec, ':');
-  PALS_CHECK_MSG(parts.size() == 3 || parts.size() == 4,
-                 "bad workload spec '" << spec
-                                       << "' (family:ranks:lb[:iterations])");
-  WorkloadConfig config;
-  config.ranks = static_cast<Rank>(parse_int(parts[1]));
-  config.target_lb = parse_double(parts[2]);
-  config.iterations =
-      parts.size() == 4 ? static_cast<int>(parse_int(parts[3]))
-                        : default_iterations;
-  PALS_CHECK_MSG(config.ranks > 0, "workload spec '" << spec
-                                                     << "': ranks must be > 0");
-  PALS_CHECK_MSG(config.target_lb > 0.0 && config.target_lb <= 1.0,
-                 "workload spec '" << spec << "': lb must be in (0, 1]");
-  PALS_CHECK_MSG(config.iterations > 0,
-                 "workload spec '" << spec << "': iterations must be > 0");
-  const std::string family = parts[0];
-  const auto factory = workload_factory(family);  // throws on unknown family
-  // Canonical key includes the resolved iteration count so grids with
-  // different defaults never collide in a shared cache.
-  const std::string key = parts.size() == 4
-                              ? spec
-                              : spec + ":" + std::to_string(config.iterations);
-  return WorkloadRef{key, family + "-" + parts[1],
-                     [factory, config] { return factory(config); }};
-}
+
+  ~ProgressMonitor() {
+    if (out_ == nullptr) return;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      done_ = true;
+    }
+    stop_.notify_all();
+    thread_.join();
+    print_line();  // final "N/N" line
+  }
+
+  ProgressMonitor(const ProgressMonitor&) = delete;
+  ProgressMonitor& operator=(const ProgressMonitor&) = delete;
+
+ private:
+  void print_line() {
+    const std::uint64_t done = completed_.value() - baseline_;
+    const double elapsed = seconds_since(start_);
+    std::string line = "sweep: " + std::to_string(done) + "/" +
+                       std::to_string(total_) + " scenarios, elapsed " +
+                       format_fixed(elapsed, 1) + "s";
+    if (done > 0 && done < total_) {
+      const double eta =
+          elapsed / static_cast<double>(done) *
+          static_cast<double>(total_ - done);
+      line += ", ETA " + format_fixed(eta, 1) + "s";
+    }
+    line += '\n';
+    out_->write(line.data(), static_cast<std::streamsize>(line.size()));
+    out_->flush();
+  }
+
+  std::ostream* out_;
+  std::size_t total_;
+  const obs::Counter& completed_;
+  std::uint64_t baseline_;
+  Clock::time_point start_;
+  std::thread thread_;
+  std::mutex mutex_;
+  std::condition_variable stop_;
+  bool done_ = false;
+};
 
 std::vector<double> parse_beta_list(const std::string& text) {
   std::vector<double> betas;
@@ -90,6 +108,14 @@ std::vector<std::string> parse_name_list(const std::string& text) {
 }
 
 }  // namespace
+
+Algorithm algorithm_by_name(const std::string& name) {
+  if (name == "max") return Algorithm::kMax;
+  if (name == "avg") return Algorithm::kAvg;
+  if (name == "energy-optimal") return Algorithm::kEnergyOptimalMax;
+  throw Error("unknown algorithm '" + name +
+              "' (try max, avg, energy-optimal)");
+}
 
 std::string Scenario::variant_label() const {
   if (!label.empty()) return label;
@@ -170,6 +196,10 @@ SweepResult run_sweep(const std::vector<Scenario>& scenarios,
   PALS_CHECK_MSG(!scenarios.empty(), "sweep has no scenarios");
   options.base.validate();
   const auto sweep_start = Clock::now();
+  obs::Registry& reg = obs::default_registry();
+  obs::Registry* span_reg = options.base.observe ? &reg : nullptr;
+  reg.counter("sweep.runs").add(1);
+  reg.counter("sweep.scenarios").add(scenarios.size());
 
   // Resolve everything serially up front so bad names fail with scenario
   // context before any thread spawns, and workers only do numeric work.
@@ -199,18 +229,23 @@ SweepResult run_sweep(const std::vector<Scenario>& scenarios,
   // (options.base.lint) each workload trace is statically verified here,
   // once, so a bad grid cell aborts with the full diagnostic report
   // before any replay starts.
+  reg.counter("sweep.baseline_replays").add(workloads.size());
   std::vector<const Trace*> traces(workloads.size());
   std::vector<ReplayResult> baselines(workloads.size());
-  pool.parallel_for(workloads.size(), [&](std::size_t w) {
-    traces[w] = &cache.get(workloads[w].key, workloads[w].build);
-    if (options.base.lint) {
-      lint::LintOptions lint_options;
-      lint_options.eager_threshold =
-          options.base.replay.platform.eager_threshold;
-      lint::enforce_lint(*traces[w], lint_options, workloads[w].display);
-    }
-    baselines[w] = replay(*traces[w], options.base.replay);
-  });
+  {
+    PALS_SPAN("sweep.baselines", span_reg);
+    pool.parallel_for(workloads.size(), [&](std::size_t w) {
+      PALS_SPAN_DETAIL("sweep.baseline", span_reg, workloads[w].display);
+      traces[w] = &cache.get(workloads[w].key, workloads[w].build);
+      if (options.base.lint) {
+        lint::LintOptions lint_options;
+        lint_options.eager_threshold =
+            options.base.replay.platform.eager_threshold;
+        lint::enforce_lint(*traces[w], lint_options, workloads[w].display);
+      }
+      baselines[w] = replay(*traces[w], options.base.replay);
+    });
+  }
 
   // Phase 2: the scenario fan-out. Each worker runs the pipeline on
   // private state and writes into its pre-allocated slot, so the merged
@@ -218,20 +253,31 @@ SweepResult run_sweep(const std::vector<Scenario>& scenarios,
   SweepResult result;
   result.rows.resize(scenarios.size());
   result.scenario_seconds.resize(scenarios.size());
-  pool.parallel_for(scenarios.size(), [&](std::size_t i) {
-    const auto scenario_start = Clock::now();
-    const Scenario& s = scenarios[i];
-    const std::size_t w = scenario_workload[i];
-    PipelineConfig config = options.base;
-    config.algorithm.algorithm = s.algorithm;
-    config.algorithm.gear_set = scenario_gears[i];
-    config.lint = false;  // each workload was already linted in phase 1
-    set_beta(config, s.beta);
-    result.rows[i] = run_experiment(*traces[w], baselines[w],
-                                    workloads[w].display, s.variant_label(),
-                                    config);
-    result.scenario_seconds[i] = seconds_since(scenario_start);
-  });
+  obs::Counter& completed = reg.counter("sweep.scenarios_completed");
+  {
+    ProgressMonitor progress(options.progress_stream,
+                             options.progress_interval_seconds,
+                             scenarios.size(), completed, completed.value());
+    PALS_SPAN("sweep.scenarios", span_reg);
+    pool.parallel_for(scenarios.size(), [&](std::size_t i) {
+      const auto scenario_start = Clock::now();
+      const Scenario& s = scenarios[i];
+      const std::size_t w = scenario_workload[i];
+      PALS_SPAN_DETAIL("sweep.scenario", span_reg,
+                       workloads[w].display + " " + s.variant_label());
+      PipelineConfig config = options.base;
+      config.algorithm.algorithm = s.algorithm;
+      config.algorithm.gear_set = scenario_gears[i];
+      config.lint = false;  // each workload was already linted in phase 1
+      set_beta(config, s.beta);
+      result.rows[i] = run_experiment(*traces[w], baselines[w],
+                                      workloads[w].display, s.variant_label(),
+                                      config);
+      result.scenario_seconds[i] = seconds_since(scenario_start);
+      completed.add(1);
+    });
+  }
+  obs::record_thread_pool(pool.stats(), reg);
 
   SweepStats& stats = result.stats;
   stats.scenarios = scenarios.size();

@@ -15,6 +15,7 @@
 //    once per (workload, gear, algorithm, β) combination.
 #pragma once
 
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,10 @@
 #include "core/algorithms.hpp"
 
 namespace pals {
+
+/// Parse an algorithm name ("max", "avg", "energy-optimal"); throws
+/// pals::Error on anything else.
+Algorithm algorithm_by_name(const std::string& name);
 
 /// One point of the scenario grid.
 struct Scenario {
@@ -81,6 +86,14 @@ struct SweepOptions {
   /// Optional shared trace cache (must outlive the call); run_sweep uses
   /// a private one when null.
   TraceCache* trace_cache = nullptr;
+  /// When non-null, a periodic progress line
+  /// ("sweep: k/N scenarios, elapsed Xs, ETA Ys") is written to this
+  /// stream while the scenario fan-out runs, driven by the
+  /// "sweep.scenarios_completed" metrics counter (pals_sweep --progress
+  /// points this at stderr). Null (the default) disables progress output.
+  std::ostream* progress_stream = nullptr;
+  /// Seconds between progress lines.
+  double progress_interval_seconds = 1.0;
 };
 
 /// Timing/throughput counters of one sweep, for the machine-readable

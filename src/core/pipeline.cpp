@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "lint/lint.hpp"
+#include "obs/span.hpp"
 #include "trace/transform.hpp"
 #include "util/error.hpp"
 
@@ -56,110 +57,144 @@ void lint_input_trace(const Trace& trace, const PipelineConfig& config) {
 
 }  // namespace
 
+namespace {
+
+ReplayResult baseline_replay_phase(const Trace& trace,
+                                   const PipelineConfig& config) {
+  PALS_SPAN("pipeline.baseline_replay",
+            config.observe ? &obs::default_registry() : nullptr);
+  return replay(trace, config.replay);
+}
+
+}  // namespace
+
 PipelineResult run_pipeline(const Trace& trace, const PipelineConfig& config) {
   config.validate();
   if (config.lint) {
     lint_input_trace(trace, config);
     PipelineConfig linted = config;
     linted.lint = false;  // already verified; skip the re-check below
-    return run_pipeline(trace, linted, replay(trace, linted.replay));
+    return run_pipeline(trace, linted, baseline_replay_phase(trace, linted));
   }
-  return run_pipeline(trace, config, replay(trace, config.replay));
+  return run_pipeline(trace, config, baseline_replay_phase(trace, config));
 }
 
 PipelineResult run_pipeline(const Trace& trace, const PipelineConfig& config,
                             const ReplayResult& baseline) {
   config.validate();
   if (config.lint) lint_input_trace(trace, config);
+  obs::default_registry().counter("pipeline.runs").add(1);
+  obs::Registry* reg = config.observe ? &obs::default_registry() : nullptr;
   const PowerModel power(config.power);
   const auto n = static_cast<std::size_t>(trace.n_ranks());
 
   PipelineResult result;
   result.baseline_replay = baseline;
   result.baseline_time = result.baseline_replay.makespan;
-  result.baseline_energy =
-      power.baseline_energy(result.baseline_replay.timeline);
+  {
+    PALS_SPAN("pipeline.energy", reg);
+    result.baseline_energy =
+        power.baseline_energy(result.baseline_replay.timeline);
+  }
   result.computation_time = result.baseline_replay.compute_time;
   result.load_balance = load_balance(result.computation_time);
   result.parallel_efficiency =
       parallel_efficiency(result.computation_time, result.baseline_time);
 
   std::vector<Gear> rank_gears(n);
-  Trace scaled;
-  if (!config.per_phase) {
-    result.assignment =
-        config.algorithm.algorithm == Algorithm::kEnergyOptimalMax
-            ? assign_frequencies_energy_optimal(result.computation_time,
-                                                config.algorithm,
-                                                config.power)
-            : assign_frequencies(result.computation_time, config.algorithm);
-    rank_gears = result.assignment.gears;
-    std::vector<double> factors(n);
-    for (std::size_t r = 0; r < n; ++r)
-      factors[r] = power.time_scale(rank_gears[r].frequency_ghz);
-    scaled = scale_compute(trace, factors);
-    result.overclocked_fraction = result.assignment.overclocked_fraction(
-        config.algorithm.nominal_fmax_ghz);
-  } else {
-    // One assignment per phase; bursts without a phase label follow the
-    // whole-run assignment.
-    const std::vector<std::int32_t> phases = trace.phases();
-    PALS_CHECK_MSG(!phases.empty(),
-                   "per-phase pipeline requires phase-labelled bursts");
-    std::vector<std::vector<Seconds>> per_phase_times;
-    per_phase_times.reserve(phases.size());
-    for (const std::int32_t p : phases) {
-      std::vector<Seconds> times(n);
-      for (Rank r = 0; r < trace.n_ranks(); ++r)
-        times[static_cast<std::size_t>(r)] = trace.computation_time(r, p);
-      per_phase_times.push_back(std::move(times));
-    }
-    result.phase_assignments =
-        assign_frequencies_per_phase(per_phase_times, config.algorithm);
-    result.assignment =
-        assign_frequencies(result.computation_time, config.algorithm);
-
-    // Phase labels may be sparse (e.g. {0, 3}); build a dense lookup.
-    const std::int32_t max_phase =
-        *std::max_element(phases.begin(), phases.end());
-    std::vector<std::vector<double>> factors(
-        n, std::vector<double>(static_cast<std::size_t>(max_phase) + 1, 1.0));
-    std::vector<double> default_factors(n);
-    std::size_t overclocked = 0;
-    for (std::size_t r = 0; r < n; ++r) {
-      default_factors[r] =
-          power.time_scale(result.assignment.gears[r].frequency_ghz);
-      bool rank_overclocked = false;
-      for (std::size_t pi = 0; pi < phases.size(); ++pi) {
-        const Gear& g = result.phase_assignments[pi].gears[r];
-        factors[r][static_cast<std::size_t>(phases[pi])] =
-            power.time_scale(g.frequency_ghz);
-        if (g.frequency_ghz > config.algorithm.nominal_fmax_ghz + 1e-12)
-          rank_overclocked = true;
+  std::vector<double> run_factors;                  ///< per_phase=false
+  std::vector<std::vector<double>> phase_factors;   ///< per_phase=true
+  std::vector<double> default_factors;              ///< per_phase=true
+  {
+    PALS_SPAN("pipeline.assignment", reg);
+    if (!config.per_phase) {
+      result.assignment =
+          config.algorithm.algorithm == Algorithm::kEnergyOptimalMax
+              ? assign_frequencies_energy_optimal(result.computation_time,
+                                                  config.algorithm,
+                                                  config.power)
+              : assign_frequencies(result.computation_time, config.algorithm);
+      rank_gears = result.assignment.gears;
+      run_factors.resize(n);
+      for (std::size_t r = 0; r < n; ++r)
+        run_factors[r] = power.time_scale(rank_gears[r].frequency_ghz);
+      result.overclocked_fraction = result.assignment.overclocked_fraction(
+          config.algorithm.nominal_fmax_ghz);
+    } else {
+      // One assignment per phase; bursts without a phase label follow the
+      // whole-run assignment.
+      const std::vector<std::int32_t> phases = trace.phases();
+      PALS_CHECK_MSG(!phases.empty(),
+                     "per-phase pipeline requires phase-labelled bursts");
+      std::vector<std::vector<Seconds>> per_phase_times;
+      per_phase_times.reserve(phases.size());
+      for (const std::int32_t p : phases) {
+        std::vector<Seconds> times(n);
+        for (Rank r = 0; r < trace.n_ranks(); ++r)
+          times[static_cast<std::size_t>(r)] = trace.computation_time(r, p);
+        per_phase_times.push_back(std::move(times));
       }
-      if (rank_overclocked) ++overclocked;
-      // Unphased bursts and wait states are charged at the whole-run gear;
-      // phase-labelled compute is charged exactly via phase_energy below.
-      rank_gears[r] = result.assignment.gears[r];
+      result.phase_assignments =
+          assign_frequencies_per_phase(per_phase_times, config.algorithm);
+      result.assignment =
+          assign_frequencies(result.computation_time, config.algorithm);
+
+      // Phase labels may be sparse (e.g. {0, 3}); build a dense lookup.
+      const std::int32_t max_phase =
+          *std::max_element(phases.begin(), phases.end());
+      phase_factors.assign(
+          n, std::vector<double>(static_cast<std::size_t>(max_phase) + 1, 1.0));
+      default_factors.resize(n);
+      std::size_t overclocked = 0;
+      for (std::size_t r = 0; r < n; ++r) {
+        default_factors[r] =
+            power.time_scale(result.assignment.gears[r].frequency_ghz);
+        bool rank_overclocked = false;
+        for (std::size_t pi = 0; pi < phases.size(); ++pi) {
+          const Gear& g = result.phase_assignments[pi].gears[r];
+          phase_factors[r][static_cast<std::size_t>(phases[pi])] =
+              power.time_scale(g.frequency_ghz);
+          if (g.frequency_ghz > config.algorithm.nominal_fmax_ghz + 1e-12)
+            rank_overclocked = true;
+        }
+        if (rank_overclocked) ++overclocked;
+        // Unphased bursts and wait states are charged at the whole-run gear;
+        // phase-labelled compute is charged exactly via phase_energy below.
+        rank_gears[r] = result.assignment.gears[r];
+      }
+      result.overclocked_fraction =
+          static_cast<double>(overclocked) / static_cast<double>(n);
     }
-    result.overclocked_fraction =
-        static_cast<double>(overclocked) / static_cast<double>(n);
-    scaled = scale_compute_per_phase(trace, factors, default_factors);
   }
 
-  result.scaled_replay = replay(scaled, config.replay);
+  Trace scaled;
+  {
+    PALS_SPAN("pipeline.rescale", reg);
+    scaled = config.per_phase
+                 ? scale_compute_per_phase(trace, phase_factors,
+                                           default_factors)
+                 : scale_compute(trace, run_factors);
+  }
+
+  {
+    PALS_SPAN("pipeline.scaled_replay", reg);
+    result.scaled_replay = replay(scaled, config.replay);
+  }
   result.scaled_time = result.scaled_replay.makespan;
-  if (!config.per_phase) {
-    result.scaled_energy =
-        power.total_energy(result.scaled_replay.timeline, rank_gears);
-  } else {
-    const std::vector<std::int32_t> phases = trace.phases();
-    std::vector<std::vector<Gear>> phase_gears;
-    phase_gears.reserve(result.phase_assignments.size());
-    for (const FrequencyAssignment& a : result.phase_assignments)
-      phase_gears.push_back(a.gears);
-    result.scaled_energy = power.phase_energy(
-        result.scaled_replay.timeline, phases, phase_gears, rank_gears);
+  {
+    PALS_SPAN("pipeline.energy", reg);
+    if (!config.per_phase) {
+      result.scaled_energy =
+          power.total_energy(result.scaled_replay.timeline, rank_gears);
+    } else {
+      const std::vector<std::int32_t> phases = trace.phases();
+      std::vector<std::vector<Gear>> phase_gears;
+      phase_gears.reserve(result.phase_assignments.size());
+      for (const FrequencyAssignment& a : result.phase_assignments)
+        phase_gears.push_back(a.gears);
+      result.scaled_energy = power.phase_energy(
+          result.scaled_replay.timeline, phases, phase_gears, rank_gears);
+    }
   }
   return result;
 }

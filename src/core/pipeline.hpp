@@ -33,6 +33,12 @@ struct PipelineConfig {
   /// a malformed or deadlocking trace aborts up front instead of
   /// mid-replay.
   bool lint = false;
+  /// Record per-phase wall-clock spans (pipeline.baseline_replay,
+  /// .assignment, .rescale, .scaled_replay, .energy) into
+  /// obs::default_registry() — the host-profiling view consumed by
+  /// pals_profile and the Chrome-trace export. Simulation metrics are
+  /// always recorded; this flag only controls the wall-clock spans.
+  bool observe = false;
 
   void validate() const;
 };

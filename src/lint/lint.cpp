@@ -10,6 +10,7 @@
 #include <set>
 #include <sstream>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace pals {
@@ -703,7 +704,17 @@ class AbstractMachine {
 }  // namespace
 
 LintReport lint_trace(const Trace& trace, const LintOptions& options) {
-  return Linter(trace, options).run();
+  LintReport report = Linter(trace, options).run();
+
+  // Per-code diagnostic counts (post-sort, pre-truncation diagnostics all
+  // survive in the severity totals; count the retained list per code).
+  obs::Registry& reg = obs::default_registry();
+  reg.counter("lint.runs").add(1);
+  reg.counter("lint.diagnostics").add(report.diagnostics.size() +
+                                      report.dropped);
+  for (const Diagnostic& d : report.diagnostics)
+    reg.counter("lint.diag." + to_string(d.code)).add(1);
+  return report;
 }
 
 void enforce_lint(const Trace& trace, const LintOptions& options,

@@ -1,0 +1,145 @@
+#include "obs/chrome_trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/strings.hpp"
+
+namespace pals {
+namespace obs {
+
+namespace {
+
+/// Microsecond timestamps with fixed precision: equal values, equal bytes.
+std::string format_us(double us) { return format_fixed(us, 3); }
+
+std::string render_args(const ChromeTraceWriter::Args& args) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out += ',';
+    out += '"' + json_escape(args[i].first) + "\":\"" +
+           json_escape(args[i].second) + '"';
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+void ChromeTraceWriter::process_name(int pid, const std::string& name) {
+  events_.push_back(
+      "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" + std::to_string(pid) +
+      ",\"tid\":0,\"args\":{\"name\":\"" + json_escape(name) + "\"}}");
+}
+
+void ChromeTraceWriter::thread_name(int pid, int tid, const std::string& name) {
+  events_.push_back(
+      "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" + std::to_string(pid) +
+      ",\"tid\":" + std::to_string(tid) + ",\"args\":{\"name\":\"" +
+      json_escape(name) + "\"}}");
+}
+
+void ChromeTraceWriter::complete_event(int pid, int tid,
+                                       const std::string& name, double ts_us,
+                                       double dur_us, const Args& args) {
+  std::string event =
+      "{\"ph\":\"X\",\"name\":\"" + json_escape(name) +
+      "\",\"pid\":" + std::to_string(pid) + ",\"tid\":" + std::to_string(tid) +
+      ",\"ts\":" + format_us(ts_us) + ",\"dur\":" + format_us(dur_us);
+  if (!args.empty()) event += ",\"args\":" + render_args(args);
+  event += '}';
+  events_.push_back(std::move(event));
+}
+
+void ChromeTraceWriter::flow_begin(int pid, int tid, const std::string& name,
+                                   double ts_us, std::uint64_t id) {
+  events_.push_back("{\"ph\":\"s\",\"name\":\"" + json_escape(name) +
+                    "\",\"cat\":\"flow\",\"id\":" + std::to_string(id) +
+                    ",\"pid\":" + std::to_string(pid) +
+                    ",\"tid\":" + std::to_string(tid) +
+                    ",\"ts\":" + format_us(ts_us) + "}");
+}
+
+void ChromeTraceWriter::flow_end(int pid, int tid, const std::string& name,
+                                 double ts_us, std::uint64_t id) {
+  events_.push_back("{\"ph\":\"f\",\"bp\":\"e\",\"name\":\"" +
+                    json_escape(name) +
+                    "\",\"cat\":\"flow\",\"id\":" + std::to_string(id) +
+                    ",\"pid\":" + std::to_string(pid) +
+                    ",\"tid\":" + std::to_string(tid) +
+                    ",\"ts\":" + format_us(ts_us) + "}");
+}
+
+std::string ChromeTraceWriter::to_json() const {
+  std::string out = "{\"traceEvents\":[";
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += events_[i];
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+void ChromeTraceWriter::write_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  PALS_CHECK_MSG(out.good(), "cannot open '" << path << "' for writing");
+  const std::string json = to_json();
+  out.write(json.data(), static_cast<std::streamsize>(json.size()));
+  PALS_CHECK_MSG(out.good(), "write failure on '" << path << "'");
+}
+
+void append_host_spans(ChromeTraceWriter& writer, const Registry& registry,
+                       int pid, const std::string& process_name) {
+  const std::vector<SpanRecord> spans = registry.spans();
+  writer.process_name(pid, process_name);
+  std::set<int> threads;
+  for (const SpanRecord& s : spans) threads.insert(s.thread);
+  for (const int tid : threads)
+    writer.thread_name(pid, tid, "thread-" + std::to_string(tid));
+  for (const SpanRecord& s : spans) {
+    ChromeTraceWriter::Args args;
+    if (!s.detail.empty()) args.emplace_back("detail", s.detail);
+    writer.complete_event(pid, s.thread, s.name,
+                          static_cast<double>(s.begin_ns) / 1e3,
+                          static_cast<double>(s.end_ns - s.begin_ns) / 1e3,
+                          args);
+  }
+}
+
+void append_simulated_replay(ChromeTraceWriter& writer,
+                             const ReplayResult& result,
+                             const SimulatedTraceOptions& options) {
+  writer.process_name(options.pid, options.process_name);
+  const Rank n_ranks = result.timeline.n_ranks();
+  for (Rank rank = 0; rank < n_ranks; ++rank)
+    writer.thread_name(options.pid, rank, "rank " + std::to_string(rank));
+  for (Rank rank = 0; rank < n_ranks; ++rank) {
+    for (const StateInterval& interval : result.timeline.intervals(rank)) {
+      if (interval.state == RankState::kIdle && !options.include_idle) continue;
+      ChromeTraceWriter::Args args;
+      if (interval.phase >= 0)
+        args.emplace_back("phase", std::to_string(interval.phase));
+      if (interval.iteration >= 0)
+        args.emplace_back("iteration", std::to_string(interval.iteration));
+      writer.complete_event(options.pid, rank, to_string(interval.state),
+                            interval.begin * 1e6, interval.duration() * 1e6,
+                            args);
+    }
+  }
+  if (!options.flows) return;
+  // Namespace flow ids by pid so baseline and scaled replays can coexist
+  // in one file without cross-linking arrows.
+  const std::uint64_t id_base = static_cast<std::uint64_t>(options.pid) << 32;
+  for (std::size_t i = 0; i < result.messages.size(); ++i) {
+    const MessageRecord& m = result.messages[i];
+    const std::uint64_t id = id_base | static_cast<std::uint64_t>(i);
+    writer.flow_begin(options.pid, m.src, "p2p", m.send_time * 1e6, id);
+    writer.flow_end(options.pid, m.dst, "p2p", m.recv_time * 1e6, id);
+  }
+}
+
+}  // namespace obs
+}  // namespace pals

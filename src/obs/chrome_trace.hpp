@@ -1,0 +1,82 @@
+// pals::obs — Chrome trace_event JSON export (loadable in Perfetto or
+// chrome://tracing).
+//
+// One writer, two producers:
+//  * append_host_spans — the wall-clock spans recorded in a Registry
+//    become duration events on a "host" process (pid 1 by default), one
+//    track per worker thread. Host timings are nondeterministic and are
+//    never part of golden files.
+//  * append_simulated_replay — the simulated execution from a
+//    ReplayResult: each MPI rank is a track, every timeline state
+//    interval a duration event, and every matched point-to-point message
+//    a flow arrow from sender to receiver. Simulated time is
+//    deterministic, so this export is byte-stable and golden-tested.
+//
+// All timestamps are microseconds (the trace_event unit) rendered with
+// fixed 3-decimal precision so equal inputs give equal bytes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "replay/replay.hpp"
+
+namespace pals {
+namespace obs {
+
+/// Accumulates trace_event records; serialization happens at append time
+/// so the output byte order is exactly the append order.
+class ChromeTraceWriter {
+ public:
+  using Args = std::vector<std::pair<std::string, std::string>>;
+
+  /// Metadata: name the process `pid`.
+  void process_name(int pid, const std::string& name);
+  /// Metadata: name thread `tid` of process `pid` (its track label).
+  void thread_name(int pid, int tid, const std::string& name);
+
+  /// Complete event ("ph":"X"): a span of `dur_us` starting at `ts_us`.
+  /// `args` values are emitted as JSON strings.
+  void complete_event(int pid, int tid, const std::string& name, double ts_us,
+                      double dur_us, const Args& args = {});
+
+  /// Flow start ("ph":"s") / flow end ("ph":"f", binding "e"). Events with
+  /// the same `id` and name are drawn as one arrow.
+  void flow_begin(int pid, int tid, const std::string& name, double ts_us,
+                  std::uint64_t id);
+  void flow_end(int pid, int tid, const std::string& name, double ts_us,
+                std::uint64_t id);
+
+  std::size_t event_count() const { return events_.size(); }
+
+  /// {"traceEvents":[...]} — the standard JSON Object Format wrapper.
+  std::string to_json() const;
+  void write_file(const std::string& path) const;
+
+ private:
+  std::vector<std::string> events_;
+};
+
+/// Export the spans recorded in `registry` as duration events on process
+/// `pid` (track per thread ordinal). Span details become an "detail" arg.
+void append_host_spans(ChromeTraceWriter& writer, const Registry& registry,
+                       int pid = 1, const std::string& process_name = "host");
+
+struct SimulatedTraceOptions {
+  int pid = 2;                           ///< process id for the rank tracks
+  std::string process_name = "simulation";
+  bool include_idle = false;  ///< emit kIdle intervals (off: gaps instead)
+  bool flows = true;          ///< draw point-to-point messages as arrows
+};
+
+/// Export the simulated timeline + messages of `result` (byte-stable).
+/// Flow ids are namespaced by pid so several replays can share a file.
+void append_simulated_replay(ChromeTraceWriter& writer,
+                             const ReplayResult& result,
+                             const SimulatedTraceOptions& options = {});
+
+}  // namespace obs
+}  // namespace pals

@@ -1,0 +1,290 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/strings.hpp"
+
+namespace pals {
+namespace obs {
+
+std::int64_t to_nanos(double seconds) {
+  return std::llround(seconds * 1e9);
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  PALS_CHECK_MSG(std::is_sorted(bounds_.begin(), bounds_.end()),
+                 "histogram bounds must be ascending");
+  PALS_CHECK_MSG(
+      std::adjacent_find(bounds_.begin(), bounds_.end()) == bounds_.end(),
+      "histogram bounds must be distinct");
+}
+
+void Histogram::observe(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const auto index = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(buckets_.size());
+  for (const auto& b : buckets_) out.push_back(b.load(std::memory_order_relaxed));
+  return out;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+std::string to_string(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "unknown";
+}
+
+bool is_host_metric(std::string_view name) {
+  return starts_with(name, "span.") || starts_with(name, "pool.") ||
+         starts_with(name, "host.") || ends_with(name, ".wall_ns") ||
+         ends_with(name, ".wall_seconds");
+}
+
+const MetricValue* MetricsSnapshot::find(std::string_view name) const {
+  for (const MetricValue& m : metrics)
+    if (m.name == name) return &m;
+  return nullptr;
+}
+
+std::uint64_t MetricsSnapshot::value_of(std::string_view name) const {
+  const MetricValue* m = find(name);
+  if (!m) return 0;
+  if (m->kind == MetricKind::kGauge)
+    return static_cast<std::uint64_t>(m->gauge);
+  return m->count;
+}
+
+MetricsSnapshot MetricsSnapshot::simulation_only() const {
+  MetricsSnapshot out;
+  for (const MetricValue& m : metrics)
+    if (!is_host_metric(m.name)) out.metrics.push_back(m);
+  return out;
+}
+
+namespace {
+
+/// Histogram sums/bounds rendered with fixed precision so equal values
+/// always yield equal bytes.
+std::string format_number(double v) { return format_fixed(v, 9); }
+
+void render_json(const MetricValue& m, std::string& out) {
+  out += "{\"name\":\"" + json_escape(m.name) + "\",\"kind\":\"" +
+         to_string(m.kind) + "\"";
+  switch (m.kind) {
+    case MetricKind::kCounter:
+      out += ",\"value\":" + std::to_string(m.count);
+      break;
+    case MetricKind::kGauge:
+      out += ",\"value\":" + std::to_string(m.gauge);
+      break;
+    case MetricKind::kHistogram: {
+      out += ",\"count\":" + std::to_string(m.count) +
+             ",\"sum\":" + format_number(m.sum) + ",\"buckets\":[";
+      for (std::size_t i = 0; i < m.buckets.size(); ++i) {
+        if (i > 0) out += ',';
+        out += "{\"le\":";
+        out += i < m.bounds.size() ? format_number(m.bounds[i])
+                                   : std::string("\"inf\"");
+        out += ",\"count\":" + std::to_string(m.buckets[i]) + "}";
+      }
+      out += "]";
+      break;
+    }
+  }
+  out += "}";
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "{\"metrics\":[";
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    render_json(metrics[i], out);
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::string MetricsSnapshot::to_csv() const {
+  std::string out = "name,kind,value,count,sum,buckets\n";
+  for (const MetricValue& m : metrics) {
+    out += m.name + ',' + to_string(m.kind) + ',';
+    switch (m.kind) {
+      case MetricKind::kCounter: out += std::to_string(m.count); break;
+      case MetricKind::kGauge: out += std::to_string(m.gauge); break;
+      case MetricKind::kHistogram: break;  // value column empty
+    }
+    out += ',';
+    if (m.kind == MetricKind::kHistogram) out += std::to_string(m.count);
+    out += ',';
+    if (m.kind == MetricKind::kHistogram) out += format_number(m.sum);
+    out += ',';
+    if (m.kind == MetricKind::kHistogram) {
+      for (std::size_t i = 0; i < m.buckets.size(); ++i) {
+        if (i > 0) out += ';';
+        out += "le=";
+        out += i < m.bounds.size() ? format_number(m.bounds[i])
+                                   : std::string("inf");
+        out += ':' + std::to_string(m.buckets[i]);
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::to_text() const {
+  std::size_t width = 0;
+  for (const MetricValue& m : metrics) width = std::max(width, m.name.size());
+  std::string out;
+  for (const MetricValue& m : metrics) {
+    out += m.name;
+    out.append(width - m.name.size() + 2, ' ');
+    switch (m.kind) {
+      case MetricKind::kCounter: out += std::to_string(m.count); break;
+      case MetricKind::kGauge: out += std::to_string(m.gauge); break;
+      case MetricKind::kHistogram:
+        out += "count=" + std::to_string(m.count) +
+               " sum=" + format_number(m.sum);
+        break;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Registry::Registry() : epoch_(std::chrono::steady_clock::now()) {}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Slot& slot = slots_[name];
+  if (!slot.counter) {
+    PALS_CHECK_MSG(!slot.gauge && !slot.histogram,
+                   "metric '" << name << "' already registered as a "
+                              << to_string(slot.kind));
+    slot.kind = MetricKind::kCounter;
+    slot.counter = std::make_unique<Counter>();
+  }
+  return *slot.counter;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Slot& slot = slots_[name];
+  if (!slot.gauge) {
+    PALS_CHECK_MSG(!slot.counter && !slot.histogram,
+                   "metric '" << name << "' already registered as a "
+                              << to_string(slot.kind));
+    slot.kind = MetricKind::kGauge;
+    slot.gauge = std::make_unique<Gauge>();
+  }
+  return *slot.gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Slot& slot = slots_[name];
+  if (!slot.histogram) {
+    PALS_CHECK_MSG(!slot.counter && !slot.gauge,
+                   "metric '" << name << "' already registered as a "
+                              << to_string(slot.kind));
+    slot.kind = MetricKind::kHistogram;
+    slot.histogram = std::make_unique<Histogram>(std::move(bounds));
+  } else {
+    PALS_CHECK_MSG(slot.histogram->bounds() == bounds,
+                   "histogram '" << name
+                                 << "' re-registered with different bounds");
+  }
+  return *slot.histogram;
+}
+
+void Registry::record_span(SpanRecord span) {
+  counter("span." + span.name + ".count").add(1);
+  counter("span." + span.name + ".wall_ns")
+      .add(span.end_ns - span.begin_ns);
+  std::lock_guard<std::mutex> lock(mutex_);
+  spans_.push_back(std::move(span));
+}
+
+std::vector<SpanRecord> Registry::spans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  snap.metrics.reserve(slots_.size());
+  for (const auto& [name, slot] : slots_) {  // std::map: already key-sorted
+    MetricValue value;
+    value.name = name;
+    value.kind = slot.kind;
+    switch (slot.kind) {
+      case MetricKind::kCounter:
+        value.count = slot.counter->value();
+        break;
+      case MetricKind::kGauge:
+        value.gauge = slot.gauge->value();
+        break;
+      case MetricKind::kHistogram:
+        value.count = slot.histogram->count();
+        value.sum = slot.histogram->sum();
+        value.bounds = slot.histogram->bounds();
+        value.buckets = slot.histogram->bucket_counts();
+        break;
+    }
+    snap.metrics.push_back(std::move(value));
+  }
+  return snap;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, slot] : slots_) {
+    switch (slot.kind) {
+      case MetricKind::kCounter: slot.counter->reset(); break;
+      case MetricKind::kGauge: slot.gauge->reset(); break;
+      case MetricKind::kHistogram: slot.histogram->reset(); break;
+    }
+  }
+  spans_.clear();
+}
+
+Registry& default_registry() {
+  static Registry registry;
+  return registry;
+}
+
+int thread_ordinal() {
+  static std::atomic<int> next{0};
+  thread_local const int ordinal = next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+}  // namespace obs
+}  // namespace pals

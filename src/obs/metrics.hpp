@@ -1,0 +1,203 @@
+// pals::obs — metrics registry (counters, gauges, fixed-bucket histograms).
+//
+// The observability spine of the pipeline: every layer that wants to
+// report "how much work happened" registers a named metric here and bumps
+// it with relaxed atomics. A Registry snapshot is a deterministic,
+// key-sorted value list renderable as JSON, CSV or aligned text.
+//
+// Determinism contract (what makes `--jobs 1` vs `--jobs 8` snapshots
+// byte-identical):
+//  * Counters and gauges hold integers only. Quantities measured in
+//    simulated seconds are stored as integer nanoseconds
+//    (obs::to_nanos), so concurrent accumulation is commutative — no
+//    floating-point reassociation across thread schedules.
+//  * Metrics that measure *host* behaviour (wall-clock spans, thread-pool
+//    scheduling) are inherently nondeterministic; they live in reserved
+//    namespaces (is_host_metric) and MetricsSnapshot::simulation_only()
+//    drops them, leaving the byte-stable simulation view.
+//
+// A process-global default_registry() serves the common case; scoped
+// Registry instances back per-trace statistics (pals_trace_info --stats)
+// and tests.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pals {
+namespace obs {
+
+/// Simulated (or wall) seconds → integer nanoseconds, the unit all
+/// duration metrics use so that concurrent sums stay order-independent.
+std::int64_t to_nanos(double seconds);
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write or running-extremum integer value.
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  /// Raise the gauge to `v` if larger (commutative, hence deterministic
+  /// under concurrency).
+  void update_max(std::int64_t v) {
+    std::int64_t cur = value_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram: `bounds` are ascending upper bounds; an
+/// implicit overflow bucket catches everything above the last bound.
+/// The sum is a double accumulated with a CAS loop — deterministic only
+/// when observations happen on one thread (all current users do).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double value);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Bucket counts, size bounds().size() + 1 (last = overflow).
+  std::vector<std::uint64_t> bucket_counts() const;
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+std::string to_string(MetricKind kind);
+
+/// One metric's value at snapshot time.
+struct MetricValue {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  std::uint64_t count = 0;   ///< counter value, or histogram observation count
+  std::int64_t gauge = 0;    ///< gauge value
+  double sum = 0.0;          ///< histogram sum
+  std::vector<double> bounds;          ///< histogram bucket upper bounds
+  std::vector<std::uint64_t> buckets;  ///< histogram counts (incl. overflow)
+
+  bool operator==(const MetricValue&) const = default;
+};
+
+/// True for metrics in the host-side (wall-clock / scheduling) namespaces,
+/// which are excluded from determinism comparisons and goldens:
+/// "span.*", "pool.*", "host.*", and any "*.wall_ns" / "*.wall_seconds".
+bool is_host_metric(std::string_view name);
+
+/// Key-sorted value list; all renderers are byte-deterministic given equal
+/// metric values.
+struct MetricsSnapshot {
+  std::vector<MetricValue> metrics;  ///< sorted by name
+
+  const MetricValue* find(std::string_view name) const;
+  /// Counter value (or gauge value) of `name`; 0 when absent.
+  std::uint64_t value_of(std::string_view name) const;
+
+  /// Copy without host metrics (see is_host_metric) — the byte-stable
+  /// simulation view compared across --jobs counts.
+  MetricsSnapshot simulation_only() const;
+
+  /// {"metrics":[{"name":...,"kind":...,...},...]} with \n separators.
+  std::string to_json() const;
+  /// "name,kind,value,count,sum" (histograms render bucket columns as
+  /// "le=BOUND:N" pairs joined by ';').
+  std::string to_csv() const;
+  /// Aligned "name  value" lines for terminal output.
+  std::string to_text() const;
+};
+
+/// One recorded host-side span (see span.hpp). Times are nanoseconds
+/// since the owning registry's epoch; `thread` is the small sequential
+/// ordinal from thread_ordinal().
+struct SpanRecord {
+  std::string name;
+  std::string detail;  ///< optional free-form label (trace args)
+  int thread = 0;
+  std::uint64_t begin_ns = 0;
+  std::uint64_t end_ns = 0;
+};
+
+/// Thread-safe name → metric registry with an attached span log.
+class Registry {
+ public:
+  Registry();
+
+  /// Find-or-create by name. Throws pals::Error if `name` already exists
+  /// with a different kind (or, for histograms, different bounds).
+  /// Returned references stay valid for the registry's lifetime (reset()
+  /// zeroes values in place, it does not deallocate).
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name, std::vector<double> bounds);
+
+  /// Append a span and bump its "span.<name>.count" / ".wall_ns" metrics.
+  void record_span(SpanRecord span);
+  std::vector<SpanRecord> spans() const;
+  std::chrono::steady_clock::time_point epoch() const { return epoch_; }
+
+  MetricsSnapshot snapshot() const;
+
+  /// Zero every metric and drop recorded spans. References returned by
+  /// counter()/gauge()/histogram() remain valid.
+  void reset();
+
+ private:
+  struct Slot {
+    MetricKind kind = MetricKind::kCounter;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Slot> slots_;
+  std::vector<SpanRecord> spans_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// The process-global registry the instrumented libraries write to.
+Registry& default_registry();
+
+/// Small sequential per-thread ordinal (0, 1, 2, ... in first-use order);
+/// used as the Chrome-trace tid for host spans.
+int thread_ordinal();
+
+}  // namespace obs
+}  // namespace pals

@@ -1,0 +1,31 @@
+#include "obs/record.hpp"
+
+#include "trace/io.hpp"
+
+namespace pals {
+namespace obs {
+
+void record_trace_io(Registry& registry) {
+  const TraceIoStats stats = trace_io_stats();
+  registry.gauge("trace.io.bytes_read")
+      .set(static_cast<std::int64_t>(stats.bytes_read));
+  registry.gauge("trace.io.traces_parsed")
+      .set(static_cast<std::int64_t>(stats.traces_parsed));
+}
+
+void record_thread_pool(const ThreadPoolStats& stats, Registry& registry) {
+  registry.gauge("pool.workers").set(stats.workers);
+  registry.gauge("pool.tasks_submitted")
+      .set(static_cast<std::int64_t>(stats.tasks_submitted));
+  registry.gauge("pool.tasks_executed")
+      .set(static_cast<std::int64_t>(stats.tasks_executed));
+  registry.gauge("pool.tasks_stolen")
+      .set(static_cast<std::int64_t>(stats.tasks_stolen));
+  registry.gauge("pool.busy_ns").set(static_cast<std::int64_t>(stats.busy_ns));
+  for (std::size_t i = 0; i < stats.worker_busy_ns.size(); ++i)
+    registry.gauge("pool.worker." + std::to_string(i) + ".busy_ns")
+        .set(static_cast<std::int64_t>(stats.worker_busy_ns[i]));
+}
+
+}  // namespace obs
+}  // namespace pals

@@ -1,0 +1,24 @@
+// pals::obs — bridges from layers that sit below the obs library.
+//
+// The trace library and the thread pool cannot link pals_obs (it links
+// pals_trace, and pals_util sits below everything), so they expose plain
+// stats structs; these helpers mirror those structs into a Registry as
+// gauges right before a snapshot is taken.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "util/thread_pool.hpp"
+
+namespace pals {
+namespace obs {
+
+/// Mirror the process-wide trace I/O counters (pals::trace_io_stats) into
+/// `registry` as gauges "trace.io.bytes_read" / "trace.io.traces_parsed".
+void record_trace_io(Registry& registry);
+
+/// Mirror a ThreadPool's scheduling counters into `registry` under
+/// "pool.*" (host metrics: excluded from determinism comparisons).
+void record_thread_pool(const ThreadPoolStats& stats, Registry& registry);
+
+}  // namespace obs
+}  // namespace pals

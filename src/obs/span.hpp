@@ -1,0 +1,82 @@
+// pals::obs — RAII host-side span timing.
+//
+// A SpanTimer measures the wall-clock extent of a scope with
+// steady_clock and records it into a Registry as a SpanRecord (plus the
+// derived "span.<name>.count" / "span.<name>.wall_ns" counters). Spans
+// are host metrics: they never appear in simulation-only snapshots or
+// golden files, but they drive the host-side track of the Chrome-trace
+// export and the per-phase breakdowns reported by run_pipeline and the
+// sweep.
+//
+// The registry pointer may be null, making the timer a no-op; callers
+// gate instrumentation on a config flag without branching at every site:
+//
+//   PALS_SPAN("pipeline.scaled_replay", observe ? &obs::default_registry()
+//                                               : nullptr);
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <utility>
+
+#include "obs/metrics.hpp"
+
+namespace pals {
+namespace obs {
+
+/// Times the enclosing scope; records into `registry` on destruction.
+/// A null registry disables the timer entirely.
+class SpanTimer {
+ public:
+  SpanTimer(Registry* registry, std::string name, std::string detail = {})
+      : registry_(registry), name_(std::move(name)), detail_(std::move(detail)) {
+    if (registry_ != nullptr) begin_ = std::chrono::steady_clock::now();
+  }
+
+  SpanTimer(Registry& registry, std::string name, std::string detail = {})
+      : SpanTimer(&registry, std::move(name), std::move(detail)) {}
+
+  SpanTimer(const SpanTimer&) = delete;
+  SpanTimer& operator=(const SpanTimer&) = delete;
+
+  ~SpanTimer() {
+    if (registry_ == nullptr) return;
+    const auto end = std::chrono::steady_clock::now();
+    SpanRecord record;
+    record.name = std::move(name_);
+    record.detail = std::move(detail_);
+    record.thread = thread_ordinal();
+    record.begin_ns = elapsed_ns(begin_);
+    record.end_ns = elapsed_ns(end);
+    registry_->record_span(std::move(record));
+  }
+
+ private:
+  std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point t) const {
+    const auto d = t - registry_->epoch();
+    const auto ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(d).count();
+    return ns > 0 ? static_cast<std::uint64_t>(ns) : 0;
+  }
+
+  Registry* registry_;
+  std::string name_;
+  std::string detail_;
+  std::chrono::steady_clock::time_point begin_;
+};
+
+#define PALS_SPAN_CONCAT_INNER(a, b) a##b
+#define PALS_SPAN_CONCAT(a, b) PALS_SPAN_CONCAT_INNER(a, b)
+
+/// Time the current scope as span `name` in `registry` (Registry&,
+/// Registry*, or nullptr to disable).
+#define PALS_SPAN(name, registry) \
+  ::pals::obs::SpanTimer PALS_SPAN_CONCAT(pals_span_, __LINE__)(registry, name)
+
+/// PALS_SPAN with a free-form detail string (becomes trace args).
+#define PALS_SPAN_DETAIL(name, registry, detail)                          \
+  ::pals::obs::SpanTimer PALS_SPAN_CONCAT(pals_span_, __LINE__)(registry, \
+                                                                name, detail)
+
+}  // namespace obs
+}  // namespace pals

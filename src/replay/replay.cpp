@@ -8,6 +8,7 @@
 #include <unordered_set>
 
 #include "lint/lint.hpp"
+#include "obs/metrics.hpp"
 #include "simcore/engine.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
@@ -97,6 +98,8 @@ public:
     }
     result.point_to_point_messages = p2p_messages_;
     result.point_to_point_bytes = p2p_bytes_;
+    result.eager_messages = eager_messages_;
+    result.rendezvous_messages = rendezvous_messages_;
     result.collective_operations = collectives_.size();
     result.bus_contention_delay = bus_.contention_delay();
     for (const BusAllocator& link : out_links_)
@@ -104,6 +107,7 @@ public:
     for (const BusAllocator& link : in_links_)
       result.link_contention_delay += link.contention_delay();
     result.simulated_events = engine_.executed_events();
+    result.sim_queue_peak = engine_.max_queue_depth();
     result.timeline = std::move(timeline_);
     result.messages = std::move(messages_);
     result.collectives.reserve(collectives_.size());
@@ -265,6 +269,10 @@ private:
     const ChannelKey key{r, peer, tag};
     ++p2p_messages_;
     p2p_bytes_ += bytes;
+    if (eager)
+      ++eager_messages_;
+    else
+      ++rendezvous_messages_;
 
     auto& recvs = pending_recvs_[key];
     if (eager) {
@@ -492,6 +500,8 @@ private:
 
   std::size_t p2p_messages_ = 0;
   Bytes p2p_bytes_ = 0;
+  std::size_t eager_messages_ = 0;
+  std::size_t rendezvous_messages_ = 0;
   std::vector<MessageRecord> messages_;
 };
 
@@ -511,7 +521,28 @@ ReplayResult replay(const Trace& trace, const ReplayConfig& config) {
                          static_cast<std::size_t>(trace.n_ranks()),
                  "relative_speed must be empty or one entry per rank");
   ReplayEngine engine(trace, config);
-  return engine.run();
+  ReplayResult result = engine.run();
+
+  // Self-record into the process-global registry. All values are integer
+  // counts or integer nanoseconds, so concurrent replays (scenario sweep
+  // workers) accumulate commutatively — snapshots stay deterministic.
+  obs::Registry& reg = obs::default_registry();
+  reg.counter("replay.runs").add(1);
+  reg.counter("replay.events").add(result.simulated_events);
+  reg.counter("replay.messages_matched").add(result.messages.size());
+  reg.counter("replay.messages_eager").add(result.eager_messages);
+  reg.counter("replay.messages_rendezvous").add(result.rendezvous_messages);
+  reg.counter("replay.p2p_bytes").add(result.point_to_point_bytes);
+  reg.counter("replay.collectives").add(result.collective_operations);
+  reg.counter("replay.bus_wait_ns")
+      .add(static_cast<std::uint64_t>(
+          obs::to_nanos(result.bus_contention_delay)));
+  reg.counter("replay.link_wait_ns")
+      .add(static_cast<std::uint64_t>(
+          obs::to_nanos(result.link_contention_delay)));
+  reg.gauge("sim.queue_peak")
+      .update_max(static_cast<std::int64_t>(result.sim_queue_peak));
+  return result;
 }
 
 }  // namespace pals

@@ -86,12 +86,18 @@ struct ReplayResult {
   /// Traffic statistics.
   std::size_t point_to_point_messages = 0;
   Bytes point_to_point_bytes = 0;
+  /// Protocol split of the posted sends (eager + rendezvous =
+  /// point_to_point_messages).
+  std::size_t eager_messages = 0;
+  std::size_t rendezvous_messages = 0;
   std::size_t collective_operations = 0;
   Seconds bus_contention_delay = 0.0;
   /// Time transfers queued for per-node input/output links.
   Seconds link_contention_delay = 0.0;
 
   std::size_t simulated_events = 0;
+  /// Event-queue high-water mark of the DES engine.
+  std::size_t sim_queue_peak = 0;
 };
 
 /// Simulate `trace` on the platform. The trace must pass validate().

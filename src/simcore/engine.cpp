@@ -10,6 +10,7 @@ void SimEngine::schedule_at(Seconds when, Callback fn) {
   PALS_CHECK_MSG(when >= now_, "cannot schedule event in the past (when="
                                    << when << ", now=" << now_ << ")");
   queue_.push(Item{when, next_seq_++, std::move(fn)});
+  if (queue_.size() > max_queue_depth_) max_queue_depth_ = queue_.size();
 }
 
 void SimEngine::schedule_after(Seconds delay, Callback fn) {

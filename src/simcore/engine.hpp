@@ -36,6 +36,9 @@ public:
   Seconds run_until(Seconds deadline);
 
   std::size_t executed_events() const { return executed_; }
+  /// Largest number of pending events observed (queue-depth high-water
+  /// mark); deterministic — simulated scheduling has no host concurrency.
+  std::size_t max_queue_depth() const { return max_queue_depth_; }
   bool empty() const { return queue_.empty(); }
 
 private:
@@ -55,6 +58,7 @@ private:
   Seconds now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::size_t executed_ = 0;
+  std::size_t max_queue_depth_ = 0;
 };
 
 }  // namespace pals

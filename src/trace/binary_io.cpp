@@ -2,6 +2,7 @@
 
 #include <fstream>
 
+#include "trace/io.hpp"
 #include "util/binio.hpp"
 #include "util/error.hpp"
 
@@ -197,6 +198,8 @@ Trace read_trace_binary(const std::uint8_t* data, std::size_t size,
   }
   PALS_CHECK_MSG(in.exhausted(), "trailing bytes after binary trace");
   if (validate) trace.validate();
+  detail::trace_io_add_bytes(size);
+  detail::trace_io_add_trace();
   return trace;
 }
 

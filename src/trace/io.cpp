@@ -1,5 +1,6 @@
 #include "trace/io.hpp"
 
+#include <atomic>
 #include <fstream>
 #include <istream>
 #include <ostream>
@@ -13,6 +14,9 @@
 namespace pals {
 namespace {
 
+std::atomic<std::uint64_t> g_bytes_read{0};
+std::atomic<std::uint64_t> g_traces_parsed{0};
+
 constexpr const char* kMagic = "# pals-trace v1";
 
 [[noreturn]] void parse_error(std::size_t line_no, const std::string& line,
@@ -24,6 +28,30 @@ constexpr const char* kMagic = "# pals-trace v1";
 }
 
 }  // namespace
+
+TraceIoStats trace_io_stats() {
+  TraceIoStats s;
+  s.bytes_read = g_bytes_read.load(std::memory_order_relaxed);
+  s.traces_parsed = g_traces_parsed.load(std::memory_order_relaxed);
+  return s;
+}
+
+void reset_trace_io_stats() {
+  g_bytes_read.store(0, std::memory_order_relaxed);
+  g_traces_parsed.store(0, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void trace_io_add_bytes(std::uint64_t bytes) {
+  g_bytes_read.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+void trace_io_add_trace() {
+  g_traces_parsed.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace detail
 
 void write_trace(const Trace& trace, std::ostream& out) {
   out << kMagic << '\n';
@@ -52,8 +80,10 @@ Trace read_trace(std::istream& in, bool validate) {
   Trace trace;
   bool ranks_seen = false;
 
+  std::uint64_t bytes_read = 0;
   while (std::getline(in, line)) {
     ++line_no;
+    bytes_read += line.size() + 1;  // include the newline getline consumed
     const std::string_view trimmed = trim(line);
     if (trimmed.empty()) continue;
     if (!magic_seen) {
@@ -156,6 +186,8 @@ Trace read_trace(std::istream& in, bool validate) {
   if (!ranks_seen) throw Error("trace parse error: missing 'ranks' line");
   trace.set_name(name);
   if (validate) trace.validate();
+  detail::trace_io_add_bytes(bytes_read);
+  detail::trace_io_add_trace();
   return trace;
 }
 

@@ -18,12 +18,29 @@
 // Blank lines and '#' comments are ignored (except the magic line).
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
 #include "trace/trace.hpp"
 
 namespace pals {
+
+/// Process-wide trace I/O counters (all readers: text, binary, auto).
+/// The trace library sits below the obs layer, so it keeps its own
+/// atomics; obs::record_trace_io mirrors them into a Registry.
+struct TraceIoStats {
+  std::uint64_t bytes_read = 0;
+  std::uint64_t traces_parsed = 0;
+};
+
+TraceIoStats trace_io_stats();
+void reset_trace_io_stats();
+
+namespace detail {
+void trace_io_add_bytes(std::uint64_t bytes);
+void trace_io_add_trace();
+}  // namespace detail
 
 void write_trace(const Trace& trace, std::ostream& out);
 void write_trace_file(const Trace& trace, const std::string& path);

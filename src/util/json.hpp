@@ -1,0 +1,57 @@
+// Minimal JSON support for the observability layer.
+//
+// Two halves:
+//  * json_escape — string escaping for the deterministic JSON renderers
+//    (metrics snapshots, Chrome trace_event export). Writers in this repo
+//    emit JSON by string concatenation with fixed number formatting so the
+//    output is byte-stable; they only need escaping, not a DOM.
+//  * JsonValue/json_parse — a small recursive-descent parser used by the
+//    structural checkers (tests, tools/pals_json_check) to verify that the
+//    emitted artifacts are well-formed and contain the required keys. It
+//    parses standard JSON into an insertion-ordered DOM; it is not a
+//    performance-oriented parser and keeps no source locations beyond the
+//    byte offset in error messages.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace pals {
+
+/// Escape `s` for inclusion inside a JSON string literal (quotes are not
+/// added). Control characters are emitted as \u00XX.
+std::string json_escape(std::string_view s);
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  /// Members in document order (duplicate keys are kept as-is).
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_bool() const { return kind == Kind::kBool; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_object() const { return kind == Kind::kObject; }
+
+  /// First member with `key`, or nullptr (objects only).
+  const JsonValue* find(std::string_view key) const;
+};
+
+/// Parse a complete JSON document; trailing non-whitespace is an error.
+/// Throws pals::Error with a byte offset on malformed input.
+JsonValue json_parse(std::string_view text);
+
+/// Parse the file at `path` (convenience wrapper; throws pals::Error on
+/// I/O failure or malformed JSON).
+JsonValue json_parse_file(const std::string& path);
+
+}  // namespace pals

@@ -62,8 +62,19 @@ std::string to_string(LogLevel level) {
 namespace detail {
 
 void log_line(LogLevel level, const std::string& message) {
+  // Compose the full line first and emit it with one locked write so
+  // concurrent loggers can never interleave within a line (operator<<
+  // chains are separate stream operations even under the mutex).
+  std::string line;
+  line.reserve(message.size() + 16);
+  line += "[pals:";
+  line += to_string(level);
+  line += "] ";
+  line += message;
+  line += '\n';
   std::lock_guard<std::mutex> lock(log_mutex());
-  std::cerr << "[pals:" << to_string(level) << "] " << message << '\n';
+  std::cerr.write(line.data(), static_cast<std::streamsize>(line.size()));
+  std::cerr.flush();
 }
 
 }  // namespace detail

@@ -1,6 +1,7 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
 
 #include "util/error.hpp"
@@ -45,10 +46,12 @@ void ThreadPool::submit(std::function<void()> task) {
     std::lock_guard<std::mutex> lock(w.mutex);
     w.tasks.push_back(std::move(task));
   }
+  tasks_submitted_.fetch_add(1, std::memory_order_relaxed);
   wake_.notify_one();
 }
 
-std::function<void()> ThreadPool::find_task(std::size_t self) {
+std::function<void()> ThreadPool::find_task(std::size_t self, bool& stolen) {
+  stolen = false;
   {
     Worker& own = *workers_[self];
     std::lock_guard<std::mutex> lock(own.mutex);
@@ -64,6 +67,7 @@ std::function<void()> ThreadPool::find_task(std::size_t self) {
     if (!victim.tasks.empty()) {
       std::function<void()> task = std::move(victim.tasks.front());
       victim.tasks.pop_front();
+      stolen = true;
       return task;
     }
   }
@@ -72,7 +76,8 @@ std::function<void()> ThreadPool::find_task(std::size_t self) {
 
 void ThreadPool::worker_loop(std::size_t self) {
   while (true) {
-    std::function<void()> task = find_task(self);
+    bool stolen = false;
+    std::function<void()> task = find_task(self, stolen);
     if (!task) {
       std::unique_lock<std::mutex> lock(sleep_mutex_);
       wake_.wait(lock, [this] { return stop_ || pending_ > 0; });
@@ -83,8 +88,32 @@ void ThreadPool::worker_loop(std::size_t self) {
       std::lock_guard<std::mutex> lock(sleep_mutex_);
       --pending_;
     }
+    if (stolen) tasks_stolen_.fetch_add(1, std::memory_order_relaxed);
+    const auto begin = std::chrono::steady_clock::now();
     task();
+    const auto elapsed = std::chrono::steady_clock::now() - begin;
+    workers_[self]->busy_ns.fetch_add(
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                .count()),
+        std::memory_order_relaxed);
+    tasks_executed_.fetch_add(1, std::memory_order_relaxed);
   }
+}
+
+ThreadPoolStats ThreadPool::stats() const {
+  ThreadPoolStats s;
+  s.workers = size();
+  s.tasks_submitted = tasks_submitted_.load(std::memory_order_relaxed);
+  s.tasks_executed = tasks_executed_.load(std::memory_order_relaxed);
+  s.tasks_stolen = tasks_stolen_.load(std::memory_order_relaxed);
+  s.worker_busy_ns.reserve(workers_.size());
+  for (const auto& w : workers_) {
+    const std::uint64_t ns = w->busy_ns.load(std::memory_order_relaxed);
+    s.worker_busy_ns.push_back(ns);
+    s.busy_ns += ns;
+  }
+  return s;
 }
 
 void ThreadPool::parallel_for(std::size_t n,

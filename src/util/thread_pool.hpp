@@ -8,8 +8,10 @@
 // of execution order.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -18,6 +20,18 @@
 #include <vector>
 
 namespace pals {
+
+/// Scheduling counters for observability (obs::record_thread_pool). Steal
+/// counts and busy times depend on the OS schedule, so these are host
+/// metrics — never part of determinism comparisons.
+struct ThreadPoolStats {
+  int workers = 0;
+  std::uint64_t tasks_submitted = 0;
+  std::uint64_t tasks_executed = 0;
+  std::uint64_t tasks_stolen = 0;       ///< executed tasks taken from a victim
+  std::uint64_t busy_ns = 0;            ///< summed task wall-clock, all workers
+  std::vector<std::uint64_t> worker_busy_ns;  ///< per-worker task wall-clock
+};
 
 class ThreadPool {
 public:
@@ -45,15 +59,22 @@ public:
   /// floored at 1).
   static int resolve_jobs(int jobs);
 
+  /// Snapshot of the scheduling counters. Thread-safe; callable while
+  /// tasks run (counters are relaxed atomics, values may lag in-flight
+  /// work by one task).
+  ThreadPoolStats stats() const;
+
 private:
   struct Worker {
     std::mutex mutex;
     std::deque<std::function<void()>> tasks;
+    std::atomic<std::uint64_t> busy_ns{0};
   };
 
   void worker_loop(std::size_t self);
-  /// Pop from own queue (back) or steal from a victim (front).
-  std::function<void()> find_task(std::size_t self);
+  /// Pop from own queue (back) or steal from a victim (front); sets
+  /// `stolen` when the task came from another worker's queue.
+  std::function<void()> find_task(std::size_t self, bool& stolen);
 
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
@@ -65,6 +86,10 @@ private:
   bool stop_ = false;
 
   std::size_t next_queue_ = 0;  ///< round-robin submit target
+
+  std::atomic<std::uint64_t> tasks_submitted_{0};
+  std::atomic<std::uint64_t> tasks_executed_{0};
+  std::atomic<std::uint64_t> tasks_stolen_{0};
 };
 
 }  // namespace pals

@@ -8,6 +8,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -58,6 +59,37 @@ TEST(SweepDeterminism, AggregatesAreExactlyEqualAcrossJobCounts) {
     EXPECT_EQ(a.normalized_edp, b.normalized_edp);
     EXPECT_EQ(a.overclocked_fraction, b.overclocked_fraction);
   }
+}
+
+TEST(SweepProgress, ProgressStreamGetsWholeLinesEndingComplete) {
+  std::ostringstream progress;
+  SweepOptions options;
+  options.jobs = 4;
+  options.progress_stream = &progress;
+  options.progress_interval_seconds = 0.01;
+  const SweepResult result = run_sweep(small_grid(), options);
+
+  std::vector<std::string> lines;
+  std::istringstream in(progress.str());
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  ASSERT_FALSE(lines.empty());
+  const std::string total = std::to_string(result.rows.size());
+  for (const std::string& line : lines) {
+    EXPECT_TRUE(line.starts_with("sweep: ")) << line;
+    EXPECT_NE(line.find("/" + total + " scenarios, elapsed "),
+              std::string::npos)
+        << line;
+  }
+  // The final line (printed after the workers join) reports completion.
+  EXPECT_TRUE(lines.back().starts_with("sweep: " + total + "/" + total))
+      << lines.back();
+}
+
+TEST(SweepProgress, NoProgressStreamMeansNoOutput) {
+  SweepOptions options;
+  options.jobs = 2;
+  ASSERT_EQ(options.progress_stream, nullptr);  // off by default
+  run_sweep(small_grid(), options);  // must not crash touching a null stream
 }
 
 TEST(SweepDeterminism, RowsFollowCanonicalGridOrder) {

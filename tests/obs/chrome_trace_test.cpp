@@ -1,0 +1,158 @@
+#include "obs/chrome_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "replay/replay.hpp"
+#include "trace/io.hpp"
+#include "util/json.hpp"
+
+namespace pals {
+namespace obs {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::string ring_path() {
+  return std::string(PALS_SOURCE_DIR) + "/examples/traces/ring.palst";
+}
+
+TEST(ChromeTraceWriterTest, EmitsWellFormedEventRecords) {
+  ChromeTraceWriter writer;
+  writer.process_name(1, "host");
+  writer.thread_name(1, 0, "main");
+  writer.complete_event(1, 0, "phase", 1.5, 2.25, {{"detail", "x"}});
+  writer.flow_begin(1, 0, "msg", 1.0, 42);
+  writer.flow_end(1, 0, "msg", 3.0, 42);
+  EXPECT_EQ(writer.event_count(), 5u);
+
+  const JsonValue doc = json_parse(writer.to_json());
+  const JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->array.size(), 5u);
+  EXPECT_EQ(events->array[0].find("ph")->string, "M");
+  const JsonValue& complete = events->array[2];
+  EXPECT_EQ(complete.find("ph")->string, "X");
+  EXPECT_DOUBLE_EQ(complete.find("ts")->number, 1.5);
+  EXPECT_DOUBLE_EQ(complete.find("dur")->number, 2.25);
+  EXPECT_EQ(complete.find("args")->find("detail")->string, "x");
+  EXPECT_EQ(events->array[3].find("ph")->string, "s");
+  const JsonValue& flow_end = events->array[4];
+  EXPECT_EQ(flow_end.find("ph")->string, "f");
+  EXPECT_EQ(flow_end.find("bp")->string, "e");
+  EXPECT_DOUBLE_EQ(flow_end.find("id")->number, 42.0);
+}
+
+TEST(ChromeTraceTest, SimulatedRingReplayMatchesGolden) {
+  const Trace ring = read_trace_auto(ring_path());
+  const ReplayResult result = replay(ring, ReplayConfig{});
+  ChromeTraceWriter writer;
+  append_simulated_replay(writer, result);
+  const std::string golden = read_file(std::string(PALS_SOURCE_DIR) +
+                                       "/golden/ring_chrome_trace.json");
+  EXPECT_EQ(writer.to_json(), golden)
+      << "simulated Chrome trace drifted from golden/ring_chrome_trace.json"
+         " — if intentional, regenerate with update_golden";
+}
+
+TEST(ChromeTraceTest, SimulatedReplayHasRankTracksAndFlows) {
+  const Trace ring = read_trace_auto(ring_path());
+  const ReplayResult result = replay(ring, ReplayConfig{});
+  ChromeTraceWriter writer;
+  append_simulated_replay(writer, result);
+  const JsonValue doc = json_parse(writer.to_json());
+  const JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+
+  int rank_tracks = 0;
+  int durations = 0;
+  int flow_begins = 0;
+  int flow_ends = 0;
+  for (const JsonValue& e : events->array) {
+    const std::string ph = e.find("ph")->string;
+    if (ph == "M" && e.find("name")->string == "thread_name" &&
+        e.find("args")->find("name")->string.starts_with("rank "))
+      ++rank_tracks;
+    if (ph == "X") ++durations;
+    if (ph == "s") ++flow_begins;
+    if (ph == "f") ++flow_ends;
+  }
+  EXPECT_EQ(rank_tracks, ring.n_ranks());
+  EXPECT_GT(durations, 0);
+  EXPECT_EQ(flow_begins, flow_ends);
+  EXPECT_GE(flow_begins, 1);
+  EXPECT_EQ(static_cast<std::size_t>(flow_begins),
+            result.messages.size());
+}
+
+TEST(ChromeTraceTest, FlowIdsAreNamespacedByPid) {
+  const Trace ring = read_trace_auto(ring_path());
+  const ReplayResult result = replay(ring, ReplayConfig{});
+  ChromeTraceWriter writer;
+  SimulatedTraceOptions a;
+  a.pid = 2;
+  SimulatedTraceOptions b;
+  b.pid = 3;
+  append_simulated_replay(writer, result, a);
+  append_simulated_replay(writer, result, b);
+  const JsonValue doc = json_parse(writer.to_json());
+  double min_id_pid3 = -1.0;
+  for (const JsonValue& e : doc.find("traceEvents")->array) {
+    if (e.find("ph") == nullptr || e.find("ph")->string != "s") continue;
+    if (e.find("pid")->number == 3.0) {
+      const double id = e.find("id")->number;
+      if (min_id_pid3 < 0 || id < min_id_pid3) min_id_pid3 = id;
+    }
+  }
+  // pid-3 flow ids live above (3 << 32) so they never collide with pid 2.
+  EXPECT_GE(min_id_pid3, 3.0 * 4294967296.0);
+}
+
+TEST(ChromeTraceTest, HostSpansBecomeDurationEvents) {
+  Registry reg;
+  {
+    PALS_SPAN_DETAIL("phase.one", &reg, "CG-32");
+    PALS_SPAN("phase.two", &reg);
+  }
+  ChromeTraceWriter writer;
+  append_host_spans(writer, reg, /*pid=*/1, "host");
+  const JsonValue doc = json_parse(writer.to_json());
+  const JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+
+  bool saw_process_meta = false;
+  bool saw_detail = false;
+  int durations = 0;
+  for (const JsonValue& e : events->array) {
+    const std::string ph = e.find("ph")->string;
+    if (ph == "M" && e.find("name")->string == "process_name" &&
+        e.find("args")->find("name")->string == "host")
+      saw_process_meta = true;
+    if (ph == "X") {
+      ++durations;
+      const JsonValue* args = e.find("args");
+      if (args != nullptr && args->find("detail") != nullptr &&
+          args->find("detail")->string == "CG-32")
+        saw_detail = true;
+    }
+  }
+  EXPECT_TRUE(saw_process_meta);
+  EXPECT_TRUE(saw_detail);
+  EXPECT_EQ(durations, 2);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace pals

@@ -1,0 +1,174 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace pals {
+namespace obs {
+namespace {
+
+TEST(MetricsTest, ToNanosRoundsToIntegerNanoseconds) {
+  EXPECT_EQ(to_nanos(0.0), 0);
+  EXPECT_EQ(to_nanos(1.5), 1'500'000'000);
+  EXPECT_EQ(to_nanos(1e-9), 1);
+  EXPECT_EQ(to_nanos(0.1), 100'000'000);
+}
+
+TEST(MetricsTest, CounterAccumulates) {
+  Registry reg;
+  Counter& c = reg.counter("replay.events");
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  EXPECT_EQ(&reg.counter("replay.events"), &c);  // find-or-create
+}
+
+TEST(MetricsTest, GaugeSetAddAndUpdateMax) {
+  Registry reg;
+  Gauge& g = reg.gauge("sim.queue_peak");
+  g.set(10);
+  g.update_max(5);
+  EXPECT_EQ(g.value(), 10);
+  g.update_max(99);
+  EXPECT_EQ(g.value(), 99);
+  g.add(1);
+  EXPECT_EQ(g.value(), 100);
+}
+
+TEST(MetricsTest, HistogramBucketsAndOverflow) {
+  Registry reg;
+  Histogram& h = reg.histogram("burst", {1.0, 10.0});
+  h.observe(0.5);   // bucket le=1
+  h.observe(1.0);   // le=1 (inclusive upper bound)
+  h.observe(5.0);   // le=10
+  h.observe(100.0); // overflow
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 106.5);
+  const std::vector<std::uint64_t> buckets = h.bucket_counts();
+  ASSERT_EQ(buckets.size(), 3u);
+  EXPECT_EQ(buckets[0], 2u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[2], 1u);
+}
+
+TEST(MetricsTest, HistogramRejectsUnsortedBounds) {
+  Registry reg;
+  EXPECT_THROW(reg.histogram("bad", {10.0, 1.0}), Error);
+  EXPECT_THROW(reg.histogram("dup", {1.0, 1.0}), Error);
+}
+
+TEST(MetricsTest, KindClashThrows) {
+  Registry reg;
+  reg.counter("x");
+  EXPECT_THROW(reg.gauge("x"), Error);
+  EXPECT_THROW(reg.histogram("x", {1.0}), Error);
+  reg.histogram("h", {1.0});
+  EXPECT_THROW(reg.histogram("h", {2.0}), Error);  // different bounds
+  EXPECT_NO_THROW(reg.histogram("h", {1.0}));      // same bounds is fine
+}
+
+TEST(MetricsTest, SnapshotIsKeySorted) {
+  Registry reg;
+  reg.counter("zebra").add(1);
+  reg.gauge("alpha").set(2);
+  reg.counter("mid").add(3);
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.metrics.size(), 3u);
+  EXPECT_EQ(snap.metrics[0].name, "alpha");
+  EXPECT_EQ(snap.metrics[1].name, "mid");
+  EXPECT_EQ(snap.metrics[2].name, "zebra");
+  EXPECT_EQ(snap.value_of("mid"), 3u);
+  EXPECT_EQ(snap.value_of("absent"), 0u);
+  EXPECT_NE(snap.find("zebra"), nullptr);
+  EXPECT_EQ(snap.find("absent"), nullptr);
+}
+
+TEST(MetricsTest, IsHostMetricClassification) {
+  EXPECT_TRUE(is_host_metric("span.pipeline.rescale.count"));
+  EXPECT_TRUE(is_host_metric("pool.tasks_stolen"));
+  EXPECT_TRUE(is_host_metric("host.anything"));
+  EXPECT_TRUE(is_host_metric("sweep.baselines.wall_ns"));
+  EXPECT_FALSE(is_host_metric("replay.events"));
+  EXPECT_FALSE(is_host_metric("sim.queue_peak"));
+  EXPECT_FALSE(is_host_metric("trace.io.bytes_read"));
+}
+
+TEST(MetricsTest, SimulationOnlyDropsHostMetrics) {
+  Registry reg;
+  reg.counter("replay.events").add(7);
+  reg.counter("pool.tasks_executed").add(3);
+  reg.gauge("span.x.wall_ns").set(123);
+  const MetricsSnapshot sim = reg.snapshot().simulation_only();
+  ASSERT_EQ(sim.metrics.size(), 1u);
+  EXPECT_EQ(sim.metrics[0].name, "replay.events");
+}
+
+TEST(MetricsTest, JsonRendererIsStableAndParseable) {
+  Registry reg;
+  reg.counter("a.count").add(2);
+  reg.gauge("b.gauge").set(-5);
+  reg.histogram("c.hist", {0.5}).observe(0.25);
+  const std::string json = reg.snapshot().to_json();
+  EXPECT_EQ(json, reg.snapshot().to_json());  // deterministic
+  EXPECT_NE(json.find("\"name\":\"a.count\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"gauge\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\":-5"), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"histogram\""), std::string::npos);
+  EXPECT_NE(json.find("\"le\":\"inf\""), std::string::npos);
+}
+
+TEST(MetricsTest, CsvRendererHasHeaderAndRows) {
+  Registry reg;
+  reg.counter("events").add(9);
+  const std::string csv = reg.snapshot().to_csv();
+  EXPECT_TRUE(csv.starts_with("name,kind,value,count,sum,buckets\n"));
+  EXPECT_NE(csv.find("events,counter,9"), std::string::npos);
+}
+
+TEST(MetricsTest, ResetZeroesInPlaceKeepingReferences) {
+  Registry reg;
+  Counter& c = reg.counter("n");
+  c.add(5);
+  reg.record_span({"work", "", 0, 0, 100});
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_TRUE(reg.spans().empty());
+  c.add(1);
+  EXPECT_EQ(reg.snapshot().value_of("n"), 1u);
+}
+
+TEST(MetricsTest, RecordSpanBumpsDerivedMetrics) {
+  Registry reg;
+  reg.record_span({"phase", "detail", 0, 1'000, 4'000});
+  reg.record_span({"phase", "", 1, 2'000, 3'000});
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.value_of("span.phase.count"), 2u);
+  EXPECT_EQ(snap.value_of("span.phase.wall_ns"), 4'000u);
+  ASSERT_EQ(reg.spans().size(), 2u);
+  EXPECT_EQ(reg.spans()[0].detail, "detail");
+}
+
+TEST(MetricsTest, ConcurrentCountersSumExactly) {
+  Registry reg;
+  Counter& c = reg.counter("hits");
+  Gauge& peak = reg.gauge("peak");
+  constexpr int kTasks = 64;
+  constexpr int kAddsPerTask = 1000;
+  ThreadPool pool(8);
+  pool.parallel_for(kTasks, [&](std::size_t task) {
+    for (int i = 0; i < kAddsPerTask; ++i) c.add(1);
+    peak.update_max(static_cast<std::int64_t>(task));
+  });
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kTasks) * kAddsPerTask);
+  EXPECT_EQ(peak.value(), kTasks - 1);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace pals

@@ -1,0 +1,70 @@
+// The determinism contract of the observability layer: the simulation
+// view of the metrics (and the simulated Chrome trace) must be
+// byte-identical whether the work ran on 1 thread or 8, and across
+// repeated runs. Host metrics (spans, thread-pool) are excluded by
+// MetricsSnapshot::simulation_only().
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "analysis/sweep.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/metrics.hpp"
+#include "replay/replay.hpp"
+#include "trace/io.hpp"
+
+namespace pals {
+namespace {
+
+SweepGrid small_grid() {
+  SweepGrid grid;
+  grid.workloads = {"cg:8:0.85:3", "mg:8:0.7:3"};
+  grid.gear_sets = {"uniform-6"};
+  grid.algorithms = {Algorithm::kMax, Algorithm::kAvg};
+  grid.betas = {0.5};
+  grid.iterations = 3;
+  return grid;
+}
+
+/// Run the grid with `jobs` threads against a clean default registry and
+/// return the simulation-only snapshot JSON.
+std::string sim_metrics_for_jobs(int jobs) {
+  obs::default_registry().reset();
+  SweepOptions options;
+  options.jobs = jobs;
+  options.base.observe = true;  // spans on: they must NOT leak into the view
+  run_sweep(small_grid(), options);
+  return obs::default_registry().snapshot().simulation_only().to_json();
+}
+
+TEST(ObsDeterminismTest, SimulationMetricsIdenticalAcrossJobCounts) {
+  const std::string serial = sim_metrics_for_jobs(1);
+  const std::string parallel = sim_metrics_for_jobs(8);
+  EXPECT_EQ(serial, parallel);
+  // And across repeated runs at the same width.
+  EXPECT_EQ(parallel, sim_metrics_for_jobs(8));
+  obs::default_registry().reset();
+}
+
+TEST(ObsDeterminismTest, SimulationViewIsNonTrivialAndHostFree) {
+  const std::string json = sim_metrics_for_jobs(2);
+  obs::default_registry().reset();
+  EXPECT_NE(json.find("replay.events"), std::string::npos);
+  EXPECT_NE(json.find("sweep.scenarios_completed"), std::string::npos);
+  EXPECT_EQ(json.find("span."), std::string::npos);
+  EXPECT_EQ(json.find("pool."), std::string::npos);
+  EXPECT_EQ(json.find("wall_ns"), std::string::npos);
+}
+
+TEST(ObsDeterminismTest, SimulatedChromeTraceIdenticalAcrossRuns) {
+  const Trace ring = read_trace_auto(std::string(PALS_SOURCE_DIR) +
+                                     "/examples/traces/ring.palst");
+  obs::ChromeTraceWriter first;
+  append_simulated_replay(first, replay(ring, ReplayConfig{}));
+  obs::ChromeTraceWriter second;
+  append_simulated_replay(second, replay(ring, ReplayConfig{}));
+  EXPECT_EQ(first.to_json(), second.to_json());
+}
+
+}  // namespace
+}  // namespace pals

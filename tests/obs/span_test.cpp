@@ -1,0 +1,74 @@
+#include "obs/span.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "obs/metrics.hpp"
+#include "util/thread_pool.hpp"
+
+namespace pals {
+namespace obs {
+namespace {
+
+TEST(SpanTest, RecordsNameDetailAndDuration) {
+  Registry reg;
+  {
+    SpanTimer span(reg, "work", "unit 7");
+  }
+  const auto spans = reg.spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "work");
+  EXPECT_EQ(spans[0].detail, "unit 7");
+  EXPECT_GE(spans[0].end_ns, spans[0].begin_ns);
+  EXPECT_EQ(reg.snapshot().value_of("span.work.count"), 1u);
+}
+
+TEST(SpanTest, NullRegistryIsANoOp) {
+  SpanTimer span(nullptr, "ignored");
+  SUCCEED();  // must not crash or allocate a registry
+}
+
+TEST(SpanTest, MacroScopesNestAndStack) {
+  Registry reg;
+  {
+    PALS_SPAN("outer", &reg);
+    {
+      PALS_SPAN("inner", &reg);
+      PALS_SPAN_DETAIL("inner_detail", &reg, "d");
+    }
+  }
+  const auto spans = reg.spans();
+  ASSERT_EQ(spans.size(), 3u);
+  // Destruction order: innermost spans are recorded first.
+  EXPECT_EQ(spans[0].name, "inner_detail");
+  EXPECT_EQ(spans[1].name, "inner");
+  EXPECT_EQ(spans[2].name, "outer");
+  EXPECT_EQ(reg.snapshot().value_of("span.outer.count"), 1u);
+}
+
+TEST(SpanTest, ConcurrentSpansGetDistinctThreadOrdinals) {
+  Registry reg;
+  {
+    ThreadPool pool(4);
+    pool.parallel_for(32, [&](std::size_t i) {
+      PALS_SPAN_DETAIL("task", &reg, std::to_string(i));
+    });
+  }
+  const auto spans = reg.spans();
+  ASSERT_EQ(spans.size(), 32u);
+  std::set<int> threads;
+  std::set<std::string> details;
+  for (const SpanRecord& s : spans) {
+    EXPECT_EQ(s.name, "task");
+    threads.insert(s.thread);
+    details.insert(s.detail);
+  }
+  EXPECT_EQ(details.size(), 32u);           // every task recorded once
+  EXPECT_LE(threads.size(), 5u);            // at most pool width + caller
+  EXPECT_EQ(reg.snapshot().value_of("span.task.count"), 32u);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace pals

@@ -1,0 +1,76 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace pals {
+namespace {
+
+TEST(JsonEscapeTest, PassesPlainTextThrough) {
+  EXPECT_EQ(json_escape("rank 3"), "rank 3");
+}
+
+TEST(JsonEscapeTest, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonParseTest, ParsesScalars) {
+  EXPECT_TRUE(json_parse("null").is_null());
+  EXPECT_TRUE(json_parse("true").boolean);
+  EXPECT_FALSE(json_parse("false").boolean);
+  EXPECT_DOUBLE_EQ(json_parse("-12.5e2").number, -1250.0);
+  EXPECT_EQ(json_parse("\"hi\\nthere\"").string, "hi\nthere");
+}
+
+TEST(JsonParseTest, ParsesNestedContainers) {
+  const JsonValue v = json_parse(
+      R"({"metrics":[{"name":"replay.events","value":42}],"ok":true})");
+  ASSERT_TRUE(v.is_object());
+  const JsonValue* metrics = v.find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  ASSERT_TRUE(metrics->is_array());
+  ASSERT_EQ(metrics->array.size(), 1u);
+  const JsonValue* name = metrics->array[0].find("name");
+  ASSERT_NE(name, nullptr);
+  EXPECT_EQ(name->string, "replay.events");
+  EXPECT_DOUBLE_EQ(metrics->array[0].find("value")->number, 42.0);
+  EXPECT_TRUE(v.find("ok")->boolean);
+}
+
+TEST(JsonParseTest, KeepsObjectMembersInDocumentOrder) {
+  const JsonValue v = json_parse(R"({"z":1,"a":2,"m":3})");
+  ASSERT_EQ(v.object.size(), 3u);
+  EXPECT_EQ(v.object[0].first, "z");
+  EXPECT_EQ(v.object[1].first, "a");
+  EXPECT_EQ(v.object[2].first, "m");
+}
+
+TEST(JsonParseTest, ParsesUnicodeEscapes) {
+  EXPECT_EQ(json_parse("\"\\u0041\"").string, "A");
+}
+
+TEST(JsonParseTest, RejectsMalformedInput) {
+  EXPECT_THROW(json_parse(""), Error);
+  EXPECT_THROW(json_parse("{"), Error);
+  EXPECT_THROW(json_parse("[1,]"), Error);
+  EXPECT_THROW(json_parse("{\"a\":1} trailing"), Error);
+  EXPECT_THROW(json_parse("'single'"), Error);
+  EXPECT_THROW(json_parse("nul"), Error);
+}
+
+TEST(JsonParseTest, RejectsMissingFile) {
+  EXPECT_THROW(json_parse_file("/nonexistent/path.json"), Error);
+}
+
+TEST(JsonParseTest, RoundTripsEscapedStrings) {
+  const std::string original = "tab\there \"quoted\" \\ done";
+  const JsonValue v = json_parse("\"" + json_escape(original) + "\"");
+  EXPECT_EQ(v.string, original);
+}
+
+}  // namespace
+}  // namespace pals

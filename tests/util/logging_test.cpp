@@ -2,7 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace pals {
 namespace {
@@ -64,6 +70,36 @@ TEST_F(LoggingTest, CheckMacroThrowsWithContext) {
 
 TEST_F(LoggingTest, CheckMacroPassesSilently) {
   EXPECT_NO_THROW(PALS_CHECK(2 + 2 == 4));
+}
+
+// log_line writes each record as ONE stream write, so concurrent loggers
+// can never interleave mid-line. Hammer it from a thread pool and require
+// that every captured line is a complete, well-formed record.
+TEST_F(LoggingTest, ConcurrentLogLinesNeverInterleave) {
+  set_log_level(LogLevel::kWarn);
+  std::ostringstream captured;
+  std::streambuf* saved = std::cerr.rdbuf(captured.rdbuf());
+
+  constexpr int kTasks = 64;
+  constexpr int kLinesPerTask = 50;
+  {
+    ThreadPool pool(8);
+    pool.parallel_for(kTasks, [](std::size_t task) {
+      for (int i = 0; i < kLinesPerTask; ++i)
+        PALS_WARN("task=" << task << " line=" << i << " payload "
+                          << std::string(40, 'x'));
+    });
+  }
+  std::cerr.rdbuf(saved);
+
+  std::vector<std::string> lines;
+  std::istringstream in(captured.str());
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), static_cast<std::size_t>(kTasks * kLinesPerTask));
+  for (const std::string& line : lines) {
+    EXPECT_TRUE(line.starts_with("[pals:warn] task=")) << line;
+    EXPECT_TRUE(line.ends_with(std::string(40, 'x'))) << line;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,80 @@
+// pals_json_check — structural validator for the JSON artifacts the
+// observability layer emits (metrics snapshots, Chrome traces, bench
+// reports).
+//
+//   pals_json_check m.json --require replay.events,pool.tasks_executed
+//   pals_json_check t.json --require traceEvents
+//
+// Exit 0 when the file parses as JSON and every --require key is present;
+// a key counts as present when it appears as an object member anywhere in
+// the document, or as the string value of a "name" member (the metrics
+// snapshot stores metric names that way).
+#include <iostream>
+#include <set>
+#include <string>
+
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/strings.hpp"
+
+namespace pals {
+namespace {
+
+void collect_keys(const JsonValue& value, std::set<std::string>& keys) {
+  if (value.is_object()) {
+    for (const auto& [k, v] : value.object) {
+      keys.insert(k);
+      if (k == "name" && v.is_string()) keys.insert(v.string);
+      collect_keys(v, keys);
+    }
+  } else if (value.is_array()) {
+    for (const JsonValue& v : value.array) collect_keys(v, keys);
+  }
+}
+
+int run(int argc, char** argv) {
+  CliParser cli;
+  cli.add_option("require", "comma-separated keys that must be present");
+  cli.add_flag("quiet", "no output on success");
+  cli.add_flag("help", "show usage");
+  cli.parse(argc, argv);
+  if (cli.get_flag("help") || cli.positional().size() != 1) {
+    std::cout << "usage: pals_json_check [--require k1,k2,...] <file.json>\n";
+    return cli.get_flag("help") ? 0 : 2;
+  }
+  const std::string path = cli.positional().front();
+  const JsonValue document = json_parse_file(path);
+
+  std::set<std::string> keys;
+  collect_keys(document, keys);
+
+  int missing = 0;
+  if (cli.has("require")) {
+    for (const std::string& field : split(cli.get("require"), ',')) {
+      const std::string key{trim(field)};
+      if (key.empty()) continue;
+      if (!keys.contains(key)) {
+        std::cerr << path << ": missing required key '" << key << "'\n";
+        ++missing;
+      }
+    }
+  }
+  if (missing > 0) return 1;
+  if (!cli.get_flag("quiet"))
+    std::cout << path << ": valid JSON, " << keys.size()
+              << " distinct keys\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace pals
+
+int main(int argc, char** argv) {
+  try {
+    return pals::run(argc, argv);
+  } catch (const pals::Error& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -2,6 +2,7 @@
 //
 //   pals_sweep --grid=configs/ext_suite.grid [--jobs=N] [--out=sweep.csv]
 //              [--summary=sweep.stats] [--config=platform.cfg] [--quiet]
+//              [--metrics=m.json] [--chrome-trace=t.json] [--progress]
 //
 // The grid file is key = value (see docs/sweep.md):
 //
@@ -14,16 +15,36 @@
 // for every --jobs value. The run's timing/throughput counters are
 // printed as a machine-readable key = value block (and written to
 // --summary when given).
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 
+#ifdef _WIN32
+#include <io.h>
+#define PALS_ISATTY _isatty
+#define PALS_FILENO _fileno
+#else
+#include <unistd.h>
+#define PALS_ISATTY isatty
+#define PALS_FILENO fileno
+#endif
+
 #include "analysis/sweep.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/metrics.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
 
 namespace pals {
 namespace {
+
+void write_text_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  PALS_CHECK_MSG(out.good(), "cannot open '" << path << "' for writing");
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  PALS_CHECK_MSG(out.good(), "write failure on '" << path << "'");
+}
 
 int run(int argc, char** argv) {
   CliParser cli;
@@ -35,6 +56,13 @@ int run(int argc, char** argv) {
                            "(applied to every scenario)");
   cli.add_flag("lint", "statically verify every workload trace before "
                        "replaying (abort with a lint report on errors)");
+  cli.add_option("metrics", "write the full metrics snapshot (JSON)");
+  cli.add_option("chrome-trace",
+                 "write the sweep's host-side spans as Chrome trace JSON");
+  cli.add_flag("progress", "periodic progress line on stderr "
+                           "(suppressed when stderr is not a TTY)");
+  cli.add_flag("force-progress",
+               "progress even when stderr is not a TTY (tests, CI logs)");
   cli.add_flag("quiet", "skip the aligned result table");
   cli.add_flag("help", "show usage");
 
@@ -57,9 +85,26 @@ int run(int argc, char** argv) {
   SweepOptions options;
   options.jobs = static_cast<int>(cli.get_int("jobs", 0));
   options.base.lint = cli.get_flag("lint");
+  // Span profiling costs a little wall-clock per scenario; only pay for
+  // it when an observability artifact was requested.
+  options.base.observe = cli.has("metrics") || cli.has("chrome-trace");
+  if (cli.get_flag("force-progress") ||
+      (cli.get_flag("progress") &&
+       PALS_ISATTY(PALS_FILENO(stderr)) != 0)) {
+    options.progress_stream = &std::cerr;
+  }
   if (cli.has("config")) apply_config_file(options.base, cli.get("config"));
 
   const SweepResult result = run_sweep(grid, options);
+
+  if (cli.has("metrics"))
+    write_text_file(cli.get("metrics"),
+                    obs::default_registry().snapshot().to_json());
+  if (cli.has("chrome-trace")) {
+    obs::ChromeTraceWriter writer;
+    append_host_spans(writer, obs::default_registry());
+    writer.write_file(cli.get("chrome-trace"));
+  }
 
   if (!cli.get_flag("quiet")) {
     print_rows(result.rows,

@@ -9,6 +9,9 @@
 
 #include "analysis/figures.hpp"
 #include "analysis/golden.hpp"
+#include "obs/chrome_trace.hpp"
+#include "replay/replay.hpp"
+#include "trace/io.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
 
@@ -18,6 +21,8 @@ namespace {
 int run(int argc, char** argv) {
   CliParser cli;
   cli.add_option("dir", "output directory", "golden");
+  cli.add_option("examples", "examples directory (for ring.palst)",
+                 "examples");
   cli.parse(argc, argv);
   const std::string dir = cli.get("dir");
 
@@ -28,6 +33,16 @@ int run(int argc, char** argv) {
   std::cout << "wrote " << dir << "/fig9.csv\n";
   save_rows_csv(figure10_rows(cache), dir + "/fig10.csv");
   std::cout << "wrote " << dir << "/fig10.csv\n";
+
+  // Simulated Chrome-trace timeline of the ring example: all inputs are
+  // exact decimals, so the replay (and hence the JSON) is byte-stable.
+  const Trace ring =
+      read_trace_auto(cli.get("examples") + "/traces/ring.palst");
+  const ReplayResult replayed = replay(ring, ReplayConfig{});
+  obs::ChromeTraceWriter writer;
+  append_simulated_replay(writer, replayed);
+  writer.write_file(dir + "/ring_chrome_trace.json");
+  std::cout << "wrote " << dir << "/ring_chrome_trace.json\n";
   return 0;
 }
 
