@@ -54,6 +54,15 @@ cmake --build "${ASAN_DIR}" -j "${JOBS}" --target test_sweep
 ctest --test-dir "${ASAN_DIR}" --output-on-failure -j "${JOBS}" \
       -R 'SweepDeterminism|SweepGridFile|SweepErrors'
 
+echo "== tier 1: fault injection + corrupt-trace corpus under ASan/UBSan =="
+# The fault suite (plan grammar, retry/quarantine, injected-sweep
+# determinism) and the corrupted-fixture torture corpus both probe
+# error paths — exactly where sanitizers find the out-of-bounds reads
+# and leaks that a passing exit code would hide.
+cmake --build "${ASAN_DIR}" -j "${JOBS}" --target test_fault test_trace
+ctest --test-dir "${ASAN_DIR}" --output-on-failure -j "${JOBS}" \
+      -R 'FaultPlan|Injector|Campaign|Classify|RetryPolicy|RunGuarded|FaultSweep|CorruptCorpus'
+
 # ThreadSanitizer is the race detector proper, but not every toolchain
 # image ships its runtime — probe before committing to the leg.
 echo "== tier 1: probing for ThreadSanitizer support =="

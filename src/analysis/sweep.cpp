@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <chrono>
 #include <condition_variable>
+#include <fstream>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <ostream>
+#include <sstream>
 #include <thread>
 #include <utility>
 
@@ -14,6 +17,7 @@
 #include "obs/span.hpp"
 #include "power/gearset.hpp"
 #include "replay/replay.hpp"
+#include "util/csv.hpp"
 #include "util/error.hpp"
 #include "util/kvconfig.hpp"
 #include "util/strings.hpp"
@@ -173,6 +177,15 @@ std::vector<Scenario> SweepGrid::expand() const {
   return scenarios;
 }
 
+std::string ScenarioError::describe() const {
+  std::string out = "cell " + std::to_string(index) + " " + workload;
+  if (!variant.empty()) out += " [" + variant + "]";
+  out += ": " + fault::to_string(error_class);
+  if (retries > 0) out += " after " + std::to_string(attempts) + " attempts";
+  out += ": " + message;
+  return out;
+}
+
 std::string SweepStats::to_kv() const {
   std::string out;
   const auto put = [&out](const std::string& key, const std::string& value) {
@@ -188,6 +201,9 @@ std::string SweepStats::to_kv() const {
   put("baseline_cache_hit_rate", format_fixed(baseline_cache_hit_rate, 6));
   put("scenario_seconds_total", format_fixed(scenario_seconds_total, 6));
   put("scenario_seconds_max", format_fixed(scenario_seconds_max, 6));
+  put("quarantined", std::to_string(quarantined));
+  put("transient_retries", std::to_string(transient_retries));
+  put("backoff_seconds", format_fixed(backoff_seconds, 6));
   return out;
 }
 
@@ -223,36 +239,60 @@ SweepResult run_sweep(const std::vector<Scenario>& scenarios,
       options.trace_cache ? *options.trace_cache : private_cache;
   ThreadPool pool(options.jobs);
 
+  // The fault injector (if any) rides through PipelineConfig::replay so
+  // baseline and scaled replays both see the perturbed machine.
+  const fault::Injector* faults =
+      options.faults != nullptr ? options.faults : options.base.replay.faults;
+  ReplayConfig baseline_config = options.base.replay;
+  baseline_config.faults = faults;
+
   // Phase 1: one trace + baseline replay per unique workload. The
   // baseline depends only on the trace and the platform, so every
   // scenario of the workload shares it. With the opt-in lint hook
   // (options.base.lint) each workload trace is statically verified here,
-  // once, so a bad grid cell aborts with the full diagnostic report
-  // before any replay starts.
+  // once. Without keep_going a bad workload aborts the sweep with the
+  // full diagnostic report before any scenario runs; with keep_going the
+  // failure is recorded per workload and only that workload's cells are
+  // quarantined — independent workloads still produce results.
   reg.counter("sweep.baseline_replays").add(workloads.size());
   std::vector<const Trace*> traces(workloads.size());
   std::vector<ReplayResult> baselines(workloads.size());
+  std::vector<fault::GuardOutcome> workload_outcomes(workloads.size());
   {
     PALS_SPAN("sweep.baselines", span_reg);
     pool.parallel_for(workloads.size(), [&](std::size_t w) {
       PALS_SPAN_DETAIL("sweep.baseline", span_reg, workloads[w].display);
-      traces[w] = &cache.get(workloads[w].key, workloads[w].build);
-      if (options.base.lint) {
-        lint::LintOptions lint_options;
-        lint_options.eager_threshold =
-            options.base.replay.platform.eager_threshold;
-        lint::enforce_lint(*traces[w], lint_options, workloads[w].display);
+      const auto body = [&](int) {
+        traces[w] = &cache.get(workloads[w].key, workloads[w].build);
+        if (options.base.lint) {
+          lint::LintOptions lint_options;
+          lint_options.eager_threshold =
+              options.base.replay.platform.eager_threshold;
+          lint::enforce_lint(*traces[w], lint_options, workloads[w].display);
+        }
+        baselines[w] = replay(*traces[w], baseline_config);
+      };
+      if (!options.keep_going) {
+        body(1);  // fail-fast: lint/replay errors propagate untouched
+        workload_outcomes[w].ok = true;
+        return;
       }
-      baselines[w] = replay(*traces[w], options.base.replay);
+      workload_outcomes[w] = fault::run_guarded(options.retry, body);
     });
   }
 
   // Phase 2: the scenario fan-out. Each worker runs the pipeline on
   // private state and writes into its pre-allocated slot, so the merged
-  // row order is the canonical grid order regardless of thread count.
-  SweepResult result;
-  result.rows.resize(scenarios.size());
-  result.scenario_seconds.resize(scenarios.size());
+  // row/error order is the canonical grid order regardless of thread
+  // count. Each cell runs under run_guarded: transient failures (e.g.
+  // injected scenario_flaky faults) retry with deterministic simulated
+  // backoff; persistent failures quarantine the cell when keep_going is
+  // set and abort the sweep with cell context otherwise.
+  std::vector<ExperimentRow> row_slots(scenarios.size());
+  std::vector<double> second_slots(scenarios.size(), 0.0);
+  std::vector<char> row_ok(scenarios.size(), 0);
+  std::vector<std::optional<ScenarioError>> error_slots(scenarios.size());
+  std::vector<fault::GuardOutcome> cell_outcomes(scenarios.size());
   obs::Counter& completed = reg.counter("sweep.scenarios_completed");
   {
     ProgressMonitor progress(options.progress_stream,
@@ -265,19 +305,77 @@ SweepResult run_sweep(const std::vector<Scenario>& scenarios,
       const std::size_t w = scenario_workload[i];
       PALS_SPAN_DETAIL("sweep.scenario", span_reg,
                        workloads[w].display + " " + s.variant_label());
-      PipelineConfig config = options.base;
-      config.algorithm.algorithm = s.algorithm;
-      config.algorithm.gear_set = scenario_gears[i];
-      config.lint = false;  // each workload was already linted in phase 1
-      set_beta(config, s.beta);
-      result.rows[i] = run_experiment(*traces[w], baselines[w],
+      const auto record_error = [&](const fault::GuardOutcome& outcome) {
+        error_slots[i] = ScenarioError{
+            i, workloads[w].display, s.variant_label(), outcome.error_class,
+            outcome.attempts, outcome.retries, outcome.backoff_seconds,
+            outcome.message};
+      };
+      if (!workload_outcomes[w].ok) {
+        // keep_going only (fail-fast threw in phase 1): the workload's
+        // lint/baseline failure quarantines each of its cells.
+        record_error(workload_outcomes[w]);
+        completed.add(1);
+        return;
+      }
+      const auto body = [&](int attempt) {
+        if (faults != nullptr) {
+          if (faults->scenario_crashed(i))
+            throw Error("injected scenario crash (scenario_crash, cell " +
+                        std::to_string(i) + ")");
+          if (attempt <= faults->scenario_transient_failures(i))
+            throw fault::TransientError(
+                "injected transient fault (scenario_flaky, cell " +
+                std::to_string(i) + ", attempt " + std::to_string(attempt) +
+                ")");
+        }
+        PipelineConfig config = options.base;
+        config.algorithm.algorithm = s.algorithm;
+        config.algorithm.gear_set = scenario_gears[i];
+        config.lint = false;  // each workload was already linted in phase 1
+        config.replay.faults = faults;
+        set_beta(config, s.beta);
+        row_slots[i] = run_experiment(*traces[w], baselines[w],
                                       workloads[w].display, s.variant_label(),
                                       config);
-      result.scenario_seconds[i] = seconds_since(scenario_start);
+      };
+      if (!options.keep_going && faults == nullptr) {
+        body(1);  // fail-fast: scenario errors propagate untouched
+        cell_outcomes[i].ok = true;
+      } else {
+        cell_outcomes[i] = fault::run_guarded(options.retry, body);
+      }
+      const fault::GuardOutcome& outcome = cell_outcomes[i];
+      if (outcome.ok) {
+        row_ok[i] = 1;
+        second_slots[i] = seconds_since(scenario_start);
+      } else if (options.keep_going) {
+        record_error(outcome);
+      } else {
+        completed.add(1);
+        throw Error("sweep scenario " + std::to_string(i) + " (" +
+                    workloads[w].display + " " + s.variant_label() +
+                    ") failed: " + outcome.describe());
+      }
       completed.add(1);
     });
   }
   obs::record_thread_pool(pool.stats(), reg);
+
+  // Merge the slots in canonical order: successes into rows, failures
+  // into errors. Without faults and with healthy workloads every slot is
+  // a success and the output matches the pre-fault engine exactly.
+  SweepResult result;
+  result.rows.reserve(scenarios.size());
+  result.scenario_seconds.reserve(scenarios.size());
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    if (row_ok[i] != 0) {
+      result.rows.push_back(std::move(row_slots[i]));
+      result.scenario_seconds.push_back(second_slots[i]);
+    } else if (error_slots[i].has_value()) {
+      result.errors.push_back(std::move(*error_slots[i]));
+    }
+  }
 
   SweepStats& stats = result.stats;
   stats.scenarios = scenarios.size();
@@ -297,6 +395,21 @@ SweepResult run_sweep(const std::vector<Scenario>& scenarios,
     stats.scenario_seconds_total += s;
     stats.scenario_seconds_max = std::max(stats.scenario_seconds_max, s);
   }
+  stats.quarantined = result.errors.size();
+  for (const fault::GuardOutcome& outcome : workload_outcomes) {
+    stats.transient_retries += static_cast<std::size_t>(outcome.retries);
+    stats.backoff_seconds += outcome.backoff_seconds;
+  }
+  for (const fault::GuardOutcome& outcome : cell_outcomes) {
+    stats.transient_retries += static_cast<std::size_t>(outcome.retries);
+    stats.backoff_seconds += outcome.backoff_seconds;
+  }
+  if (faults != nullptr || options.keep_going) {
+    // Only touched on the fault-tolerant path so fault-free sweeps keep
+    // their exact metric snapshots. The added values are deterministic.
+    reg.counter("fault.scenario_retries").add(stats.transient_retries);
+    reg.counter("fault.cells_quarantined").add(stats.quarantined);
+  }
   return result;
 }
 
@@ -304,6 +417,35 @@ SweepResult run_sweep(const SweepGrid& grid, const SweepOptions& options) {
   SweepOptions resolved = options;
   resolved.iterations = grid.iterations;
   return run_sweep(grid.expand(), resolved);
+}
+
+std::string errors_to_csv(const std::vector<ScenarioError>& errors) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.row({"index", "workload", "variant", "class", "attempts", "retries",
+           "backoff_seconds", "message"});
+  for (const ScenarioError& e : errors) {
+    std::string message = e.message;
+    std::replace(message.begin(), message.end(), '\n', ';');
+    csv.field(e.index)
+        .field(e.workload)
+        .field(e.variant)
+        .field(fault::to_string(e.error_class))
+        .field(static_cast<long long>(e.attempts))
+        .field(static_cast<long long>(e.retries))
+        .field(e.backoff_seconds)
+        .field(message);
+    csv.end_row();
+  }
+  return out.str();
+}
+
+void write_errors_csv(const std::vector<ScenarioError>& errors,
+                      const std::string& path) {
+  std::ofstream out(path);
+  PALS_CHECK_MSG(out.good(), "cannot open " << path);
+  out << errors_to_csv(errors);
+  PALS_CHECK_MSG(out.good(), "write failure on " << path);
 }
 
 }  // namespace pals

@@ -13,6 +13,12 @@
 //    on the trace and the platform, not on the gear point, so it is
 //    computed once per workload and reused by every scenario instead of
 //    once per (workload, gear, algorithm, β) combination.
+//
+// Fault tolerance (SweepOptions::faults / keep_going / retry): each cell
+// runs under fault::run_guarded — transient failures retry with
+// deterministic simulated backoff, persistent ones are quarantined into
+// SweepResult::errors while the surviving cells still aggregate in
+// canonical order. See docs/faults.md.
 #pragma once
 
 #include <iosfwd>
@@ -21,6 +27,8 @@
 
 #include "analysis/experiments.hpp"
 #include "core/algorithms.hpp"
+#include "fault/guard.hpp"
+#include "fault/injector.hpp"
 
 namespace pals {
 
@@ -94,6 +102,37 @@ struct SweepOptions {
   std::ostream* progress_stream = nullptr;
   /// Seconds between progress lines.
   double progress_interval_seconds = 1.0;
+  /// Optional fault injector (not owned; must outlive the call).
+  /// Simulated faults (link_degrade, node_slowdown, gear_stuck,
+  /// msg_delay_jitter) perturb every scenario's replays — the injector is
+  /// threaded through PipelineConfig::replay.faults, overriding whatever
+  /// `base` carries. Scenario faults (scenario_flaky, scenario_crash)
+  /// fail cells by canonical grid index before the pipeline runs.
+  const fault::Injector* faults = nullptr;
+  /// Quarantine failing cells into SweepResult::errors and keep sweeping
+  /// instead of aborting on the first scenario error. Lint and baseline
+  /// failures quarantine every cell of the affected workload; other
+  /// workloads are unaffected.
+  bool keep_going = false;
+  /// Retry policy for transient failures (fault::TransientError). Backoff
+  /// is accounted in simulated seconds — never slept — so retried sweeps
+  /// stay byte-identical across thread counts.
+  fault::RetryPolicy retry;
+};
+
+/// One quarantined grid cell (only produced with SweepOptions::keep_going).
+struct ScenarioError {
+  std::size_t index = 0;    ///< canonical grid index of the failed cell
+  std::string workload;     ///< display name
+  std::string variant;      ///< scenario variant label
+  fault::ErrorClass error_class = fault::ErrorClass::kPermanent;
+  int attempts = 1;         ///< attempts made (retries + 1)
+  int retries = 0;
+  Seconds backoff_seconds = 0.0;  ///< simulated backoff accrued
+  std::string message;      ///< final error text
+
+  /// One-line "cell <index> <workload> [<variant>]: <class> ..." report.
+  std::string describe() const;
 };
 
 /// Timing/throughput counters of one sweep, for the machine-readable
@@ -110,25 +149,48 @@ struct SweepStats {
   double baseline_cache_hit_rate = 0.0;
   double scenario_seconds_total = 0.0;  ///< Σ per-scenario replay time
   double scenario_seconds_max = 0.0;    ///< slowest single scenario
+  /// Fault-tolerance accounting (all deterministic).
+  std::size_t quarantined = 0;       ///< cells that ended in errors
+  std::size_t transient_retries = 0; ///< retry attempts across all cells
+  double backoff_seconds = 0.0;      ///< simulated backoff accrued
 
   /// "key = value" lines, parseable by util/kvconfig.hpp.
   std::string to_kv() const;
 };
 
 struct SweepResult {
-  /// One row per scenario, in canonical grid order.
+  /// One row per *successful* scenario, in canonical grid order (every
+  /// scenario succeeds when no faults are injected and nothing fails).
   std::vector<ExperimentRow> rows;
-  /// Wall-clock seconds each scenario's pipeline took (same order).
+  /// Wall-clock seconds each successful scenario's pipeline took (same
+  /// order as rows).
   std::vector<double> scenario_seconds;
+  /// Quarantined cells in canonical grid order; empty unless
+  /// SweepOptions::keep_going let failing cells be recorded.
+  std::vector<ScenarioError> errors;
   SweepStats stats;
+
+  bool has_errors() const { return !errors.empty(); }
 };
 
 /// Run an explicit scenario list. Scenario errors (unknown workload or
-/// gear set) throw pals::Error naming the offending scenario.
+/// gear set) throw pals::Error naming the offending scenario; runtime
+/// cell failures throw unless SweepOptions::keep_going quarantines them.
 SweepResult run_sweep(const std::vector<Scenario>& scenarios,
                       const SweepOptions& options = {});
 
 /// Expand and run a grid (grid.iterations overrides options.iterations).
 SweepResult run_sweep(const SweepGrid& grid, const SweepOptions& options = {});
+
+/// Render quarantined cells as deterministic CSV. The header line is
+/// always emitted, so a clean keep_going sweep yields a header-only file
+/// (an unambiguous "nothing was quarantined" artifact). Multi-line
+/// diagnostics (lint reports, deadlock cycles) are flattened onto one
+/// line so every record stays a single CSV row.
+std::string errors_to_csv(const std::vector<ScenarioError>& errors);
+
+/// Write errors_to_csv(errors) to `path` (throws on I/O failure).
+void write_errors_csv(const std::vector<ScenarioError>& errors,
+                      const std::string& path);
 
 }  // namespace pals

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <optional>
 
 #include "lint/lint.hpp"
 #include "obs/span.hpp"
@@ -165,6 +166,36 @@ PipelineResult run_pipeline(const Trace& trace, const PipelineConfig& config,
       result.overclocked_fraction =
           static_cast<double>(overclocked) / static_cast<double>(n);
     }
+  }
+
+  // gear_stuck faults override the algorithm's choice *after* assignment:
+  // the affected rank's DVFS actuator is pinned to an extreme gear, so the
+  // scaled replay and the energy integration both see the stuck frequency
+  // (normalized metrics then compare degraded-vs-degraded runs).
+  if (config.replay.faults != nullptr &&
+      config.replay.faults->has_stuck_gears()) {
+    for (std::size_t r = 0; r < n; ++r) {
+      const std::optional<fault::StuckGear> stuck =
+          config.replay.faults->stuck_gear(static_cast<Rank>(r));
+      if (!stuck) continue;
+      const Gear pinned = *stuck == fault::StuckGear::kMin
+                              ? config.algorithm.gear_set.min_gear()
+                              : config.algorithm.gear_set.max_gear();
+      rank_gears[r] = pinned;
+      result.assignment.gears[r] = pinned;
+      const double factor = power.time_scale(pinned.frequency_ghz);
+      if (!config.per_phase) {
+        run_factors[r] = factor;
+      } else {
+        default_factors[r] = factor;
+        for (double& f : phase_factors[r]) f = factor;
+        for (FrequencyAssignment& a : result.phase_assignments)
+          a.gears[r] = pinned;
+      }
+    }
+    if (!config.per_phase)
+      result.overclocked_fraction = result.assignment.overclocked_fraction(
+          config.algorithm.nominal_fmax_ghz);
   }
 
   Trace scaled;

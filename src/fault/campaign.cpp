@@ -1,0 +1,77 @@
+#include "fault/campaign.hpp"
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace pals {
+namespace fault {
+
+void CampaignOptions::validate() const {
+  PALS_CHECK_MSG(ranks > 0, "campaign ranks must be > 0");
+  PALS_CHECK_MSG(count > 0, "campaign count must be > 0");
+  PALS_CHECK_MSG(horizon >= 0.0, "campaign horizon must be >= 0");
+  PALS_CHECK_MSG(max_factor >= 1.0, "campaign max_factor must be >= 1");
+  PALS_CHECK_MSG(max_jitter > 0.0, "campaign max_jitter must be > 0");
+  PALS_CHECK_MSG(!kinds.empty(), "campaign needs at least one fault kind");
+}
+
+FaultPlan generate_campaign(const CampaignOptions& options) {
+  options.validate();
+  if (options.scenarios == 0) {
+    bool any_simulated = false;
+    for (const FaultKind kind : options.kinds)
+      if (kind != FaultKind::kScenarioFlaky &&
+          kind != FaultKind::kScenarioCrash)
+        any_simulated = true;
+    PALS_CHECK_MSG(any_simulated,
+                   "campaign with scenarios=0 needs at least one simulated "
+                   "fault kind");
+  }
+  Rng rng(options.seed);
+  FaultPlan plan;
+  plan.seed = options.seed;
+  plan.specs.reserve(static_cast<std::size_t>(options.count));
+  while (plan.specs.size() < static_cast<std::size_t>(options.count)) {
+    const FaultKind kind = options.kinds[static_cast<std::size_t>(
+        rng.uniform_int(0, options.kinds.size() - 1))];
+    FaultSpec spec;
+    spec.kind = kind;
+    switch (kind) {
+      case FaultKind::kLinkDegrade:
+      case FaultKind::kNodeSlowdown:
+        spec.rank = static_cast<Rank>(
+            rng.uniform_int(0, static_cast<std::uint64_t>(options.ranks) - 1));
+        spec.start = rng.uniform(0.0, options.horizon);
+        spec.factor = rng.uniform(1.0, options.max_factor);
+        break;
+      case FaultKind::kGearStuck:
+        spec.rank = static_cast<Rank>(
+            rng.uniform_int(0, static_cast<std::uint64_t>(options.ranks) - 1));
+        spec.gear = rng.uniform() < 0.5 ? StuckGear::kMin : StuckGear::kMax;
+        break;
+      case FaultKind::kMsgDelayJitter:
+        // One in four jitter faults hits every sender, the rest one rank.
+        spec.rank = rng.uniform() < 0.25
+                        ? -1
+                        : static_cast<Rank>(rng.uniform_int(
+                              0, static_cast<std::uint64_t>(options.ranks) - 1));
+        spec.max_jitter = rng.uniform(options.max_jitter * 0.1,
+                                      options.max_jitter);
+        break;
+      case FaultKind::kScenarioFlaky:
+      case FaultKind::kScenarioCrash:
+        if (options.scenarios == 0) continue;  // redraw a simulated kind
+        spec.index = static_cast<std::int64_t>(
+            rng.uniform_int(0, options.scenarios - 1));
+        if (kind == FaultKind::kScenarioFlaky)
+          spec.failures = static_cast<int>(rng.uniform_int(1, 3));
+        break;
+    }
+    plan.specs.push_back(spec);
+  }
+  plan.validate();
+  return plan;
+}
+
+}  // namespace fault
+}  // namespace pals

@@ -1,0 +1,46 @@
+// Seeded fault-campaign generation (pals_faultgen).
+//
+// A campaign is a randomized-but-reproducible FaultPlan: the same
+// (seed, options) always generate the same plan, so large stress sweeps
+// ("run the suite under 100 random fault plans") can be regenerated from
+// a single integer. Values are drawn with the repo's portable Rng, never
+// <random> distributions, so plans are bit-identical across platforms.
+#pragma once
+
+#include <cstdint>
+
+#include "fault/fault_plan.hpp"
+
+namespace pals {
+namespace fault {
+
+struct CampaignOptions {
+  std::uint64_t seed = 1;
+  /// Rank space faults are drawn from (rank in [0, ranks)).
+  Rank ranks = 32;
+  /// Number of fault specs to generate.
+  int count = 4;
+  /// Fault start times are drawn uniformly from [0, horizon) seconds.
+  Seconds horizon = 2.0;
+  /// Degradation factors are drawn uniformly from [1, max_factor].
+  double max_factor = 8.0;
+  /// Upper bound for msg_delay_jitter magnitudes (seconds).
+  Seconds max_jitter = 1e-4;
+  /// Kinds to draw from (uniformly). Host-side scenario faults are only
+  /// generated when a positive scenario count is given.
+  std::vector<FaultKind> kinds = {
+      FaultKind::kLinkDegrade, FaultKind::kNodeSlowdown,
+      FaultKind::kGearStuck, FaultKind::kMsgDelayJitter};
+  /// When > 0, scenario_flaky/scenario_crash specs may target cells in
+  /// [0, scenarios); when 0 those kinds are skipped even if listed.
+  std::size_t scenarios = 0;
+
+  void validate() const;
+};
+
+/// Generate a deterministic plan; plan.seed is set to options.seed so the
+/// jitter/rate hashes downstream inherit the campaign seed.
+FaultPlan generate_campaign(const CampaignOptions& options);
+
+}  // namespace fault
+}  // namespace pals

@@ -1,0 +1,81 @@
+#include "fault/guard.hpp"
+
+#include <algorithm>
+#include <new>
+#include <string_view>
+
+namespace pals {
+namespace fault {
+
+std::string to_string(ErrorClass error_class) {
+  switch (error_class) {
+    case ErrorClass::kTransient: return "transient";
+    case ErrorClass::kPermanent: return "permanent";
+    case ErrorClass::kTimeout: return "timeout";
+    case ErrorClass::kDeadlock: return "deadlock";
+    case ErrorClass::kLint: return "lint";
+    case ErrorClass::kResource: return "resource";
+  }
+  return "unknown";
+}
+
+ErrorClass classify(const std::exception& error) {
+  if (dynamic_cast<const TransientError*>(&error) != nullptr)
+    return ErrorClass::kTransient;
+  if (dynamic_cast<const std::bad_alloc*>(&error) != nullptr)
+    return ErrorClass::kResource;
+  const std::string_view what = error.what();
+  // Lint first: a lint report may itself *describe* a deadlock.
+  if (what.find("trace lint failed") != std::string_view::npos)
+    return ErrorClass::kLint;
+  if (what.find("deadlock") != std::string_view::npos)
+    return ErrorClass::kDeadlock;
+  if (what.find("event limit") != std::string_view::npos)
+    return ErrorClass::kTimeout;
+  return ErrorClass::kPermanent;
+}
+
+Seconds RetryPolicy::backoff_delay(int retry) const {
+  Seconds delay = backoff_base;
+  for (int i = 1; i < retry; ++i) delay *= backoff_multiplier;
+  return std::min(delay, backoff_cap);
+}
+
+std::string GuardOutcome::describe() const {
+  if (ok) {
+    std::string out = "ok";
+    if (retries > 0)
+      out += " after " + std::to_string(retries) +
+             (retries == 1 ? " retry" : " retries");
+    return out;
+  }
+  return to_string(error_class) + " after " + std::to_string(attempts) +
+         (attempts == 1 ? " attempt: " : " attempts: ") + message;
+}
+
+GuardOutcome run_guarded(const RetryPolicy& policy,
+                         const std::function<void(int attempt)>& body) {
+  GuardOutcome outcome;
+  for (int attempt = 1;; ++attempt) {
+    outcome.attempts = attempt;
+    outcome.retries = attempt - 1;
+    try {
+      body(attempt);
+      outcome.ok = true;
+      return outcome;
+    } catch (const std::exception& e) {
+      outcome.error_class = classify(e);
+      outcome.message = e.what();
+    } catch (...) {
+      outcome.error_class = ErrorClass::kPermanent;
+      outcome.message = "unknown exception";
+    }
+    if (outcome.error_class != ErrorClass::kTransient ||
+        outcome.retries >= policy.max_retries)
+      return outcome;
+    outcome.backoff_seconds += policy.backoff_delay(attempt);
+  }
+}
+
+}  // namespace fault
+}  // namespace pals

@@ -1,0 +1,82 @@
+// Host-side resilience primitives: structured error classification and
+// guarded execution with deterministic retry/backoff.
+//
+// run_guarded() converts exceptions thrown by a work item into a
+// GuardOutcome instead of unwinding the caller, retrying transient
+// classes with capped exponential backoff. The backoff is accounted in
+// *simulated* seconds (no wall-clock sleeping), so a retried sweep is
+// exactly as deterministic as an unretried one: attempt counts and
+// accrued backoff depend only on the failure sequence, never on host
+// timing.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "trace/types.hpp"
+#include "util/error.hpp"
+
+namespace pals {
+namespace fault {
+
+/// Why a guarded work item failed. Only kTransient is retried.
+enum class ErrorClass {
+  kTransient,  ///< injected/transient fault — retry may succeed
+  kPermanent,  ///< logic error or invalid input — retrying is pointless
+  kTimeout,    ///< simulated event-limit exceeded (runaway simulation)
+  kDeadlock,   ///< replay deadlock (blocked dependency cycle)
+  kLint,       ///< static trace verification failed
+  kResource,   ///< allocation failure
+};
+
+std::string to_string(ErrorClass error_class);
+
+/// Error subclass marking failures that are expected to clear on retry.
+/// Fault injection throws these for scenario_flaky cells.
+class TransientError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Map an in-flight exception onto the taxonomy: TransientError ->
+/// kTransient, bad_alloc -> kResource, messages naming a lint report,
+/// a deadlock or the simulated event limit -> kLint/kDeadlock/kTimeout,
+/// everything else -> kPermanent.
+ErrorClass classify(const std::exception& error);
+
+struct RetryPolicy {
+  /// Retries after the first attempt (attempts = max_retries + 1).
+  int max_retries = 2;
+  /// First backoff delay, simulated seconds.
+  Seconds backoff_base = 0.5;
+  /// Per-retry multiplier.
+  double backoff_multiplier = 2.0;
+  /// Cap on any single delay.
+  Seconds backoff_cap = 8.0;
+
+  /// Delay before retry number `retry` (1-based): capped
+  /// base * multiplier^(retry-1). Pure, hence deterministic.
+  Seconds backoff_delay(int retry) const;
+};
+
+/// What happened to one guarded work item.
+struct GuardOutcome {
+  bool ok = false;
+  int attempts = 1;               ///< total attempts made (>= 1)
+  int retries = 0;                ///< attempts - 1
+  ErrorClass error_class = ErrorClass::kPermanent;  ///< valid when !ok
+  std::string message;            ///< final error text, valid when !ok
+  Seconds backoff_seconds = 0.0;  ///< simulated backoff accrued
+
+  std::string describe() const;
+};
+
+/// Run `body(attempt)` (attempt starts at 1), retrying transient failures
+/// up to policy.max_retries times. Non-transient failures and exhausted
+/// retries return a failed outcome carrying the classification; nothing
+/// escapes except exceptions thrown by the outcome bookkeeping itself.
+GuardOutcome run_guarded(const RetryPolicy& policy,
+                         const std::function<void(int attempt)>& body);
+
+}  // namespace fault
+}  // namespace pals

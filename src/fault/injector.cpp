@@ -1,0 +1,109 @@
+#include "fault/injector.hpp"
+
+namespace pals {
+namespace fault {
+namespace {
+
+/// SplitMix64 finalizer — the avalanche stage used to turn structured
+/// (seed, rank, index) tuples into uniform bits.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Uniform double in [0, 1) from 64 hash bits.
+double unit(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+bool matches_rank(const FaultSpec& spec, Rank rank) {
+  return spec.rank < 0 || spec.rank == rank;
+}
+
+}  // namespace
+
+Injector::Injector(FaultPlan plan) : plan_(std::move(plan)) {
+  plan_.validate();
+  for (const FaultSpec& s : plan_.specs)
+    if (s.kind == FaultKind::kGearStuck) has_stuck_gears_ = true;
+}
+
+double Injector::compute_factor(Rank rank, Seconds start) const {
+  double factor = 1.0;
+  for (const FaultSpec& s : plan_.specs)
+    if (s.kind == FaultKind::kNodeSlowdown && matches_rank(s, rank) &&
+        start >= s.start)
+      factor *= s.factor;
+  return factor;
+}
+
+double Injector::transfer_factor(Rank src, Rank dst, Seconds start) const {
+  double factor = 1.0;
+  for (const FaultSpec& s : plan_.specs)
+    if (s.kind == FaultKind::kLinkDegrade &&
+        (matches_rank(s, src) || matches_rank(s, dst)) && start >= s.start)
+      factor *= s.factor;
+  return factor;
+}
+
+Seconds Injector::latency_jitter(Rank rank, std::uint64_t message_index) const {
+  Seconds jitter = 0.0;
+  std::uint64_t ordinal = 0;
+  for (const FaultSpec& s : plan_.specs) {
+    ++ordinal;
+    if (s.kind != FaultKind::kMsgDelayJitter || !matches_rank(s, rank))
+      continue;
+    const std::uint64_t h =
+        mix(plan_.seed ^ mix(static_cast<std::uint64_t>(rank)) ^
+            mix(message_index) ^ mix(ordinal));
+    jitter += unit(h) * s.max_jitter;
+  }
+  return jitter;
+}
+
+std::optional<StuckGear> Injector::stuck_gear(Rank rank) const {
+  std::optional<StuckGear> stuck;
+  for (const FaultSpec& s : plan_.specs)
+    if (s.kind == FaultKind::kGearStuck && matches_rank(s, rank))
+      stuck = s.gear;
+  return stuck;
+}
+
+bool Injector::rate_selects(const FaultSpec& spec, std::size_t ordinal,
+                            std::size_t index) const {
+  const std::uint64_t h = mix(plan_.seed ^ mix(ordinal) ^
+                              mix(static_cast<std::uint64_t>(index) + 1));
+  return unit(h) < spec.rate;
+}
+
+int Injector::scenario_transient_failures(std::size_t index) const {
+  int failures = 0;
+  std::size_t ordinal = 0;
+  for (const FaultSpec& s : plan_.specs) {
+    ++ordinal;
+    if (s.kind != FaultKind::kScenarioFlaky) continue;
+    if (s.index >= 0
+            ? s.index == static_cast<std::int64_t>(index)
+            : rate_selects(s, ordinal, index))
+      failures += s.failures;
+  }
+  return failures;
+}
+
+bool Injector::scenario_crashed(std::size_t index) const {
+  std::size_t ordinal = 0;
+  for (const FaultSpec& s : plan_.specs) {
+    ++ordinal;
+    if (s.kind != FaultKind::kScenarioCrash) continue;
+    if (s.index >= 0
+            ? s.index == static_cast<std::int64_t>(index)
+            : rate_selects(s, ordinal, index))
+      return true;
+  }
+  return false;
+}
+
+}  // namespace fault
+}  // namespace pals

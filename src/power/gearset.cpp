@@ -145,6 +145,16 @@ Gear GearSet::operating_point_nearest(double f_ghz) const {
   return vm_.gear(f);
 }
 
+Gear GearSet::min_gear() const {
+  if (!continuous_) return gears_.front();
+  return vm_.gear(fmin_);
+}
+
+Gear GearSet::max_gear() const {
+  if (!continuous_) return gears_.back();
+  return vm_.gear(fmax_);
+}
+
 GearSet GearSet::with_extra_gear(const Gear& gear) const {
   PALS_CHECK_MSG(!continuous_,
                  "with_extra_gear applies to discrete sets; use "

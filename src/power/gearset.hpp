@@ -74,6 +74,11 @@ public:
   Gear operating_point(double f_ghz) const;
   /// snap_nearest plus the model voltage.
   Gear operating_point_nearest(double f_ghz) const;
+  /// Slowest admissible operating point (fmin for continuous sets); used
+  /// by the gear_stuck fault to pin a rank to an extreme gear.
+  Gear min_gear() const;
+  /// Fastest admissible operating point (fmax for continuous sets).
+  Gear max_gear() const;
 
   /// Extend a discrete set with an over-clock gear (e.g. 2.6 GHz, 1.6 V);
   /// fmax becomes the new gear's frequency.

@@ -37,6 +37,7 @@ struct PendingSend {
   bool blocking = false;
   RequestId request = -1;   ///< valid when !blocking
   Seconds arrival = 0.0;    ///< valid when eager (computed at post time)
+  Seconds jitter = 0.0;     ///< injected latency (sender-side, fault plan)
 };
 
 struct PendingRecv {
@@ -65,6 +66,7 @@ public:
         bus_(config.platform.buses),
         timeline_(trace.n_ranks()),
         ranks_(static_cast<std::size_t>(trace.n_ranks())) {
+    engine_.set_event_limit(config.max_simulated_events);
     for (Rank r = 0; r < n_; ++r) ctx(r).stream = trace.events(r);
     out_links_.reserve(static_cast<std::size_t>(n_));
     in_links_.reserve(static_cast<std::size_t>(n_));
@@ -108,6 +110,9 @@ public:
       result.link_contention_delay += link.contention_delay();
     result.simulated_events = engine_.executed_events();
     result.sim_queue_peak = engine_.max_queue_depth();
+    result.fault_compute_perturbations = fault_compute_;
+    result.fault_transfer_perturbations = fault_transfer_;
+    result.fault_jitter_injections = fault_jitter_;
     result.timeline = std::move(timeline_);
     result.messages = std::move(messages_);
     result.collectives.reserve(collectives_.size());
@@ -135,6 +140,7 @@ private:
     Seconds waitall_latest = 0.0;        ///< max completion while in WaitAll
     std::size_t collective_index = 0;
     std::int32_t current_iteration = -1;
+    std::uint64_t p2p_posted = 0;  ///< sends posted so far (jitter index)
   };
 
   RankCtx& ctx(Rank r) { return ranks_[static_cast<std::size_t>(r)]; }
@@ -164,10 +170,17 @@ private:
 
   bool handle(Rank r, const ComputeEvent& e) {
     RankCtx& c = ctx(r);
-    const Seconds duration =
+    Seconds duration =
         config_.relative_speed.empty()
             ? e.duration
             : e.duration / config_.relative_speed[static_cast<std::size_t>(r)];
+    if (config_.faults != nullptr) {
+      const double factor = config_.faults->compute_factor(r, c.now);
+      if (factor != 1.0) {
+        duration *= factor;
+        ++fault_compute_;
+      }
+    }
     record(r, c.now, c.now + duration, RankState::kCompute, e.phase);
     c.now += duration;
     return true;
@@ -265,7 +278,9 @@ private:
     RankCtx& c = ctx(r);
     const bool eager = bytes <= config_.platform.eager_threshold;
     const Seconds latency = config_.platform.latency;
-    const Seconds transfer = config_.platform.transfer_time(bytes);
+    // Jitter is drawn at post time from the sender's message index so that
+    // both rendezvous halves (which match at different times) agree on it.
+    const Seconds jitter = send_jitter(r, c.p2p_posted++);
     const ChannelKey key{r, peer, tag};
     ++p2p_messages_;
     p2p_bytes_ += bytes;
@@ -277,8 +292,9 @@ private:
     auto& recvs = pending_recvs_[key];
     if (eager) {
       // Payload leaves regardless of the receiver.
+      const Seconds transfer = perturbed_transfer(r, peer, c.now, bytes);
       const Seconds start = reserve_transfer(r, peer, c.now, transfer);
-      const Seconds arrival = start + latency + transfer;
+      const Seconds arrival = start + latency + jitter + transfer;
       messages_.push_back(MessageRecord{r, peer, tag, bytes, c.now, arrival});
       if (!recvs.empty()) {
         const PendingRecv rv = recvs.front();
@@ -286,7 +302,8 @@ private:
         complete_recv(peer, rv, arrival);
       } else {
         pending_sends_[key].push_back(
-            PendingSend{c.now, bytes, true, blocking, request, arrival});
+            PendingSend{c.now, bytes, true, blocking, request, arrival,
+                        jitter});
       }
       const Seconds sender_done = c.now + latency;
       if (blocking) {
@@ -302,8 +319,10 @@ private:
     if (!recvs.empty()) {
       const PendingRecv rv = recvs.front();
       recvs.pop_front();
-      const Seconds start = reserve_transfer(
-          r, peer, std::max(c.now, rv.post_time) + latency, transfer);
+      const Seconds both_posted = std::max(c.now, rv.post_time);
+      const Seconds transfer = perturbed_transfer(r, peer, both_posted, bytes);
+      const Seconds start =
+          reserve_transfer(r, peer, both_posted + latency + jitter, transfer);
       const Seconds end = start + transfer;
       messages_.push_back(MessageRecord{r, peer, tag, bytes, c.now, end});
       complete_recv(peer, rv, end);
@@ -317,7 +336,7 @@ private:
     }
 
     pending_sends_[key].push_back(
-        PendingSend{c.now, bytes, false, blocking, request, 0.0});
+        PendingSend{c.now, bytes, false, blocking, request, 0.0, jitter});
     if (blocking) {
       c.block_reason = BlockReason::kSend;
       c.block_start = c.now;
@@ -341,9 +360,11 @@ private:
       if (sd.eager) {
         data_ready = sd.arrival;
       } else {
-        const Seconds transfer = config_.platform.transfer_time(sd.bytes);
+        const Seconds both_posted = std::max(c.now, sd.post_time);
+        const Seconds transfer =
+            perturbed_transfer(peer, r, both_posted, sd.bytes);
         const Seconds start = reserve_transfer(
-            peer, r, std::max(c.now, sd.post_time) + latency, transfer);
+            peer, r, both_posted + latency + sd.jitter, transfer);
         data_ready = start + transfer;
         messages_.push_back(MessageRecord{peer, r, tag, sd.bytes,
                                           sd.post_time, data_ready});
@@ -373,6 +394,28 @@ private:
     }
     PALS_CHECK(c.open.insert(request).second);
     return true;
+  }
+
+  /// Transfer duration for `bytes` from src to dst, degraded by any active
+  /// link faults (a degraded link makes the payload take `factor`x longer).
+  Seconds perturbed_transfer(Rank src, Rank dst, Seconds when, Bytes bytes) {
+    Seconds transfer = config_.platform.transfer_time(bytes);
+    if (config_.faults != nullptr) {
+      const double factor = config_.faults->transfer_factor(src, dst, when);
+      if (factor != 1.0) {
+        transfer *= factor;
+        ++fault_transfer_;
+      }
+    }
+    return transfer;
+  }
+
+  /// Extra message latency for the sender's `index`-th posted message.
+  Seconds send_jitter(Rank r, std::uint64_t index) {
+    if (config_.faults == nullptr) return 0.0;
+    const Seconds jitter = config_.faults->latency_jitter(r, index);
+    if (jitter > 0.0) ++fault_jitter_;
+    return jitter;
   }
 
   /// Reserve the network stages of a transfer (source output link, then
@@ -502,6 +545,9 @@ private:
   Bytes p2p_bytes_ = 0;
   std::size_t eager_messages_ = 0;
   std::size_t rendezvous_messages_ = 0;
+  std::size_t fault_compute_ = 0;
+  std::size_t fault_transfer_ = 0;
+  std::size_t fault_jitter_ = 0;
   std::vector<MessageRecord> messages_;
 };
 
@@ -542,6 +588,16 @@ ReplayResult replay(const Trace& trace, const ReplayConfig& config) {
           obs::to_nanos(result.link_contention_delay)));
   reg.gauge("sim.queue_peak")
       .update_max(static_cast<std::int64_t>(result.sim_queue_peak));
+  if (config.faults != nullptr) {
+    // Only touched under fault injection so fault-free runs keep their
+    // exact metric snapshots.
+    reg.counter("fault.compute_perturbations")
+        .add(result.fault_compute_perturbations);
+    reg.counter("fault.transfer_perturbations")
+        .add(result.fault_transfer_perturbations);
+    reg.counter("fault.jitter_injections")
+        .add(result.fault_jitter_injections);
+  }
   return result;
 }
 

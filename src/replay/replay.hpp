@@ -26,6 +26,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "fault/injector.hpp"
 #include "network/platform.hpp"
 #include "trace/timeline.hpp"
 #include "trace/trace.hpp"
@@ -39,6 +40,18 @@ struct ReplayConfig {
   /// machine (all 1.0). Models heterogeneous clusters; DVFS rescaling uses
   /// trace transforms instead (the frequency choice is per-application).
   std::vector<double> relative_speed;
+
+  /// Optional fault injector (not owned; must outlive the replay). When
+  /// set, compute bursts, transfer durations and message latencies are
+  /// perturbed by pure functions of (plan seed, rank, event index), so
+  /// results stay byte-identical across hosts and thread counts.
+  const fault::Injector* faults = nullptr;
+
+  /// Abort the simulation with a structured pals::Error once more than
+  /// this many DES events have executed (0 = unlimited). The fault-
+  /// tolerant sweep classifies the error as a timeout; because the limit
+  /// counts simulated work, hitting it is deterministic.
+  std::size_t max_simulated_events = 0;
 
   void validate() const;
 };
@@ -98,6 +111,11 @@ struct ReplayResult {
   std::size_t simulated_events = 0;
   /// Event-queue high-water mark of the DES engine.
   std::size_t sim_queue_peak = 0;
+
+  /// Fault-injection accounting (all 0 when ReplayConfig::faults is null).
+  std::size_t fault_compute_perturbations = 0;   ///< slowed compute bursts
+  std::size_t fault_transfer_perturbations = 0;  ///< degraded transfers
+  std::size_t fault_jitter_injections = 0;       ///< jittered message posts
 };
 
 /// Simulate `trace` on the platform. The trace must pass validate().

@@ -18,8 +18,16 @@ void SimEngine::schedule_after(Seconds delay, Callback fn) {
   schedule_at(now_ + delay, std::move(fn));
 }
 
+void SimEngine::check_event_limit() const {
+  if (event_limit_ != 0 && executed_ >= event_limit_)
+    throw Error("simulated event limit exceeded (limit=" +
+                std::to_string(event_limit_) +
+                ", simulated time=" + std::to_string(now_) + "s)");
+}
+
 Seconds SimEngine::run() {
   while (!queue_.empty()) {
+    check_event_limit();
     // The queue stores const refs through top(); move out via const_cast is
     // avoided by copying the callback handle (cheap: std::function).
     Item item = queue_.top();
@@ -33,6 +41,7 @@ Seconds SimEngine::run() {
 
 Seconds SimEngine::run_until(Seconds deadline) {
   while (!queue_.empty() && queue_.top().when <= deadline) {
+    check_event_limit();
     Item item = queue_.top();
     queue_.pop();
     now_ = item.when;

@@ -28,6 +28,15 @@ public:
   /// Schedule `fn` `delay` seconds from now.
   void schedule_after(Seconds delay, Callback fn);
 
+  /// Abort guard: run()/run_until() throw pals::Error ("simulated event
+  /// limit exceeded ...") once more than `limit` events have executed
+  /// (0 = unlimited, the default). Converts runaway simulations into
+  /// structured failures the fault-tolerant sweep can classify as
+  /// timeouts; the limit is on deterministic simulated work, so hitting
+  /// it is reproducible across hosts and thread counts.
+  void set_event_limit(std::size_t limit) { event_limit_ = limit; }
+  std::size_t event_limit() const { return event_limit_; }
+
   /// Run until the event queue is empty. Returns the final time.
   Seconds run();
 
@@ -54,11 +63,15 @@ private:
     }
   };
 
+  /// Throws when the event limit is active and exhausted.
+  void check_event_limit() const;
+
   std::priority_queue<Item, std::vector<Item>, Later> queue_;
   Seconds now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::size_t executed_ = 0;
   std::size_t max_queue_depth_ = 0;
+  std::size_t event_limit_ = 0;
 };
 
 }  // namespace pals

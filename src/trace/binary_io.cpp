@@ -181,22 +181,60 @@ void write_trace_binary_file(const Trace& trace, const std::string& path) {
 Trace read_trace_binary(const std::uint8_t* data, std::size_t size,
                         bool validate) {
   ByteReader in(data, size);
-  for (const char c : kMagic)
-    PALS_CHECK_MSG(in.get_u8() == static_cast<std::uint8_t>(c),
-                   "not a .palsb trace (bad magic)");
+  PALS_CHECK_MSG(in.remaining() >= sizeof(kMagic),
+                 "not a .palsb trace: " << size << " bytes, need at least "
+                                        << sizeof(kMagic)
+                                        << " for the PALSB1 magic");
+  for (const char c : kMagic) {
+    const std::size_t at = in.offset();
+    const std::uint8_t byte = in.get_u8();
+    PALS_CHECK_MSG(byte == static_cast<std::uint8_t>(c),
+                   "not a .palsb trace: bad magic byte at offset "
+                       << at << " (expected 0x" << std::hex
+                       << static_cast<int>(static_cast<std::uint8_t>(c))
+                       << ", got 0x" << static_cast<int>(byte) << std::dec
+                       << ")");
+  }
+  const std::size_t ranks_at = in.offset();
   const std::uint64_t n_ranks = in.get_varint();
   PALS_CHECK_MSG(n_ranks > 0 && n_ranks <= 1u << 24,
-                 "implausible rank count " << n_ranks);
+                 "implausible rank count " << n_ranks << " at offset "
+                                           << ranks_at);
+  // Each rank contributes at least a one-byte event count, so a rank
+  // count beyond the remaining bytes is corrupt — reject it before
+  // sizing any per-rank storage from the hostile value.
+  PALS_CHECK_MSG(n_ranks <= in.remaining(),
+                 "rank count " << n_ranks << " at offset " << ranks_at
+                               << " exceeds remaining " << in.remaining()
+                               << " input bytes");
   Trace trace(static_cast<Rank>(n_ranks));
   trace.set_name(in.get_string());
   for (Rank r = 0; r < trace.n_ranks(); ++r) {
+    const std::size_t count_at = in.offset();
     const std::uint64_t count = in.get_varint();
+    // Every encoded event starts with a one-byte tag, bounding the
+    // plausible count by the bytes left; this turns an oversized length
+    // field into a diagnostic instead of an allocation-sized-by-attacker.
     PALS_CHECK_MSG(count <= in.remaining(),
-                   "event count exceeds remaining input");
-    for (std::uint64_t i = 0; i < count; ++i)
-      trace.append(r, decode_event(in));
+                   "rank " << r << ": event count " << count << " at offset "
+                           << count_at << " exceeds remaining "
+                           << in.remaining() << " input bytes");
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const std::size_t event_at = in.offset();
+      try {
+        trace.append(r, decode_event(in));
+      } catch (const Error& e) {
+        throw Error("rank " + std::to_string(r) + ", event " +
+                    std::to_string(i) + " of " + std::to_string(count) +
+                    " (offset " + std::to_string(event_at) +
+                    "): " + e.what());
+      }
+    }
   }
-  PALS_CHECK_MSG(in.exhausted(), "trailing bytes after binary trace");
+  PALS_CHECK_MSG(in.exhausted(), in.remaining()
+                                     << " trailing bytes after binary trace "
+                                        "(events end at offset "
+                                     << in.offset() << " of " << size << ")");
   if (validate) trace.validate();
   detail::trace_io_add_bytes(size);
   detail::trace_io_add_trace();

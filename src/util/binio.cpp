@@ -41,15 +41,21 @@ void ByteWriter::put_raw(const void* data, std::size_t size) {
 }
 
 std::uint8_t ByteReader::get_u8() {
-  PALS_CHECK_MSG(offset_ < size_, "binary input truncated");
+  PALS_CHECK_MSG(offset_ < size_, "binary input truncated at offset "
+                                      << offset_
+                                      << ": need 1 more byte, have 0 of "
+                                      << size_ << " total");
   return data_[offset_++];
 }
 
 std::uint64_t ByteReader::get_varint() {
+  const std::size_t start = offset_;
   std::uint64_t value = 0;
   int shift = 0;
   while (true) {
-    PALS_CHECK_MSG(shift < 64, "varint too long");
+    PALS_CHECK_MSG(shift < 64, "varint at offset "
+                                   << start
+                                   << " too long: exceeds 10 bytes (64 bits)");
     const std::uint8_t byte = get_u8();
     value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
     if ((byte & 0x80) == 0) return value;
@@ -63,7 +69,9 @@ std::int64_t ByteReader::get_svarint() {
 }
 
 double ByteReader::get_f64() {
-  PALS_CHECK_MSG(offset_ + 8 <= size_, "binary input truncated");
+  PALS_CHECK_MSG(offset_ + 8 <= size_, "binary input truncated at offset "
+                                           << offset_ << ": need 8 bytes, have "
+                                           << (size_ - offset_));
   std::uint64_t bits = 0;
   for (int i = 0; i < 8; ++i)
     bits |= static_cast<std::uint64_t>(data_[offset_ + static_cast<std::size_t>(i)])
@@ -75,8 +83,12 @@ double ByteReader::get_f64() {
 }
 
 std::string ByteReader::get_string() {
+  const std::size_t start = offset_;
   const std::uint64_t length = get_varint();
-  PALS_CHECK_MSG(length <= remaining(), "binary string truncated");
+  PALS_CHECK_MSG(length <= remaining(),
+                 "binary string at offset " << start << " truncated: length "
+                                            << length << " exceeds remaining "
+                                            << remaining() << " bytes");
   std::string out(reinterpret_cast<const char*>(data_ + offset_),
                   static_cast<std::size_t>(length));
   offset_ += static_cast<std::size_t>(length);

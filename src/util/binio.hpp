@@ -46,6 +46,9 @@ public:
 
   std::size_t remaining() const { return size_ - offset_; }
   bool exhausted() const { return offset_ == size_; }
+  /// Current read position — lets format readers report where a
+  /// structural check failed, not just that it failed.
+  std::size_t offset() const { return offset_; }
 
 private:
   const std::uint8_t* data_;

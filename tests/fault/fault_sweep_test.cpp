@@ -1,0 +1,168 @@
+// Fault-tolerant sweep execution: retry/quarantine under injected
+// scenario faults, partial-result aggregation in canonical order, and
+// the determinism contract — byte-identical results.csv AND errors.csv
+// for any thread count, with faults injected.
+#include "analysis/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "fault/fault_plan.hpp"
+#include "fault/injector.hpp"
+#include "util/error.hpp"
+
+namespace pals {
+namespace {
+
+/// 2 workloads x 2 gear sets = 8 cells, enough for index-targeted faults.
+SweepGrid small_grid() {
+  SweepGrid grid;
+  grid.workloads = {"cg:8:0.9:2", "is:8:0.8:2"};
+  grid.gear_sets = {"uniform-4", "avg-discrete"};
+  grid.algorithms = {Algorithm::kMax, Algorithm::kAvg};
+  grid.iterations = 2;
+  return grid;
+}
+
+SweepResult run_faulted(int jobs, const fault::Injector& injector) {
+  SweepOptions options;
+  options.jobs = jobs;
+  options.faults = &injector;
+  options.keep_going = true;
+  options.retry.max_retries = 3;
+  return run_sweep(small_grid(), options);
+}
+
+TEST(FaultSweep, RetryAndQuarantineAreByteIdenticalAcrossJobCounts) {
+  const fault::Injector injector(fault::FaultPlan::parse(
+      "seed=42; scenario_flaky:rate=0.4,failures=2; scenario_crash:index=2"));
+  const SweepResult serial = run_faulted(1, injector);
+  const SweepResult parallel = run_faulted(8, injector);
+
+  // Same seed, same plan: the retried/quarantined outcome — and both
+  // rendered artifacts — cannot depend on the thread count.
+  EXPECT_EQ(rows_to_csv(serial.rows), rows_to_csv(parallel.rows));
+  EXPECT_EQ(errors_to_csv(serial.errors), errors_to_csv(parallel.errors));
+  EXPECT_EQ(serial.stats.quarantined, parallel.stats.quarantined);
+  EXPECT_EQ(serial.stats.transient_retries, parallel.stats.transient_retries);
+  EXPECT_DOUBLE_EQ(serial.stats.backoff_seconds,
+                   parallel.stats.backoff_seconds);
+
+  // The crashed cell is quarantined; every other cell still aggregated.
+  ASSERT_EQ(serial.errors.size(), 1u);
+  EXPECT_EQ(serial.errors[0].index, 2u);
+  EXPECT_EQ(serial.errors[0].error_class, fault::ErrorClass::kPermanent);
+  EXPECT_EQ(serial.rows.size(), 7u);
+  EXPECT_EQ(serial.scenario_seconds.size(), serial.rows.size());
+  EXPECT_GT(serial.stats.transient_retries, 0u);
+  EXPECT_GT(serial.stats.backoff_seconds, 0.0);
+}
+
+TEST(FaultSweep, FlakyCellsRecoverWithinRetryBudget) {
+  const fault::Injector injector(
+      fault::FaultPlan::parse("scenario_flaky:index=1,failures=2"));
+  SweepOptions options;
+  options.faults = &injector;
+  options.keep_going = true;
+  options.retry.max_retries = 3;
+  const SweepResult result = run_sweep(small_grid(), options);
+  EXPECT_FALSE(result.has_errors());  // 2 failures < 3 retries: recovers
+  EXPECT_EQ(result.rows.size(), 8u);
+  EXPECT_EQ(result.stats.transient_retries, 2u);
+  EXPECT_DOUBLE_EQ(result.stats.backoff_seconds, 0.5 + 1.0);
+}
+
+TEST(FaultSweep, ExhaustedRetriesQuarantineAsTransient) {
+  const fault::Injector injector(
+      fault::FaultPlan::parse("scenario_flaky:index=1,failures=5"));
+  SweepOptions options;
+  options.faults = &injector;
+  options.keep_going = true;
+  options.retry.max_retries = 2;
+  const SweepResult result = run_sweep(small_grid(), options);
+  ASSERT_EQ(result.errors.size(), 1u);
+  EXPECT_EQ(result.errors[0].index, 1u);
+  EXPECT_EQ(result.errors[0].error_class, fault::ErrorClass::kTransient);
+  EXPECT_EQ(result.errors[0].attempts, 3);
+  EXPECT_EQ(result.rows.size(), 7u);
+}
+
+TEST(FaultSweep, WithoutKeepGoingAFailingCellThrows) {
+  const fault::Injector injector(
+      fault::FaultPlan::parse("scenario_crash:index=0"));
+  SweepOptions options;
+  options.faults = &injector;
+  options.keep_going = false;
+  EXPECT_THROW(run_sweep(small_grid(), options), Error);
+}
+
+TEST(FaultSweep, SimulatedFaultsPerturbResultsDeterministically) {
+  const fault::Injector injector(fault::FaultPlan::parse(
+      "seed=42; link_degrade:rank=3,t=0.1s,factor=4x; "
+      "msg_delay_jitter:rank=all,max=1e-4"));
+  SweepOptions clean;
+  clean.jobs = 2;
+  SweepOptions faulted = clean;
+  faulted.faults = &injector;
+
+  const SweepResult healthy = run_sweep(small_grid(), clean);
+  const SweepResult degraded = run_sweep(small_grid(), faulted);
+  const SweepResult degraded_again = run_sweep(small_grid(), faulted);
+
+  // Link degradation must actually move the numbers...
+  EXPECT_NE(rows_to_csv(healthy.rows), rows_to_csv(degraded.rows));
+  // ...but identically on every run: pure (seed, rank, index) functions.
+  EXPECT_EQ(rows_to_csv(degraded.rows), rows_to_csv(degraded_again.rows));
+  EXPECT_FALSE(degraded.has_errors());  // simulated faults fail nothing
+}
+
+TEST(FaultSweep, WorkloadLevelFailureQuarantinesOnlyThatWorkload) {
+  // A tight simulated-event limit kills the larger workload's baseline
+  // replay (a deterministic timeout) while the tiny one fits comfortably.
+  // Under keep_going the sweep must quarantine every cell of the dead
+  // workload and still aggregate the healthy one — the fail-fast fix.
+  SweepGrid grid;
+  grid.workloads = {"cg:4:0.9:1", "cg:16:0.9:6"};
+  grid.gear_sets = {"uniform-4"};
+  grid.iterations = 1;
+
+  SweepOptions options;
+  options.keep_going = true;
+  // cg:4:0.9:1 replays in ~400 DES events, cg:16:0.9:6 in ~9600.
+  options.base.replay.max_simulated_events = 2000;
+  const SweepResult result = run_sweep(grid, options);
+
+  ASSERT_EQ(result.errors.size(), 1u);
+  EXPECT_EQ(result.errors[0].index, 1u);
+  EXPECT_EQ(result.errors[0].workload, "cg-16");  // display name of the spec
+  EXPECT_EQ(result.errors[0].error_class, fault::ErrorClass::kTimeout);
+  EXPECT_NE(result.errors[0].message.find("event limit"), std::string::npos);
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_EQ(result.stats.quarantined, 1u);
+}
+
+TEST(FaultSweep, ErrorsCsvIsHeaderOnlyWhenClean) {
+  const std::string csv = errors_to_csv({});
+  EXPECT_EQ(csv,
+            "index,workload,variant,class,attempts,retries,"
+            "backoff_seconds,message\n");
+}
+
+TEST(FaultSweep, ErrorsCsvFlattensMultilineMessages) {
+  ScenarioError error;
+  error.index = 3;
+  error.workload = "CG-32";
+  error.variant = "uniform-6 max b0.5";
+  error.error_class = fault::ErrorClass::kLint;
+  error.message = "trace lint failed:\nE001 deadlock\nE002 unmatched";
+  const std::string csv = errors_to_csv({error});
+  // Exactly two lines: header + one record, newlines flattened.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 2);
+  EXPECT_NE(csv.find("lint"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pals

@@ -1,0 +1,143 @@
+// run_guarded / classify / RetryPolicy tests: the host-side resilience
+// contract — only transient failures retry, backoff is pure simulated
+// time, and outcomes depend solely on the failure sequence.
+#include <new>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "fault/guard.hpp"
+#include "util/error.hpp"
+
+namespace pals {
+namespace fault {
+namespace {
+
+TEST(Classify, MapsExceptionsOntoTheTaxonomy) {
+  EXPECT_EQ(classify(TransientError("injected transient fault")),
+            ErrorClass::kTransient);
+  EXPECT_EQ(classify(std::bad_alloc()), ErrorClass::kResource);
+  EXPECT_EQ(classify(Error("simulated event limit exceeded (limit=10)")),
+            ErrorClass::kTimeout);
+  EXPECT_EQ(classify(Error("replay deadlock: all ranks blocked")),
+            ErrorClass::kDeadlock);
+  EXPECT_EQ(classify(Error("trace lint failed:\n2 errors")),
+            ErrorClass::kLint);
+  EXPECT_EQ(classify(Error("unknown gear set 'warp-9'")),
+            ErrorClass::kPermanent);
+  EXPECT_EQ(classify(std::runtime_error("anything else")),
+            ErrorClass::kPermanent);
+}
+
+TEST(Classify, LintReportsMentioningDeadlockStayLint) {
+  // A lint report legitimately *describes* deadlocks; the lint check must
+  // win over the substring "deadlock".
+  EXPECT_EQ(classify(Error("trace lint failed:\nE001 deadlock cycle 0->1")),
+            ErrorClass::kLint);
+}
+
+TEST(RetryPolicy, BackoffIsCappedExponential) {
+  RetryPolicy policy;  // base 0.5, x2, cap 8
+  EXPECT_DOUBLE_EQ(policy.backoff_delay(1), 0.5);
+  EXPECT_DOUBLE_EQ(policy.backoff_delay(2), 1.0);
+  EXPECT_DOUBLE_EQ(policy.backoff_delay(3), 2.0);
+  EXPECT_DOUBLE_EQ(policy.backoff_delay(5), 8.0);   // hits the cap
+  EXPECT_DOUBLE_EQ(policy.backoff_delay(20), 8.0);  // stays capped
+}
+
+TEST(RunGuarded, SuccessFirstAttempt) {
+  int calls = 0;
+  const GuardOutcome outcome =
+      run_guarded(RetryPolicy{}, [&](int) { ++calls; });
+  EXPECT_TRUE(outcome.ok);
+  EXPECT_EQ(outcome.attempts, 1);
+  EXPECT_EQ(outcome.retries, 0);
+  EXPECT_DOUBLE_EQ(outcome.backoff_seconds, 0.0);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RunGuarded, TransientFailuresRetryThenSucceed) {
+  RetryPolicy policy;
+  policy.max_retries = 3;
+  const GuardOutcome outcome = run_guarded(policy, [&](int attempt) {
+    if (attempt <= 2)
+      throw TransientError("injected transient fault, attempt " +
+                           std::to_string(attempt));
+  });
+  EXPECT_TRUE(outcome.ok);
+  EXPECT_EQ(outcome.attempts, 3);
+  EXPECT_EQ(outcome.retries, 2);
+  // Two retries accrue base + base*multiplier of simulated backoff.
+  EXPECT_DOUBLE_EQ(outcome.backoff_seconds, 0.5 + 1.0);
+}
+
+TEST(RunGuarded, PermanentFailuresNeverRetry) {
+  int calls = 0;
+  const GuardOutcome outcome = run_guarded(RetryPolicy{}, [&](int) {
+    ++calls;
+    throw Error("invalid configuration");
+  });
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(outcome.attempts, 1);
+  EXPECT_EQ(outcome.error_class, ErrorClass::kPermanent);
+  EXPECT_EQ(outcome.message, "invalid configuration");
+}
+
+TEST(RunGuarded, ExhaustedRetriesReportTransient) {
+  RetryPolicy policy;
+  policy.max_retries = 2;
+  int calls = 0;
+  const GuardOutcome outcome = run_guarded(policy, [&](int) {
+    ++calls;
+    throw TransientError("still flaky");
+  });
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_EQ(calls, 3);  // 1 attempt + 2 retries
+  EXPECT_EQ(outcome.attempts, 3);
+  EXPECT_EQ(outcome.retries, 2);
+  EXPECT_EQ(outcome.error_class, ErrorClass::kTransient);
+  EXPECT_DOUBLE_EQ(outcome.backoff_seconds, 0.5 + 1.0);
+  EXPECT_EQ(outcome.message, "still flaky");
+}
+
+TEST(RunGuarded, ZeroRetriesDisablesRetry) {
+  RetryPolicy policy;
+  policy.max_retries = 0;
+  int calls = 0;
+  const GuardOutcome outcome = run_guarded(policy, [&](int) {
+    ++calls;
+    throw TransientError("flaky");
+  });
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_EQ(calls, 1);
+  EXPECT_DOUBLE_EQ(outcome.backoff_seconds, 0.0);
+}
+
+TEST(RunGuarded, OutcomeDependsOnlyOnFailureSequence) {
+  RetryPolicy policy;
+  policy.max_retries = 4;
+  const auto flaky_twice = [](int attempt) {
+    if (attempt <= 2) throw TransientError("flaky");
+  };
+  const GuardOutcome a = run_guarded(policy, flaky_twice);
+  const GuardOutcome b = run_guarded(policy, flaky_twice);
+  EXPECT_EQ(a.ok, b.ok);
+  EXPECT_EQ(a.attempts, b.attempts);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_DOUBLE_EQ(a.backoff_seconds, b.backoff_seconds);
+}
+
+TEST(RunGuarded, DescribeNamesClassAndAttempts) {
+  RetryPolicy policy;
+  policy.max_retries = 1;
+  const GuardOutcome outcome = run_guarded(
+      policy, [](int) -> void { throw TransientError("flaky"); });
+  const std::string text = outcome.describe();
+  EXPECT_NE(text.find("transient"), std::string::npos) << text;
+  EXPECT_NE(text.find("2"), std::string::npos) << text;  // attempts
+}
+
+}  // namespace
+}  // namespace fault
+}  // namespace pals

@@ -1,0 +1,58 @@
+# Fault-tolerant sweep end to end: a plan that degrades one rank's link
+# 4x, retries flaky cells and crashes one cell must (a) complete with
+# exit code 3 ("completed with quarantined cells"), (b) emit errors.csv,
+# and (c) produce byte-identical results.csv/errors.csv for 1 and 8
+# worker threads.
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+set(PLAN "seed=42; link_degrade:rank=3,t=0.5s,factor=4x; \
+scenario_flaky:rate=0.4,failures=2; scenario_crash:index=2")
+
+function(run_fault_sweep jobs)
+  execute_process(
+    COMMAND ${PALS_SWEEP} --grid=${GRID} --jobs=${jobs} --quiet
+            --keep-going --max-retries=3 "--faults=${PLAN}"
+            --out=${WORK_DIR}/fault_j${jobs}.csv
+            --errors=${WORK_DIR}/fault_errors_j${jobs}.csv
+    RESULT_VARIABLE code)
+  if(NOT code EQUAL 3)
+    message(FATAL_ERROR
+            "expected exit 3 (quarantined cells) from --jobs=${jobs}, "
+            "got ${code}")
+  endif()
+endfunction()
+
+run_fault_sweep(1)
+run_fault_sweep(8)
+
+foreach(artifact fault_j fault_errors_j)
+  execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                  ${WORK_DIR}/${artifact}1.csv ${WORK_DIR}/${artifact}8.csv
+                  RESULT_VARIABLE diff)
+  if(NOT diff EQUAL 0)
+    message(FATAL_ERROR
+            "${artifact}*.csv differ between --jobs=1 and --jobs=8")
+  endif()
+endforeach()
+
+# The crash cell must actually be quarantined: header plus >= 1 record.
+file(STRINGS ${WORK_DIR}/fault_errors_j1.csv error_lines)
+list(LENGTH error_lines n_lines)
+if(n_lines LESS 2)
+  message(FATAL_ERROR "errors.csv has no quarantined cells (${n_lines} lines)")
+endif()
+
+# A clean keep-going run exits 0 and leaves a header-only errors.csv.
+execute_process(
+  COMMAND ${PALS_SWEEP} --grid=${GRID} --jobs=2 --quiet --keep-going
+          --out=${WORK_DIR}/clean.csv --errors=${WORK_DIR}/clean_errors.csv
+  RESULT_VARIABLE code)
+if(NOT code EQUAL 0)
+  message(FATAL_ERROR "clean keep-going sweep exited ${code}")
+endif()
+file(STRINGS ${WORK_DIR}/clean_errors.csv clean_lines)
+list(LENGTH clean_lines n_clean)
+if(NOT n_clean EQUAL 1)
+  message(FATAL_ERROR
+          "clean errors.csv should be header-only, has ${n_clean} lines")
+endif()

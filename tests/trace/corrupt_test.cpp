@@ -1,0 +1,106 @@
+// Torture test over the corrupted-fixture corpus: every file under
+// tests/trace/corrupt/ must be rejected with a structured pals::Error —
+// never a crash, bad_alloc, or silent success. The corpus covers bad
+// magic, truncation inside every value type, oversized length fields
+// (rank counts, string lengths, event counts), bad enum ids, and
+// trailing garbage, for both the binary and the text reader.
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "trace/binary_io.hpp"
+#include "trace/io.hpp"
+#include "util/error.hpp"
+
+namespace pals {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path corpus_dir() {
+  return fs::path(PALS_SOURCE_DIR) / "tests" / "trace" / "corrupt";
+}
+
+std::vector<fs::path> corpus_files(const std::string& extension) {
+  std::vector<fs::path> files;
+  for (const fs::directory_entry& entry : fs::directory_iterator(corpus_dir()))
+    if (entry.path().extension() == extension) files.push_back(entry.path());
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(CorruptCorpus, HasAtLeastTwentyCases) {
+  EXPECT_GE(corpus_files(".palsb").size() + corpus_files(".palst").size(),
+            20u);
+}
+
+TEST(CorruptCorpus, EveryBinaryCaseYieldsStructuredError) {
+  const std::vector<fs::path> files = corpus_files(".palsb");
+  ASSERT_FALSE(files.empty());
+  for (const fs::path& file : files) {
+    SCOPED_TRACE(file.filename().string());
+    try {
+      read_trace_binary_file(file.string());
+      FAIL() << "corrupt input accepted";
+    } catch (const Error& e) {
+      EXPECT_FALSE(std::string(e.what()).empty());
+    }
+    // Anything else (bad_alloc, std::length_error, segfault) fails the
+    // test via the uncaught-exception path — that is the point.
+  }
+}
+
+TEST(CorruptCorpus, EveryTextCaseYieldsStructuredError) {
+  const std::vector<fs::path> files = corpus_files(".palst");
+  ASSERT_FALSE(files.empty());
+  for (const fs::path& file : files) {
+    SCOPED_TRACE(file.filename().string());
+    try {
+      read_trace_file(file.string());
+      FAIL() << "corrupt input accepted";
+    } catch (const Error& e) {
+      EXPECT_FALSE(std::string(e.what()).empty());
+    }
+  }
+}
+
+// Diagnostics carry position context: truncation and oversized-length
+// errors must name the offset so a corrupt trace can be triaged with a
+// hex dump instead of a debugger.
+TEST(CorruptCorpus, TruncationDiagnosticsNameTheOffset) {
+  for (const char* name :
+       {"truncated_f64.palsb", "oversized_name.palsb",
+        "oversized_event_count.palsb", "ranks_exceed_bytes.palsb",
+        "truncated_varint_eof.palsb", "trailing_bytes.palsb"}) {
+    SCOPED_TRACE(name);
+    try {
+      read_trace_binary_file((corpus_dir() / name).string());
+      FAIL() << "corrupt input accepted";
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find("offset"), std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+// Event-level failures are wrapped with rank / event-index context by
+// read_trace_binary so multi-rank traces localize the damage.
+TEST(CorruptCorpus, EventDecodeErrorsCarryRankAndIndex) {
+  for (const char* name : {"bad_tag.palsb", "bad_collective_op.palsb",
+                           "bad_marker_kind.palsb", "truncated_f64.palsb"}) {
+    SCOPED_TRACE(name);
+    try {
+      read_trace_binary_file((corpus_dir() / name).string());
+      FAIL() << "corrupt input accepted";
+    } catch (const Error& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("rank 0, event 0"), std::string::npos) << what;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pals

@@ -1,0 +1,164 @@
+// pals_faultgen — generate seeded fault campaigns for pals_sweep --faults.
+//
+//   pals_faultgen --seed=7 --ranks=32 --count=4 [--horizon=2.0]
+//                 [--max-factor=8] [--max-jitter=1e-4] [--kinds=a,b,...]
+//                 [--scenarios=N] [--out=plan.faults]
+//   pals_faultgen --smoke
+//
+// The same (seed, options) always produce the same plan — a stress sweep
+// under "100 random fault plans" is reproducible from 100 integers. The
+// emitted text is the canonical plan grammar (docs/faults.md), so it can
+// be fed back through --faults or checked into configs/.
+//
+// --smoke runs the generator's self-checks (determinism, seed
+// sensitivity, grammar round-trip) and exits non-zero on any failure;
+// ctest wires it in as smoke_pals_faultgen.
+#include <fstream>
+#include <iostream>
+
+#include "fault/campaign.hpp"
+#include "fault/fault_plan.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace pals {
+namespace {
+
+fault::FaultKind kind_by_cli_name(const std::string& name) {
+  if (name == "link_degrade") return fault::FaultKind::kLinkDegrade;
+  if (name == "node_slowdown") return fault::FaultKind::kNodeSlowdown;
+  if (name == "gear_stuck") return fault::FaultKind::kGearStuck;
+  if (name == "msg_delay_jitter") return fault::FaultKind::kMsgDelayJitter;
+  if (name == "scenario_flaky") return fault::FaultKind::kScenarioFlaky;
+  if (name == "scenario_crash") return fault::FaultKind::kScenarioCrash;
+  throw Error("unknown fault kind '" + name +
+              "' (try link_degrade, node_slowdown, gear_stuck, "
+              "msg_delay_jitter, scenario_flaky, scenario_crash)");
+}
+
+fault::CampaignOptions options_from_cli(const CliParser& cli) {
+  fault::CampaignOptions options;
+  options.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  options.ranks = static_cast<Rank>(cli.get_int("ranks", 32));
+  options.count = static_cast<int>(cli.get_int("count", 4));
+  options.horizon = cli.get_double("horizon", options.horizon);
+  options.max_factor = cli.get_double("max-factor", options.max_factor);
+  options.max_jitter = cli.get_double("max-jitter", options.max_jitter);
+  options.scenarios =
+      static_cast<std::size_t>(cli.get_int("scenarios", 0));
+  if (cli.has("kinds")) {
+    options.kinds.clear();
+    for (const std::string& field : split(cli.get("kinds"), ','))
+      options.kinds.push_back(kind_by_cli_name(std::string(trim(field))));
+  }
+  return options;
+}
+
+/// --smoke: the generator's own invariants, cheap enough for every ctest
+/// run. Throws pals::Error on the first violated check.
+void run_smoke() {
+  fault::CampaignOptions options;
+  options.seed = 7;
+  options.ranks = 16;
+  options.count = 8;
+  options.scenarios = 12;
+  options.kinds.push_back(fault::FaultKind::kScenarioFlaky);
+  options.kinds.push_back(fault::FaultKind::kScenarioCrash);
+
+  const fault::FaultPlan plan = fault::generate_campaign(options);
+  PALS_CHECK_MSG(plan.specs.size() == 8, "campaign spec count mismatch");
+  PALS_CHECK_MSG(plan.seed == 7, "campaign seed not propagated");
+
+  // Determinism: the same options regenerate the identical plan.
+  const fault::FaultPlan again = fault::generate_campaign(options);
+  PALS_CHECK_MSG(plan.specs == again.specs && plan.seed == again.seed,
+                 "campaign generation is not deterministic");
+
+  // Seed sensitivity: a different seed changes the plan.
+  fault::CampaignOptions other = options;
+  other.seed = 8;
+  const fault::FaultPlan different = fault::generate_campaign(other);
+  PALS_CHECK_MSG(!(plan.specs == different.specs),
+                 "campaigns for different seeds coincide");
+
+  // Grammar round-trip: describe() re-parses to the same plan.
+  const fault::FaultPlan reparsed = fault::FaultPlan::parse(plan.describe());
+  PALS_CHECK_MSG(reparsed.seed == plan.seed,
+                 "seed lost in grammar round-trip");
+  PALS_CHECK_MSG(reparsed.specs.size() == plan.specs.size(),
+                 "spec count lost in grammar round-trip");
+  for (std::size_t i = 0; i < plan.specs.size(); ++i)
+    PALS_CHECK_MSG(reparsed.specs[i].kind == plan.specs[i].kind &&
+                       reparsed.specs[i].rank == plan.specs[i].rank,
+                   "spec " << i << " mutated in grammar round-trip");
+
+  // Without scenario cells, scenario kinds must be skipped, not emitted.
+  fault::CampaignOptions no_cells = options;
+  no_cells.scenarios = 0;
+  const fault::FaultPlan simulated_only = fault::generate_campaign(no_cells);
+  PALS_CHECK_MSG(!simulated_only.perturbs_scenarios(),
+                 "scenario faults generated without scenario cells");
+
+  std::cout << "pals_faultgen smoke: ok\n";
+}
+
+int run(int argc, char** argv) {
+  CliParser cli;
+  cli.add_option("seed", "campaign seed (same seed => same plan)", "1");
+  cli.add_option("ranks", "rank space faults are drawn from", "32");
+  cli.add_option("count", "number of fault specs to generate", "4");
+  cli.add_option("horizon", "fault start times drawn from [0, horizon) s",
+                 "2.0");
+  cli.add_option("max-factor", "degradation factors drawn from [1, max]",
+                 "8.0");
+  cli.add_option("max-jitter", "msg_delay_jitter upper bound (seconds)",
+                 "0.0001");
+  cli.add_option("kinds", "comma list of fault kinds to draw from "
+                          "(default: the four simulated kinds)");
+  cli.add_option("scenarios",
+                 "grid cells scenario faults may target (0 = none)", "0");
+  cli.add_option("out", "write the plan to a file instead of stdout");
+  cli.add_flag("smoke", "run generator self-checks and exit");
+  cli.add_flag("help", "show usage");
+
+  try {
+    cli.parse(argc, argv);
+  } catch (const Error& e) {
+    std::cerr << e.what() << '\n' << cli.usage("pals_faultgen");
+    return 2;
+  }
+  if (cli.get_flag("help")) {
+    std::cout << cli.usage("pals_faultgen");
+    return 0;
+  }
+  if (cli.get_flag("smoke")) {
+    run_smoke();
+    return 0;
+  }
+
+  const fault::FaultPlan plan = generate_campaign(options_from_cli(cli));
+  const std::string text = plan.describe() + "\n";
+  if (cli.has("out")) {
+    std::ofstream out(cli.get("out"));
+    PALS_CHECK_MSG(out.good(), "cannot open " << cli.get("out"));
+    out << text;
+    PALS_CHECK_MSG(out.good(), "write failure on " << cli.get("out"));
+    std::cout << "fault plan written to " << cli.get("out") << '\n';
+  } else {
+    std::cout << text;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace pals
+
+int main(int argc, char** argv) {
+  try {
+    return pals::run(argc, argv);
+  } catch (const pals::Error& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

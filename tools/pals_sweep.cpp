@@ -3,6 +3,8 @@
 //   pals_sweep --grid=configs/ext_suite.grid [--jobs=N] [--out=sweep.csv]
 //              [--summary=sweep.stats] [--config=platform.cfg] [--quiet]
 //              [--metrics=m.json] [--chrome-trace=t.json] [--progress]
+//              [--faults=plan|file] [--max-retries=N] [--keep-going]
+//              [--errors=errors.csv]
 //
 // The grid file is key = value (see docs/sweep.md):
 //
@@ -15,9 +17,17 @@
 // for every --jobs value. The run's timing/throughput counters are
 // printed as a machine-readable key = value block (and written to
 // --summary when given).
+//
+// Fault tolerance (docs/faults.md): --faults loads a fault plan (inline
+// spec or file) whose simulated faults perturb every replay and whose
+// scenario faults fail grid cells; --keep-going quarantines failing
+// cells into --errors (written even when clean, as a header-only CSV)
+// instead of aborting. Exit codes: 0 clean, 1 error, 2 usage,
+// 3 completed with quarantined cells.
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <optional>
 
 #ifdef _WIN32
 #include <io.h>
@@ -30,6 +40,8 @@
 #endif
 
 #include "analysis/sweep.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/injector.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/metrics.hpp"
 #include "util/cli.hpp"
@@ -56,6 +68,15 @@ int run(int argc, char** argv) {
                            "(applied to every scenario)");
   cli.add_flag("lint", "statically verify every workload trace before "
                        "replaying (abort with a lint report on errors)");
+  cli.add_option("faults", "fault plan: inline spec "
+                           "(\"link_degrade:rank=3,factor=4x\") or a plan "
+                           "file path");
+  cli.add_option("max-retries",
+                 "retries per cell for transient failures", "2");
+  cli.add_flag("keep-going", "quarantine failing cells and keep sweeping "
+                             "(exit 3 if any cell was quarantined)");
+  cli.add_option("errors", "write quarantined cells as CSV (header-only "
+                           "when clean; requires --keep-going)");
   cli.add_option("metrics", "write the full metrics snapshot (JSON)");
   cli.add_option("chrome-trace",
                  "write the sweep's host-side spans as Chrome trace JSON");
@@ -95,6 +116,24 @@ int run(int argc, char** argv) {
   }
   if (cli.has("config")) apply_config_file(options.base, cli.get("config"));
 
+  options.keep_going = cli.get_flag("keep-going");
+  options.retry.max_retries = static_cast<int>(cli.get_int("max-retries", 2));
+  PALS_CHECK_MSG(options.retry.max_retries >= 0,
+                 "--max-retries must be >= 0");
+  if (cli.has("errors") && !options.keep_going) {
+    std::cerr << "--errors requires --keep-going\n" << cli.usage("pals_sweep");
+    return 2;
+  }
+  std::optional<fault::Injector> injector;
+  if (cli.has("faults")) {
+    const fault::FaultPlan plan =
+        fault::FaultPlan::from_file_or_inline(cli.get("faults"));
+    injector.emplace(plan);
+    options.faults = &*injector;
+    if (!cli.get_flag("quiet"))
+      std::cout << "fault plan: " << plan.describe() << '\n';
+  }
+
   const SweepResult result = run_sweep(grid, options);
 
   if (cli.has("metrics"))
@@ -115,6 +154,22 @@ int run(int argc, char** argv) {
     write_rows_csv(result.rows, cli.get("out"));
     std::cout << "csv written to " << cli.get("out") << '\n';
   }
+  if (result.has_errors() && !cli.get_flag("quiet")) {
+    std::cerr << "\n" << result.errors.size() << " quarantined cell"
+              << (result.errors.size() == 1 ? "" : "s") << ":\n";
+    for (const ScenarioError& e : result.errors) {
+      std::string line = e.describe();
+      // Keep the console report one line per cell; the CSV carries the
+      // flattened full text.
+      if (const std::size_t cut = line.find('\n'); cut != std::string::npos)
+        line = line.substr(0, cut) + " ...";
+      std::cerr << "  " << line << '\n';
+    }
+  }
+  if (cli.has("errors")) {
+    write_errors_csv(result.errors, cli.get("errors"));
+    std::cout << "errors csv written to " << cli.get("errors") << '\n';
+  }
 
   const std::string summary = result.stats.to_kv();
   std::cout << "\n# sweep summary\n" << summary;
@@ -125,7 +180,7 @@ int run(int argc, char** argv) {
     PALS_CHECK_MSG(out.good(), "write failure on " << cli.get("summary"));
     std::cout << "summary written to " << cli.get("summary") << '\n';
   }
-  return 0;
+  return result.has_errors() ? 3 : 0;
 }
 
 }  // namespace
