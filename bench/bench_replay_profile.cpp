@@ -6,7 +6,6 @@
 //
 //   bench_replay_profile [--workload CG-32] [--repeat N] [--jobs N]
 //                        [--out BENCH_replay.json]
-#include <fstream>
 #include <iostream>
 
 #include "analysis/profile.hpp"
@@ -14,6 +13,7 @@
 #include "power/gearset.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
+#include "util/fsio.hpp"
 #include "util/strings.hpp"
 
 namespace pals {
@@ -51,10 +51,7 @@ int run(int argc, char** argv) {
               << format_fixed(phase.seconds * 1e3, 3) << " ms over "
               << phase.count << " span(s)\n";
 
-  std::ofstream out(cli.get("out"), std::ios::binary);
-  PALS_CHECK_MSG(out.good(), "cannot open " << cli.get("out"));
-  out << report.bench_json();
-  PALS_CHECK_MSG(out.good(), "write failure on " << cli.get("out"));
+  atomic_write_file(cli.get("out"), report.bench_json());
   std::cout << "report written to " << cli.get("out") << '\n';
   return 0;
 }

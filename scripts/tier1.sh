@@ -63,6 +63,21 @@ cmake --build "${ASAN_DIR}" -j "${JOBS}" --target test_fault test_trace
 ctest --test-dir "${ASAN_DIR}" --output-on-failure -j "${JOBS}" \
       -R 'FaultPlan|Injector|Campaign|Classify|RetryPolicy|RunGuarded|FaultSweep|CorruptCorpus'
 
+echo "== tier 1: crash-safe resume (kill/resume, journal) under ASan/UBSan =="
+# The resume suite SIGKILLs pals_sweep mid-journal and stitches the run
+# back together — recovery and journal-parsing paths full of manual fd
+# handling and error unwinding, where sanitizers earn their keep. The
+# journal of the smoke run-dir must also pass the structural checker.
+cmake --build "${ASAN_DIR}" -j "${JOBS}" --target \
+      test_resume pals_sweep pals_json_check
+ctest --test-dir "${ASAN_DIR}" --output-on-failure -j "${JOBS}" \
+      -R 'Journal|ResumeSweep|KillResume|Watchdog|AtomicWriteFile|DurableFile|Checksums'
+RESUME_DIR="${ASAN_DIR}/Testing/tier1-resume"
+rm -rf "${RESUME_DIR}"
+"${ASAN_DIR}/tools/pals_sweep" --grid=configs/lint_smoke.grid --quiet \
+    --run-dir="${RESUME_DIR}"
+"${ASAN_DIR}/tools/pals_json_check" --journal "${RESUME_DIR}/journal.palsj"
+
 # ThreadSanitizer is the race detector proper, but not every toolchain
 # image ships its runtime — probe before committing to the leg.
 echo "== tier 1: probing for ThreadSanitizer support =="

@@ -1,12 +1,12 @@
 #include "analysis/experiments.hpp"
 
-#include <fstream>
 #include <iostream>
 #include <sstream>
 
 #include "util/csv.hpp"
 #include "util/kvconfig.hpp"
 #include "util/error.hpp"
+#include "util/fsio.hpp"
 #include "util/strings.hpp"
 
 namespace pals {
@@ -181,10 +181,7 @@ std::string rows_to_csv(const std::vector<ExperimentRow>& rows) {
 
 void write_rows_csv(const std::vector<ExperimentRow>& rows,
                     const std::string& path) {
-  std::ofstream out(path);
-  PALS_CHECK_MSG(out.good(), "cannot open " << path);
-  out << rows_to_csv(rows);
-  PALS_CHECK_MSG(out.good(), "write failure on " << path);
+  atomic_write_file(path, rows_to_csv(rows));
 }
 
 }  // namespace pals

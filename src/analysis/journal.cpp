@@ -1,0 +1,300 @@
+#include "analysis/journal.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/strings.hpp"
+
+namespace pals {
+namespace {
+
+constexpr int kJournalVersion = 1;
+constexpr const char* kJournalFormat = "pals-journal";
+
+/// Keep records one-per-line: error messages may carry multi-line lint
+/// reports or deadlock cycles.
+std::string escape_newlines(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string unescape_newlines(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] != '\\') {
+      out += text[i];
+      continue;
+    }
+    PALS_CHECK_MSG(i + 1 < text.size(),
+                   "journal record: dangling escape in '" << text << "'");
+    const char next = text[++i];
+    switch (next) {
+      case '\\': out += '\\'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      default:
+        throw Error(std::string("journal record: unknown escape '\\") + next +
+                    "'");
+    }
+  }
+  return out;
+}
+
+std::string checksum_hex(std::string_view kind, std::string_view index,
+                         std::string_view payload) {
+  std::string text;
+  text.reserve(kind.size() + index.size() + payload.size() + 2);
+  text.append(kind);
+  text += ' ';
+  text.append(index);
+  text += ' ';
+  text.append(payload);
+  return to_hex(crc32(text), 8);
+}
+
+std::string row_payload(const ExperimentRow& row) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.field(row.instance)
+      .field(row.variant)
+      .field(format_roundtrip(row.load_balance))
+      .field(format_roundtrip(row.parallel_efficiency))
+      .field(format_roundtrip(row.normalized_energy))
+      .field(format_roundtrip(row.normalized_time))
+      .field(format_roundtrip(row.normalized_edp))
+      .field(format_roundtrip(row.overclocked_fraction));
+  return os.str();
+}
+
+std::string error_payload(const JournalRecord& record) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.field(record.workload)
+      .field(record.variant)
+      .field(record.error_class)
+      .field(static_cast<long long>(record.attempts))
+      .field(static_cast<long long>(record.retries))
+      .field(format_roundtrip(record.backoff_seconds))
+      .field(escape_newlines(record.message));
+  return os.str();
+}
+
+JournalRecord parse_record(std::string_view kind, const std::string& index,
+                           const std::string& payload) {
+  JournalRecord record;
+  record.index = static_cast<std::size_t>(parse_int(index));
+  const std::vector<std::string> fields = parse_csv_line(payload);
+  if (kind == "R") {
+    record.kind = JournalRecord::Kind::kRow;
+    PALS_CHECK_MSG(fields.size() == 8, "journal row record: expected 8 csv "
+                                       "fields, got " << fields.size());
+    record.row.instance = fields[0];
+    record.row.variant = fields[1];
+    record.row.load_balance = parse_double(fields[2]);
+    record.row.parallel_efficiency = parse_double(fields[3]);
+    record.row.normalized_energy = parse_double(fields[4]);
+    record.row.normalized_time = parse_double(fields[5]);
+    record.row.normalized_edp = parse_double(fields[6]);
+    record.row.overclocked_fraction = parse_double(fields[7]);
+  } else {
+    record.kind = JournalRecord::Kind::kError;
+    PALS_CHECK_MSG(fields.size() == 7, "journal error record: expected 7 csv "
+                                       "fields, got " << fields.size());
+    record.workload = fields[0];
+    record.variant = fields[1];
+    record.error_class = fields[2];
+    record.attempts = static_cast<int>(parse_int(fields[3]));
+    record.retries = static_cast<int>(parse_int(fields[4]));
+    record.backoff_seconds = parse_double(fields[5]);
+    record.message = unescape_newlines(fields[6]);
+  }
+  return record;
+}
+
+const JsonValue& require_member(const JsonValue& object, const char* key,
+                                JsonValue::Kind kind, const char* kind_name) {
+  const JsonValue* value = object.find(key);
+  PALS_CHECK_MSG(value != nullptr,
+                 "journal header: missing '" << key << "'");
+  PALS_CHECK_MSG(value->kind == kind,
+                 "journal header: '" << key << "' must be a " << kind_name);
+  return *value;
+}
+
+}  // namespace
+
+std::string JournalHeader::to_json_line() const {
+  return std::string("{\"format\":\"") + kJournalFormat +
+         "\",\"version\":" + std::to_string(version) + ",\"config_hash\":\"" +
+         json_escape(config_hash) + "\",\"scenarios\":" +
+         std::to_string(scenarios) + "}";
+}
+
+JournalHeader JournalHeader::from_json_line(const std::string& line) {
+  JsonValue doc;
+  try {
+    doc = json_parse(line);
+  } catch (const Error& e) {
+    throw Error(std::string("journal header is not valid JSON: ") + e.what());
+  }
+  PALS_CHECK_MSG(doc.is_object(), "journal header: expected a JSON object");
+  const JsonValue& format =
+      require_member(doc, "format", JsonValue::Kind::kString, "string");
+  PALS_CHECK_MSG(format.string == kJournalFormat,
+                 "journal header: format '" << format.string << "' is not '"
+                                            << kJournalFormat << "'");
+  JournalHeader header;
+  const JsonValue& version =
+      require_member(doc, "version", JsonValue::Kind::kNumber, "number");
+  header.version = static_cast<int>(version.number);
+  PALS_CHECK_MSG(header.version == kJournalVersion,
+                 "journal header: unsupported version "
+                     << header.version << " (this build reads version "
+                     << kJournalVersion << ")");
+  header.config_hash =
+      require_member(doc, "config_hash", JsonValue::Kind::kString, "string")
+          .string;
+  const JsonValue& scenarios =
+      require_member(doc, "scenarios", JsonValue::Kind::kNumber, "number");
+  PALS_CHECK_MSG(scenarios.number >= 1.0,
+                 "journal header: scenarios must be >= 1");
+  header.scenarios = static_cast<std::size_t>(scenarios.number);
+  return header;
+}
+
+std::string JournalRecord::to_line() const {
+  const std::string kind_token = kind == Kind::kRow ? "R" : "E";
+  const std::string index_token = std::to_string(index);
+  const std::string payload =
+      kind == Kind::kRow ? row_payload(row) : error_payload(*this);
+  return kind_token + ' ' + index_token + ' ' +
+         checksum_hex(kind_token, index_token, payload) + ' ' + payload;
+}
+
+JournalWriter JournalWriter::create(const std::string& path,
+                                    const JournalHeader& header) {
+  // Publish the header atomically: a crash before this rename leaves no
+  // file, a crash after it leaves a valid empty journal.
+  atomic_write_file(path, header.to_json_line() + "\n");
+  return JournalWriter(DurableFile::open_append(path));
+}
+
+JournalWriter JournalWriter::open_existing(const std::string& path) {
+  return JournalWriter(DurableFile::open_append(path));
+}
+
+void JournalWriter::append(const JournalRecord& record) {
+  file_.append(record.to_line() + "\n");
+  file_.sync();
+  ++appended_;
+}
+
+JournalReadReport read_journal(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  PALS_CHECK_MSG(in.good(), "cannot open journal '" << path << "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  PALS_CHECK_MSG(!text.empty(), "journal '" << path << "' is empty");
+
+  // Split keeping track of whether the final line was newline-terminated:
+  // an unterminated tail is the signature of a crash mid-append.
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    const std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) {
+      lines.push_back(text.substr(start));
+      break;
+    }
+    lines.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  const bool last_terminated = text.back() == '\n';
+
+  JournalReadReport report;
+  report.header = JournalHeader::from_json_line(lines.front());
+  PALS_CHECK_MSG(lines.size() > 1 || last_terminated,
+                 "journal '" << path << "': truncated header line");
+
+  std::vector<std::string> seen_lines(report.header.scenarios);
+  std::vector<char> seen(report.header.scenarios, 0);
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    const bool is_tail = i + 1 == lines.size() && !last_terminated;
+    const auto fail = [&](const std::string& why) -> Error {
+      return Error("journal '" + path + "' line " + std::to_string(i + 1) +
+                   ": " + why);
+    };
+
+    // Structural phase: token layout + checksum. Damage here on the
+    // unterminated final line is the expected crash artifact (a torn
+    // append) — drop the record and let the cell re-run. Anywhere else
+    // it means the file was modified behind our back.
+    std::string kind;
+    std::string index;
+    std::string payload;
+    {
+      const std::size_t s1 = line.find(' ');
+      const std::size_t s2 =
+          s1 == std::string::npos ? std::string::npos : line.find(' ', s1 + 1);
+      const std::size_t s3 =
+          s2 == std::string::npos ? std::string::npos : line.find(' ', s2 + 1);
+      const bool structured = s3 != std::string::npos;
+      kind = structured ? line.substr(0, s1) : "";
+      index = structured ? line.substr(s1 + 1, s2 - s1 - 1) : "";
+      payload = structured ? line.substr(s3 + 1) : "";
+      const bool intact =
+          structured && (kind == "R" || kind == "E") &&
+          line.substr(s2 + 1, s3 - s2 - 1) == checksum_hex(kind, index, payload);
+      if (!intact) {
+        if (is_tail) {
+          report.tail_dropped = true;
+          break;
+        }
+        if (!structured) throw fail("not a 'kind index checksum payload' record");
+        if (kind != "R" && kind != "E")
+          throw fail("unknown record kind '" + kind + "'");
+        throw fail("record checksum mismatch (bit corruption)");
+      }
+    }
+
+    // Semantic phase: the bytes are bit-intact (checksum passed), so any
+    // inconsistency from here on is real corruption even on the tail.
+    try {
+      JournalRecord record = parse_record(kind, index, payload);
+      PALS_CHECK_MSG(
+          record.index < report.header.scenarios,
+          "record index " << record.index << " out of range (header declares "
+                          << report.header.scenarios << " scenarios)");
+      if (seen[record.index] != 0) {
+        PALS_CHECK_MSG(seen_lines[record.index] == line,
+                       "conflicting duplicate records for cell "
+                           << record.index);
+        continue;  // identical duplicate: idempotent, collapse
+      }
+      seen[record.index] = 1;
+      seen_lines[record.index] = line;
+      report.records.push_back(std::move(record));
+    } catch (const Error& e) {
+      throw fail(e.what());
+    }
+  }
+  return report;
+}
+
+}  // namespace pals

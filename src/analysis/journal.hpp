@@ -1,0 +1,118 @@
+// Durable run journal for crash-safe, resumable sweeps (docs/resume.md).
+//
+// A sweep that journals appends one fsync'd record per *terminal* grid
+// cell — a successful result row or a quarantined error — to
+// `<run-dir>/journal.palsj`. After a SIGKILL/OOM/^C, `pals_sweep
+// --resume <run-dir>` replays the journal, pre-fills the completed
+// cells' canonical slots and re-runs only the remainder, so the merged
+// results.csv/errors.csv are byte-identical to an uninterrupted run at
+// any --jobs count.
+//
+// File format (line-oriented text, append-only):
+//
+//   {"format":"pals-journal","version":1,"config_hash":"<fnv1a64>",
+//    "scenarios":<N>}                                      <- header, JSON
+//   R <index> <crc32> <csv payload of the result row>      <- per cell
+//   E <index> <crc32> <csv payload of the quarantined error>
+//
+// The checksum covers `<kind> <index> <payload>`; doubles are serialized
+// with format_roundtrip (17 significant digits) so the resumed rows
+// re-render byte-identical CSV. Newlines inside error messages are
+// escaped (\n, \\) to keep one record per line.
+//
+// Corruption policy (read_journal): a torn *final* record — the only
+// kind a crash between write and fsync can produce — is dropped and the
+// cell re-runs (`tail_dropped`). Anything else that fails validation
+// (bad header, checksum mismatch on an interior record, conflicting
+// duplicates, out-of-range indices) throws a structured pals::Error:
+// better to refuse a journal than to merge silently wrong rows.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analysis/experiments.hpp"
+#include "util/fsio.hpp"
+
+namespace pals {
+
+struct JournalHeader {
+  int version = 1;
+  /// Fingerprint of the scenario grid + sweep options (sweep_config_hash);
+  /// resume refuses a journal whose hash does not match the live sweep.
+  std::string config_hash;
+  /// Canonical grid size; record indices must be < scenarios.
+  std::size_t scenarios = 0;
+
+  /// The single-line JSON document that heads the file.
+  std::string to_json_line() const;
+  /// Parse to_json_line() output; throws pals::Error on malformed or
+  /// wrong-format headers.
+  static JournalHeader from_json_line(const std::string& line);
+};
+
+/// One journaled terminal cell.
+struct JournalRecord {
+  enum class Kind { kRow, kError };
+
+  Kind kind = Kind::kRow;
+  std::size_t index = 0;  ///< canonical grid index
+
+  /// kind == kRow: the completed cell's result row.
+  ExperimentRow row;
+
+  /// kind == kError: the quarantined cell, mirrored from ScenarioError
+  /// (analysis/sweep.hpp) field by field. error_class is kept as the
+  /// fault::to_string spelling so the journal stays self-describing.
+  std::string workload;
+  std::string variant;
+  std::string error_class;
+  int attempts = 1;
+  int retries = 0;
+  double backoff_seconds = 0.0;
+  std::string message;
+
+  /// Serialized record line (no trailing newline).
+  std::string to_line() const;
+};
+
+/// Append-only journal writer; every append() is fsync'd before it
+/// returns, so a record the caller observed is durable.
+class JournalWriter {
+ public:
+  /// Start a fresh journal: the header is published atomically
+  /// (atomic_write_file), so a crash during creation can never leave a
+  /// header-less file.
+  static JournalWriter create(const std::string& path,
+                              const JournalHeader& header);
+  /// Append to an existing (already validated) journal.
+  static JournalWriter open_existing(const std::string& path);
+
+  /// Durably append one record (write + fsync).
+  void append(const JournalRecord& record);
+
+  /// Records appended through this writer (excludes pre-existing ones).
+  std::size_t records_appended() const { return appended_; }
+
+ private:
+  explicit JournalWriter(DurableFile file) : file_(std::move(file)) {}
+
+  DurableFile file_;
+  std::size_t appended_ = 0;
+};
+
+struct JournalReadReport {
+  JournalHeader header;
+  /// Validated records in file order, identical duplicates collapsed.
+  std::vector<JournalRecord> records;
+  /// A torn final record was dropped (crash mid-append); the affected
+  /// cell simply re-runs.
+  bool tail_dropped = false;
+};
+
+/// Read and validate a journal. Throws pals::Error naming the offending
+/// line on structural corruption (see the policy above).
+JournalReadReport read_journal(const std::string& path);
+
+}  // namespace pals

@@ -1,9 +1,9 @@
 #include "analysis/svg.hpp"
 
-#include <fstream>
 #include <sstream>
 
 #include "util/error.hpp"
+#include "util/fsio.hpp"
 #include "util/strings.hpp"
 
 namespace pals {
@@ -82,10 +82,7 @@ std::string render_svg(const Timeline& timeline, const SvgOptions& options) {
 
 void write_svg_file(const Timeline& timeline, const std::string& path,
                     const SvgOptions& options) {
-  std::ofstream out(path);
-  PALS_CHECK_MSG(out.good(), "cannot open '" << path << "' for writing");
-  out << render_svg(timeline, options);
-  PALS_CHECK_MSG(out.good(), "write failure on '" << path << "'");
+  atomic_write_file(path, render_svg(timeline, options));
 }
 
 }  // namespace pals

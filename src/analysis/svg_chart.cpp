@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
-#include <fstream>
 #include <limits>
 #include <sstream>
 
 #include "util/error.hpp"
+#include "util/fsio.hpp"
 #include "util/strings.hpp"
 
 namespace pals {
@@ -161,10 +161,7 @@ std::string render_chart(const std::vector<ChartSeries>& series,
 void write_chart_file(const std::vector<ChartSeries>& series,
                       const std::string& path,
                       const ChartOptions& options) {
-  std::ofstream out(path);
-  PALS_CHECK_MSG(out.good(), "cannot open '" << path << "' for writing");
-  out << render_chart(series, options);
-  PALS_CHECK_MSG(out.good(), "write failure on '" << path << "'");
+  atomic_write_file(path, render_chart(series, options));
 }
 
 }  // namespace pals

@@ -1,9 +1,9 @@
 #include "analysis/sweep.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
-#include <fstream>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -19,6 +19,7 @@
 #include "replay/replay.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
+#include "util/fsio.hpp"
 #include "util/kvconfig.hpp"
 #include "util/strings.hpp"
 #include "util/thread_pool.hpp"
@@ -204,13 +205,90 @@ std::string SweepStats::to_kv() const {
   put("quarantined", std::to_string(quarantined));
   put("transient_retries", std::to_string(transient_retries));
   put("backoff_seconds", format_fixed(backoff_seconds, 6));
+  put("resumed_cells", std::to_string(resumed_cells));
+  put("skipped_cells", std::to_string(skipped_cells));
+  put("journal_records", std::to_string(journal_records));
   return out;
+}
+
+namespace {
+
+/// Canonical text rendering of everything result-affecting, hashed by
+/// sweep_config_hash. Append-only by construction: any change to the
+/// format changes every hash, which is exactly the desired effect (a
+/// resume across versions with different semantics must be refused).
+std::string config_canonical_text(const std::vector<Scenario>& scenarios,
+                                  const SweepOptions& options) {
+  std::string canon = "pals-sweep-config-v1";
+  const auto put = [&canon](const std::string& key, const std::string& value) {
+    canon += "|" + key + "=" + value;
+  };
+  const auto put_d = [&](const std::string& key, double value) {
+    put(key, format_roundtrip(value));
+  };
+  put("iterations", std::to_string(options.iterations));
+  put("keep_going", options.keep_going ? "1" : "0");
+  put("max_retries", std::to_string(options.retry.max_retries));
+  put_d("backoff_base", options.retry.backoff_base);
+  put_d("backoff_multiplier", options.retry.backoff_multiplier);
+  put_d("backoff_cap", options.retry.backoff_cap);
+
+  const PipelineConfig& base = options.base;
+  const PlatformModel& platform = base.replay.platform;
+  put_d("latency", platform.latency);
+  put_d("bandwidth", platform.bandwidth);
+  put("eager_threshold", std::to_string(platform.eager_threshold));
+  put("buses", std::to_string(platform.buses));
+  put("links_per_node", std::to_string(platform.links_per_node));
+  put_d("collective_scale", platform.collective_scale);
+  for (const auto& [op, algo] : platform.collective_algorithms)
+    put("collective_algo." + std::to_string(static_cast<int>(op)),
+        std::to_string(static_cast<int>(algo)));
+  canon += "|relative_speed=";
+  for (const double speed : base.replay.relative_speed)
+    canon += format_roundtrip(speed) + ";";
+  put("max_simulated_events", std::to_string(base.replay.max_simulated_events));
+
+  put_d("power.activity_ratio", base.power.activity_ratio);
+  put_d("power.static_fraction", base.power.static_fraction);
+  put_d("power.beta", base.power.beta);
+  put_d("power.reference_f", base.power.reference.frequency_ghz);
+  put_d("power.reference_v", base.power.reference.voltage_v);
+  put_d("power.idle_scale", base.power.idle_scale);
+
+  put("algorithm", std::to_string(static_cast<int>(base.algorithm.algorithm)));
+  put_d("algorithm.beta", base.algorithm.beta);
+  put_d("nominal_fmax_ghz", base.algorithm.nominal_fmax_ghz);
+  put("snap_policy",
+      std::to_string(static_cast<int>(base.algorithm.snap_policy)));
+  put("per_phase", base.per_phase ? "1" : "0");
+  put("lint", base.lint ? "1" : "0");
+
+  const fault::Injector* faults =
+      options.faults != nullptr ? options.faults : base.replay.faults;
+  put("faults", faults != nullptr ? faults->plan().describe() : "");
+
+  for (const Scenario& s : scenarios) {
+    canon += "|scenario=" + s.workload + ";" + s.gear_set + ";" +
+             std::to_string(static_cast<int>(s.algorithm)) + ";" +
+             format_roundtrip(s.beta) + ";" + s.label;
+  }
+  return canon;
+}
+
+}  // namespace
+
+std::string sweep_config_hash(const std::vector<Scenario>& scenarios,
+                              const SweepOptions& options) {
+  return to_hex(fnv1a64(config_canonical_text(scenarios, options)), 16);
 }
 
 SweepResult run_sweep(const std::vector<Scenario>& scenarios,
                       const SweepOptions& options) {
   PALS_CHECK_MSG(!scenarios.empty(), "sweep has no scenarios");
   options.base.validate();
+  PALS_CHECK_MSG(options.cell_timeout_seconds >= 0.0,
+                 "cell_timeout_seconds must be >= 0 (0 disables the watchdog)");
   const auto sweep_start = Clock::now();
   obs::Registry& reg = obs::default_registry();
   obs::Registry* span_reg = options.base.observe ? &reg : nullptr;
@@ -245,6 +323,68 @@ SweepResult run_sweep(const std::vector<Scenario>& scenarios,
       options.faults != nullptr ? options.faults : options.base.replay.faults;
   ReplayConfig baseline_config = options.base.replay;
   baseline_config.faults = faults;
+  if (options.cell_timeout_seconds > 0.0)
+    baseline_config.max_wall_seconds = options.cell_timeout_seconds;
+
+  // Crash-safe execution setup (docs/resume.md). The canonical result
+  // slots are allocated before phase 1 so a resume journal can pre-fill
+  // them: `done` cells skip phase 2 entirely, and workloads whose every
+  // cell is done skip their (expensive) phase-1 baseline too.
+  std::vector<ExperimentRow> row_slots(scenarios.size());
+  std::vector<double> second_slots(scenarios.size(), 0.0);
+  std::vector<char> row_ok(scenarios.size(), 0);
+  std::vector<std::optional<ScenarioError>> error_slots(scenarios.size());
+  std::vector<char> done(scenarios.size(), 0);
+  std::string config_hash;
+  if (!options.journal_path.empty() || options.resume != nullptr)
+    config_hash = sweep_config_hash(scenarios, options);
+  std::size_t resumed_cells = 0;
+  if (options.resume != nullptr) {
+    PALS_SPAN("sweep.journal_replay", span_reg);
+    const JournalReadReport& prior = *options.resume;
+    PALS_CHECK_MSG(prior.header.scenarios == scenarios.size(),
+                   "resume journal describes " << prior.header.scenarios
+                       << " scenarios but this sweep has " << scenarios.size());
+    PALS_CHECK_MSG(
+        prior.header.config_hash == config_hash,
+        "resume journal config hash " << prior.header.config_hash
+            << " does not match this sweep's " << config_hash
+            << " (the journal belongs to a different sweep configuration)");
+    for (const JournalRecord& record : prior.records) {
+      const std::size_t i = record.index;
+      if (record.kind == JournalRecord::Kind::kRow) {
+        row_slots[i] = record.row;
+        row_ok[i] = 1;
+      } else {
+        error_slots[i] = ScenarioError{
+            i,
+            record.workload,
+            record.variant,
+            fault::error_class_from_string(record.error_class),
+            record.attempts,
+            record.retries,
+            record.backoff_seconds,
+            record.message};
+      }
+      done[i] = 1;
+      ++resumed_cells;
+    }
+    reg.counter("resume.cells_skipped").add(resumed_cells);
+  }
+  std::optional<JournalWriter> journal;
+  std::mutex journal_mutex;
+  if (!options.journal_path.empty()) {
+    if (options.resume != nullptr) {
+      journal.emplace(JournalWriter::open_existing(options.journal_path));
+    } else {
+      JournalHeader header;
+      header.config_hash = config_hash;
+      header.scenarios = scenarios.size();
+      journal.emplace(JournalWriter::create(options.journal_path, header));
+    }
+  }
+  const std::atomic<bool>* cancel = options.cancel;
+  std::atomic<std::size_t> skipped{0};
 
   // Phase 1: one trace + baseline replay per unique workload. The
   // baseline depends only on the trace and the platform, so every
@@ -254,13 +394,31 @@ SweepResult run_sweep(const std::vector<Scenario>& scenarios,
   // full diagnostic report before any scenario runs; with keep_going the
   // failure is recorded per workload and only that workload's cells are
   // quarantined — independent workloads still produce results.
-  reg.counter("sweep.baseline_replays").add(workloads.size());
+  std::vector<char> workload_needed(workloads.size(), 0);
+  for (std::size_t i = 0; i < scenarios.size(); ++i)
+    if (done[i] == 0) workload_needed[scenario_workload[i]] = 1;
+  std::size_t baselines_needed = 0;
+  for (const char needed : workload_needed)
+    baselines_needed += static_cast<std::size_t>(needed);
+  reg.counter("sweep.baseline_replays").add(baselines_needed);
   std::vector<const Trace*> traces(workloads.size());
   std::vector<ReplayResult> baselines(workloads.size());
   std::vector<fault::GuardOutcome> workload_outcomes(workloads.size());
+  std::vector<char> workload_skipped(workloads.size(), 0);
   {
     PALS_SPAN("sweep.baselines", span_reg);
     pool.parallel_for(workloads.size(), [&](std::size_t w) {
+      if (workload_needed[w] == 0) {
+        // Every cell of this workload was resumed from the journal; its
+        // trace and baseline are never consulted again.
+        workload_outcomes[w].ok = true;
+        return;
+      }
+      if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+        workload_skipped[w] = 1;
+        workload_outcomes[w].ok = true;
+        return;
+      }
       PALS_SPAN_DETAIL("sweep.baseline", span_reg, workloads[w].display);
       const auto body = [&](int) {
         traces[w] = &cache.get(workloads[w].key, workloads[w].build);
@@ -288,10 +446,6 @@ SweepResult run_sweep(const std::vector<Scenario>& scenarios,
   // injected scenario_flaky faults) retry with deterministic simulated
   // backoff; persistent failures quarantine the cell when keep_going is
   // set and abort the sweep with cell context otherwise.
-  std::vector<ExperimentRow> row_slots(scenarios.size());
-  std::vector<double> second_slots(scenarios.size(), 0.0);
-  std::vector<char> row_ok(scenarios.size(), 0);
-  std::vector<std::optional<ScenarioError>> error_slots(scenarios.size());
   std::vector<fault::GuardOutcome> cell_outcomes(scenarios.size());
   obs::Counter& completed = reg.counter("sweep.scenarios_completed");
   {
@@ -300,9 +454,22 @@ SweepResult run_sweep(const std::vector<Scenario>& scenarios,
                              scenarios.size(), completed, completed.value());
     PALS_SPAN("sweep.scenarios", span_reg);
     pool.parallel_for(scenarios.size(), [&](std::size_t i) {
-      const auto scenario_start = Clock::now();
+      if (done[i] != 0) {
+        // Resumed from the journal: the slot is already terminal.
+        completed.add(1);
+        return;
+      }
       const Scenario& s = scenarios[i];
       const std::size_t w = scenario_workload[i];
+      if (workload_skipped[w] != 0 ||
+          (cancel != nullptr && cancel->load(std::memory_order_relaxed))) {
+        // Cancelled before this cell started; a later --resume run
+        // re-executes it (it was never journaled as terminal).
+        skipped.fetch_add(1, std::memory_order_relaxed);
+        completed.add(1);
+        return;
+      }
+      const auto scenario_start = Clock::now();
       PALS_SPAN_DETAIL("sweep.scenario", span_reg,
                        workloads[w].display + " " + s.variant_label());
       const auto record_error = [&](const fault::GuardOutcome& outcome) {
@@ -311,10 +478,39 @@ SweepResult run_sweep(const std::vector<Scenario>& scenarios,
             outcome.attempts, outcome.retries, outcome.backoff_seconds,
             outcome.message};
       };
+      // Durably journal this cell's terminal state (the slot just
+      // written). Appends are serialized: the journal is append-only and
+      // fsync'd per record, so at most one in-flight record can be torn
+      // by a crash — exactly what read_journal's tail-drop repairs.
+      const auto journal_cell = [&] {
+        if (!journal.has_value()) return;
+        JournalRecord record;
+        record.index = i;
+        if (row_ok[i] != 0) {
+          record.kind = JournalRecord::Kind::kRow;
+          record.row = row_slots[i];
+        } else {
+          const ScenarioError& e = *error_slots[i];
+          record.kind = JournalRecord::Kind::kError;
+          record.workload = e.workload;
+          record.variant = e.variant;
+          record.error_class = fault::to_string(e.error_class);
+          record.attempts = e.attempts;
+          record.retries = e.retries;
+          record.backoff_seconds = e.backoff_seconds;
+          record.message = e.message;
+        }
+        std::lock_guard<std::mutex> lock(journal_mutex);
+        journal->append(record);
+        reg.counter("journal.records_appended").add(1);
+        if (options.on_journal_record)
+          options.on_journal_record(journal->records_appended());
+      };
       if (!workload_outcomes[w].ok) {
         // keep_going only (fail-fast threw in phase 1): the workload's
         // lint/baseline failure quarantines each of its cells.
         record_error(workload_outcomes[w]);
+        journal_cell();
         completed.add(1);
         return;
       }
@@ -334,23 +530,30 @@ SweepResult run_sweep(const std::vector<Scenario>& scenarios,
         config.algorithm.gear_set = scenario_gears[i];
         config.lint = false;  // each workload was already linted in phase 1
         config.replay.faults = faults;
+        if (options.cell_timeout_seconds > 0.0)
+          config.replay.max_wall_seconds = options.cell_timeout_seconds;
         set_beta(config, s.beta);
         row_slots[i] = run_experiment(*traces[w], baselines[w],
                                       workloads[w].display, s.variant_label(),
                                       config);
       };
-      if (!options.keep_going && faults == nullptr) {
+      if (!options.keep_going && faults == nullptr &&
+          options.cell_timeout_seconds <= 0.0) {
         body(1);  // fail-fast: scenario errors propagate untouched
         cell_outcomes[i].ok = true;
       } else {
+        // Guarded also when a watchdog is armed, so an expired cell is
+        // classified (kTimeout) like any other fault.
         cell_outcomes[i] = fault::run_guarded(options.retry, body);
       }
       const fault::GuardOutcome& outcome = cell_outcomes[i];
       if (outcome.ok) {
         row_ok[i] = 1;
         second_slots[i] = seconds_since(scenario_start);
+        journal_cell();
       } else if (options.keep_going) {
         record_error(outcome);
+        journal_cell();
       } else {
         completed.add(1);
         throw Error("sweep scenario " + std::to_string(i) + " (" +
@@ -386,7 +589,7 @@ SweepResult run_sweep(const std::vector<Scenario>& scenarios,
       stats.wall_seconds > 0.0
           ? static_cast<double>(stats.scenarios) / stats.wall_seconds
           : 0.0;
-  stats.baseline_cache_misses = workloads.size();
+  stats.baseline_cache_misses = baselines_needed;
   stats.baseline_cache_hits = scenarios.size() - workloads.size();
   stats.baseline_cache_hit_rate =
       static_cast<double>(stats.baseline_cache_hits) /
@@ -404,6 +607,10 @@ SweepResult run_sweep(const std::vector<Scenario>& scenarios,
     stats.transient_retries += static_cast<std::size_t>(outcome.retries);
     stats.backoff_seconds += outcome.backoff_seconds;
   }
+  stats.resumed_cells = resumed_cells;
+  stats.skipped_cells = skipped.load();
+  stats.journal_records = journal.has_value() ? journal->records_appended() : 0;
+  result.interrupted = stats.skipped_cells > 0;
   if (faults != nullptr || options.keep_going) {
     // Only touched on the fault-tolerant path so fault-free sweeps keep
     // their exact metric snapshots. The added values are deterministic.
@@ -442,10 +649,7 @@ std::string errors_to_csv(const std::vector<ScenarioError>& errors) {
 
 void write_errors_csv(const std::vector<ScenarioError>& errors,
                       const std::string& path) {
-  std::ofstream out(path);
-  PALS_CHECK_MSG(out.good(), "cannot open " << path);
-  out << errors_to_csv(errors);
-  PALS_CHECK_MSG(out.good(), "write failure on " << path);
+  atomic_write_file(path, errors_to_csv(errors));
 }
 
 }  // namespace pals

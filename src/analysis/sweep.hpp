@@ -21,11 +21,14 @@
 // canonical order. See docs/faults.md.
 #pragma once
 
+#include <atomic>
+#include <functional>
 #include <iosfwd>
 #include <string>
 #include <vector>
 
 #include "analysis/experiments.hpp"
+#include "analysis/journal.hpp"
 #include "core/algorithms.hpp"
 #include "fault/guard.hpp"
 #include "fault/injector.hpp"
@@ -118,7 +121,47 @@ struct SweepOptions {
   /// is accounted in simulated seconds — never slept — so retried sweeps
   /// stay byte-identical across thread counts.
   fault::RetryPolicy retry;
+
+  // --- Crash-safe execution (docs/resume.md) -------------------------------
+
+  /// When non-empty, every terminal cell (result row or quarantined
+  /// error) is durably appended to this journal file (analysis/
+  /// journal.hpp) the moment it completes, making the sweep resumable
+  /// after a crash. Created fresh unless `resume` is also set, in which
+  /// case the existing journal is extended.
+  std::string journal_path;
+  /// Journal of a previous, interrupted run of the *same* sweep (not
+  /// owned; must outlive the call). Cells it records are pre-filled into
+  /// their canonical slots and skipped; only the remainder re-runs.
+  /// run_sweep throws if the journal's config hash or scenario count
+  /// disagrees with the live sweep — jobs and cell_timeout_seconds may
+  /// change between runs, everything result-affecting may not.
+  const JournalReadReport* resume = nullptr;
+  /// Per-cell wall-clock watchdog, seconds (0 = off): threaded into
+  /// ReplayConfig::max_wall_seconds for the baseline and every scenario
+  /// replay, so a host-side hang becomes a structured kTimeout error the
+  /// fault machinery can quarantine instead of wedging the sweep. Host-
+  /// time dependent — keep off in determinism comparisons.
+  double cell_timeout_seconds = 0.0;
+  /// Cooperative cancellation flag (not owned; may be set from a signal
+  /// handler). Once true, cells that have not started are skipped —
+  /// in-flight cells finish and are journaled — and the sweep returns
+  /// with SweepResult::interrupted set instead of throwing.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Test hook: invoked after each durable journal append with the
+  /// number of records this run has appended so far. Called with the
+  /// journal lock held — keep it cheap. pals_sweep's --kill-after /
+  /// --interrupt-after use it to die at a deterministic point.
+  std::function<void(std::size_t)> on_journal_record;
 };
+
+/// Fingerprint of everything that determines a sweep's *results*: the
+/// scenario list, iterations, keep_going, the retry policy and the fault
+/// plan. Deliberately excludes jobs, progress, journaling and the cell
+/// timeout, which may differ between an interrupted run and its resume.
+/// Stored in the journal header; resume validates it.
+std::string sweep_config_hash(const std::vector<Scenario>& scenarios,
+                              const SweepOptions& options);
 
 /// One quarantined grid cell (only produced with SweepOptions::keep_going).
 struct ScenarioError {
@@ -153,6 +196,10 @@ struct SweepStats {
   std::size_t quarantined = 0;       ///< cells that ended in errors
   std::size_t transient_retries = 0; ///< retry attempts across all cells
   double backoff_seconds = 0.0;      ///< simulated backoff accrued
+  /// Crash-safe execution accounting (docs/resume.md).
+  std::size_t resumed_cells = 0;   ///< cells pre-filled from a resume journal
+  std::size_t skipped_cells = 0;   ///< cells skipped by cancellation
+  std::size_t journal_records = 0; ///< records durably appended this run
 
   /// "key = value" lines, parseable by util/kvconfig.hpp.
   std::string to_kv() const;
@@ -169,6 +216,11 @@ struct SweepResult {
   /// SweepOptions::keep_going let failing cells be recorded.
   std::vector<ScenarioError> errors;
   SweepStats stats;
+  /// Cancellation (SweepOptions::cancel) stopped the sweep before every
+  /// cell ran: rows/errors cover only the cells that reached a terminal
+  /// state. With a journal the run is resumable; callers should exit
+  /// with ToolExit::kInterrupted rather than treat the output as final.
+  bool interrupted = false;
 
   bool has_errors() const { return !errors.empty(); }
 };

@@ -32,7 +32,19 @@ ErrorClass classify(const std::exception& error) {
     return ErrorClass::kDeadlock;
   if (what.find("event limit") != std::string_view::npos)
     return ErrorClass::kTimeout;
+  if (what.find("wall-clock watchdog") != std::string_view::npos)
+    return ErrorClass::kTimeout;
   return ErrorClass::kPermanent;
+}
+
+ErrorClass error_class_from_string(const std::string& name) {
+  if (name == "transient") return ErrorClass::kTransient;
+  if (name == "permanent") return ErrorClass::kPermanent;
+  if (name == "timeout") return ErrorClass::kTimeout;
+  if (name == "deadlock") return ErrorClass::kDeadlock;
+  if (name == "lint") return ErrorClass::kLint;
+  if (name == "resource") return ErrorClass::kResource;
+  throw Error("unknown error class '" + name + "'");
 }
 
 Seconds RetryPolicy::backoff_delay(int retry) const {

@@ -31,6 +31,10 @@ enum class ErrorClass {
 
 std::string to_string(ErrorClass error_class);
 
+/// Inverse of to_string (the run journal stores classes by name); throws
+/// pals::Error on unknown names.
+ErrorClass error_class_from_string(const std::string& name);
+
 /// Error subclass marking failures that are expected to clear on retry.
 /// Fault injection throws these for scenario_flaky cells.
 class TransientError : public Error {

@@ -1,10 +1,10 @@
 #include "obs/chrome_trace.hpp"
 
 #include <algorithm>
-#include <fstream>
 #include <set>
 
 #include "util/error.hpp"
+#include "util/fsio.hpp"
 #include "util/json.hpp"
 #include "util/strings.hpp"
 
@@ -84,11 +84,7 @@ std::string ChromeTraceWriter::to_json() const {
 }
 
 void ChromeTraceWriter::write_file(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary);
-  PALS_CHECK_MSG(out.good(), "cannot open '" << path << "' for writing");
-  const std::string json = to_json();
-  out.write(json.data(), static_cast<std::streamsize>(json.size()));
-  PALS_CHECK_MSG(out.good(), "write failure on '" << path << "'");
+  atomic_write_file(path, to_json());
 }
 
 void append_host_spans(ChromeTraceWriter& writer, const Registry& registry,

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "util/error.hpp"
+#include "util/fsio.hpp"
 #include "util/strings.hpp"
 
 namespace pals {
@@ -84,10 +85,9 @@ void write_prv(const PrvTrace& trace, std::ostream& out) {
 }
 
 void write_prv_file(const PrvTrace& trace, const std::string& path) {
-  std::ofstream out(path);
-  PALS_CHECK_MSG(out.good(), "cannot open '" << path << "' for writing");
+  std::ostringstream out;
   write_prv(trace, out);
-  PALS_CHECK_MSG(out.good(), "write failure on '" << path << "'");
+  atomic_write_file(path, out.str());
 }
 
 PrvTrace read_prv(std::istream& in) {

@@ -67,6 +67,7 @@ public:
         timeline_(trace.n_ranks()),
         ranks_(static_cast<std::size_t>(trace.n_ranks())) {
     engine_.set_event_limit(config.max_simulated_events);
+    engine_.set_wall_limit(config.max_wall_seconds);
     for (Rank r = 0; r < n_; ++r) ctx(r).stream = trace.events(r);
     out_links_.reserve(static_cast<std::size_t>(n_));
     in_links_.reserve(static_cast<std::size_t>(n_));
@@ -557,6 +558,8 @@ void ReplayConfig::validate() const {
   platform.validate();
   for (const double s : relative_speed)
     PALS_CHECK_MSG(s > 0.0, "relative CPU speeds must be positive");
+  PALS_CHECK_MSG(max_wall_seconds >= 0.0,
+                 "max_wall_seconds must be >= 0 (0 disables the watchdog)");
 }
 
 ReplayResult replay(const Trace& trace, const ReplayConfig& config) {

@@ -53,6 +53,15 @@ struct ReplayConfig {
   /// counts simulated work, hitting it is deterministic.
   std::size_t max_simulated_events = 0;
 
+  /// Host-side wall-clock watchdog (0 = disabled): abort the replay with
+  /// a structured "wall-clock watchdog expired" error — classified
+  /// fault::ErrorClass::kTimeout — once the run has consumed this much
+  /// *host* time. The sweep engine threads its --cell-timeout budget
+  /// through here so a wedged cell is quarantined instead of hanging the
+  /// whole sweep. Unlike max_simulated_events this depends on host speed,
+  /// so it must stay off in determinism comparisons.
+  double max_wall_seconds = 0.0;
+
   void validate() const;
 };
 

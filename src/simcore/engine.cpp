@@ -1,5 +1,6 @@
 #include "simcore/engine.hpp"
 
+#include <cstdio>
 #include <utility>
 
 #include "util/error.hpp"
@@ -25,9 +26,32 @@ void SimEngine::check_event_limit() const {
                 ", simulated time=" + std::to_string(now_) + "s)");
 }
 
+void SimEngine::arm_wall_limit() {
+  if (wall_limit_seconds_ > 0.0)
+    wall_start_ = std::chrono::steady_clock::now();
+}
+
+void SimEngine::check_wall_limit() const {
+  if (wall_limit_seconds_ <= 0.0) return;
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start_)
+          .count();
+  if (elapsed > wall_limit_seconds_) {
+    // Only the configured limit appears in the message: elapsed time
+    // varies run to run and would make quarantine records unstable.
+    char limit[32];
+    std::snprintf(limit, sizeof(limit), "%g", wall_limit_seconds_);
+    throw Error(std::string("wall-clock watchdog expired (limit=") + limit +
+                "s)");
+  }
+}
+
 Seconds SimEngine::run() {
+  arm_wall_limit();
   while (!queue_.empty()) {
     check_event_limit();
+    check_wall_limit();
     // The queue stores const refs through top(); move out via const_cast is
     // avoided by copying the callback handle (cheap: std::function).
     Item item = queue_.top();
@@ -40,8 +64,10 @@ Seconds SimEngine::run() {
 }
 
 Seconds SimEngine::run_until(Seconds deadline) {
+  arm_wall_limit();
   while (!queue_.empty() && queue_.top().when <= deadline) {
     check_event_limit();
+    check_wall_limit();
     Item item = queue_.top();
     queue_.pop();
     now_ = item.when;

@@ -5,6 +5,7 @@
 // simulator drives per-rank state machines with it.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <queue>
@@ -37,6 +38,18 @@ public:
   void set_event_limit(std::size_t limit) { event_limit_ = limit; }
   std::size_t event_limit() const { return event_limit_; }
 
+  /// Wall-clock watchdog: run()/run_until() throw pals::Error
+  /// ("wall-clock watchdog expired ...") once more than `seconds` of host
+  /// time has elapsed since the run started (0 = disabled, the default).
+  /// Unlike the event limit this measures *host* time, so it is
+  /// inherently nondeterministic — it exists to turn a wedged or
+  /// pathologically slow simulation into a structured, classifiable
+  /// failure (fault::ErrorClass::kTimeout) instead of a hung process.
+  /// The error message carries only the configured limit, never the
+  /// elapsed time, so quarantine records stay byte-stable.
+  void set_wall_limit(double seconds) { wall_limit_seconds_ = seconds; }
+  double wall_limit() const { return wall_limit_seconds_; }
+
   /// Run until the event queue is empty. Returns the final time.
   Seconds run();
 
@@ -65,6 +78,9 @@ private:
 
   /// Throws when the event limit is active and exhausted.
   void check_event_limit() const;
+  /// Throws when the wall-clock watchdog is armed and expired.
+  void check_wall_limit() const;
+  void arm_wall_limit();
 
   std::priority_queue<Item, std::vector<Item>, Later> queue_;
   Seconds now_ = 0.0;
@@ -72,6 +88,8 @@ private:
   std::size_t executed_ = 0;
   std::size_t max_queue_depth_ = 0;
   std::size_t event_limit_ = 0;
+  double wall_limit_seconds_ = 0.0;
+  std::chrono::steady_clock::time_point wall_start_{};
 };
 
 }  // namespace pals

@@ -5,6 +5,7 @@
 #include "trace/io.hpp"
 #include "util/binio.hpp"
 #include "util/error.hpp"
+#include "util/fsio.hpp"
 
 namespace pals {
 namespace {
@@ -171,11 +172,9 @@ std::vector<std::uint8_t> write_trace_binary(const Trace& trace) {
 
 void write_trace_binary_file(const Trace& trace, const std::string& path) {
   const std::vector<std::uint8_t> buffer = write_trace_binary(trace);
-  std::ofstream out(path, std::ios::binary);
-  PALS_CHECK_MSG(out.good(), "cannot open '" << path << "' for writing");
-  out.write(reinterpret_cast<const char*>(buffer.data()),
-            static_cast<std::streamsize>(buffer.size()));
-  PALS_CHECK_MSG(out.good(), "write failure on '" << path << "'");
+  atomic_write_file(
+      path, std::string_view(reinterpret_cast<const char*>(buffer.data()),
+                             buffer.size()));
 }
 
 Trace read_trace_binary(const std::uint8_t* data, std::size_t size,

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "trace/binary_io.hpp"
+#include "util/fsio.hpp"
 
 #include "util/error.hpp"
 #include "util/strings.hpp"
@@ -66,10 +67,9 @@ void write_trace(const Trace& trace, std::ostream& out) {
 }
 
 void write_trace_file(const Trace& trace, const std::string& path) {
-  std::ofstream out(path);
-  PALS_CHECK_MSG(out.good(), "cannot open '" << path << "' for writing");
+  std::ostringstream out;
   write_trace(trace, out);
-  PALS_CHECK_MSG(out.good(), "write failure on '" << path << "'");
+  atomic_write_file(path, out.str());
 }
 
 Trace read_trace(std::istream& in, bool validate) {

@@ -1,0 +1,29 @@
+// Process exit codes of the pals tools, in one place.
+//
+// pals_sweep's exit status is multi-valued — scripts and CI branch on it
+// — so the values are a documented contract shared by the tool and the
+// tests instead of scattered integer literals. See docs/resume.md.
+#pragma once
+
+namespace pals {
+
+enum class ToolExit : int {
+  /// Completed; every requested cell produced a result.
+  kOk = 0,
+  /// Aborted on an unrecoverable error (bad input, I/O failure, a failing
+  /// cell without --keep-going).
+  kError = 1,
+  /// Command-line usage error.
+  kUsage = 2,
+  /// Completed, but one or more cells were quarantined into errors.csv
+  /// (--keep-going).
+  kQuarantined = 3,
+  /// Interrupted (SIGINT/SIGTERM) after a graceful drain: in-flight cells
+  /// finished and were journaled, pending cells were skipped. The run is
+  /// resumable with --resume.
+  kInterrupted = 4,
+};
+
+constexpr int exit_code(ToolExit code) { return static_cast<int>(code); }
+
+}  // namespace pals

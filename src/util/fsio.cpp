@@ -1,0 +1,243 @@
+#include "util/fsio.hpp"
+
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "util/error.hpp"
+
+#ifdef _WIN32
+#include <io.h>
+#else
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace pals {
+namespace {
+
+#ifndef _WIN32
+
+[[noreturn]] void throw_errno(const std::string& action,
+                              const std::string& path) {
+  throw Error(action + " '" + path + "' failed: " + std::strerror(errno));
+}
+
+int open_checked(const std::string& path, int flags) {
+  int fd;
+  do {
+    fd = ::open(path.c_str(), flags, 0644);
+  } while (fd < 0 && errno == EINTR);
+  return fd;
+}
+
+void write_all(int fd, const char* data, std::size_t size,
+               const std::string& path) {
+  while (size > 0) {
+    const ::ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("write to", path);
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+}
+
+void fsync_checked(int fd, const std::string& path) {
+  int rc;
+  do {
+    rc = ::fsync(fd);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) throw_errno("fsync", path);
+}
+
+/// Best-effort fsync of the directory containing `path`, so the rename
+/// that published an artifact is itself durable. Failures are ignored:
+/// some filesystems refuse directory fds, and the data fsync already
+/// happened.
+void sync_parent_directory(const std::string& path) {
+  const std::size_t cut = path.find_last_of('/');
+  const std::string dir = cut == std::string::npos ? "." : path.substr(0, cut);
+  const int fd = open_checked(dir.empty() ? "/" : dir, O_RDONLY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+#endif  // !_WIN32
+
+}  // namespace
+
+void atomic_write_file(const std::string& path, std::string_view content) {
+  PALS_CHECK_MSG(!path.empty(), "atomic_write_file: empty path");
+#ifndef _WIN32
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  const int fd = open_checked(tmp, O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC);
+  if (fd < 0) throw_errno("open temporary", tmp);
+  try {
+    write_all(fd, content.data(), content.size(), tmp);
+    fsync_checked(fd, tmp);
+  } catch (...) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw;
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    throw_errno("rename '" + tmp + "' to", path);
+  }
+  sync_parent_directory(path);
+#else
+  // No POSIX rename-over semantics: plain replace, still via a temporary
+  // so a crash mid-write cannot tear an existing artifact.
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  PALS_CHECK_MSG(f != nullptr, "cannot open '" << tmp << "' for writing");
+  const std::size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const bool flushed = std::fflush(f) == 0;
+  std::fclose(f);
+  if (written != content.size() || !flushed) {
+    std::remove(tmp.c_str());
+    throw Error("write failure on '" + tmp + "'");
+  }
+  std::remove(path.c_str());
+  PALS_CHECK_MSG(std::rename(tmp.c_str(), path.c_str()) == 0,
+                 "cannot rename '" << tmp << "' to '" << path << "'");
+#endif
+}
+
+#ifndef _WIN32
+
+DurableFile DurableFile::create(const std::string& path) {
+  const int fd = open_checked(path, O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC);
+  if (fd < 0) throw_errno("create", path);
+  return DurableFile(fd, path);
+}
+
+DurableFile DurableFile::open_append(const std::string& path) {
+  const int fd = open_checked(path, O_WRONLY | O_APPEND | O_CLOEXEC);
+  if (fd < 0) throw_errno("open for append", path);
+  return DurableFile(fd, path);
+}
+
+DurableFile::~DurableFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void DurableFile::append(std::string_view data) {
+  PALS_CHECK_MSG(fd_ >= 0, "append on closed DurableFile '" << path_ << "'");
+  write_all(fd_, data.data(), data.size(), path_);
+}
+
+void DurableFile::sync() {
+  PALS_CHECK_MSG(fd_ >= 0, "sync on closed DurableFile '" << path_ << "'");
+  fsync_checked(fd_, path_);
+}
+
+void DurableFile::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+#else  // _WIN32: FILE*-backed fallback; fflush is the best durability
+       // available without platform-specific APIs.
+
+DurableFile DurableFile::create(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  PALS_CHECK_MSG(f != nullptr, "cannot create '" << path << "'");
+  return DurableFile(static_cast<int>(_fileno(f)), path);
+}
+
+DurableFile DurableFile::open_append(const std::string& path) {
+  std::FILE* probe = std::fopen(path.c_str(), "rb");
+  PALS_CHECK_MSG(probe != nullptr, "cannot open '" << path << "' for append");
+  std::fclose(probe);
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  PALS_CHECK_MSG(f != nullptr, "cannot open '" << path << "' for append");
+  return DurableFile(static_cast<int>(_fileno(f)), path);
+}
+
+DurableFile::~DurableFile() { close(); }
+
+void DurableFile::append(std::string_view data) {
+  PALS_CHECK_MSG(fd_ >= 0, "append on closed DurableFile '" << path_ << "'");
+  PALS_CHECK_MSG(_write(fd_, data.data(),
+                        static_cast<unsigned>(data.size())) ==
+                     static_cast<int>(data.size()),
+                 "write failure on '" << path_ << "'");
+}
+
+void DurableFile::sync() { _commit(fd_); }
+
+void DurableFile::close() {
+  if (fd_ >= 0) {
+    _close(fd_);
+    fd_ = -1;
+  }
+}
+
+#endif
+
+DurableFile::DurableFile(DurableFile&& other) noexcept
+    : fd_(other.fd_), path_(std::move(other.path_)) {
+  other.fd_ = -1;
+}
+
+DurableFile& DurableFile::operator=(DurableFile&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    path_ = std::move(other.path_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1U) != 0 ? 0xEDB88320U ^ (c >> 1U) : c >> 1U;
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view data) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t crc = 0xFFFFFFFFU;
+  for (const char ch : data)
+    crc = table[(crc ^ static_cast<std::uint8_t>(ch)) & 0xFFU] ^ (crc >> 8U);
+  return crc ^ 0xFFFFFFFFU;
+}
+
+std::uint64_t fnv1a64(std::string_view data) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char ch : data) {
+    hash ^= static_cast<std::uint8_t>(ch);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+std::string to_hex(std::uint64_t value, int width) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(static_cast<std::size_t>(width), '0');
+  for (int i = width - 1; i >= 0 && value != 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[value & 0xFU];
+    value >>= 4U;
+  }
+  return out;
+}
+
+}  // namespace pals

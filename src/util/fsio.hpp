@@ -1,0 +1,73 @@
+// Crash-safe filesystem primitives.
+//
+// Every artifact the toolchain emits (results CSVs, traces, Chrome
+// traces, SVGs, goldens) must never be observable in a torn state: a
+// SIGKILL or power loss mid-write may lose the *new* file, but it must
+// not corrupt an existing one or leave a half-written final path. Two
+// durability disciplines cover all writers:
+//
+//  * atomic_write_file — whole-artifact replacement: write to a
+//    temporary sibling, fsync, rename over the final path. Readers see
+//    either the complete old content or the complete new content.
+//  * DurableFile — append-only records (the sweep run journal): every
+//    append is written fully and fsync'd before the caller continues,
+//    so a record reported as durable survives an immediate SIGKILL.
+//
+// Plus the integrity hashes the journal uses: CRC-32 (per-record
+// checksums) and FNV-1a 64 (configuration fingerprints).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace pals {
+
+/// Atomically replace `path` with `content`: write `path.tmp.<pid>`,
+/// fsync it, then rename over `path`. Throws pals::Error (with errno
+/// text) on any failure; the temporary is unlinked on error, so no
+/// partial artifact is ever left at the final path.
+void atomic_write_file(const std::string& path, std::string_view content);
+
+/// Append-only file handle with explicit durability: append() writes the
+/// whole buffer (retrying short writes) and sync() forces it to stable
+/// storage. Move-only; the destructor closes without syncing.
+class DurableFile {
+ public:
+  /// Create/truncate `path` (0644).
+  static DurableFile create(const std::string& path);
+  /// Open an existing `path` for appending; throws if it does not exist.
+  static DurableFile open_append(const std::string& path);
+
+  DurableFile(DurableFile&& other) noexcept;
+  DurableFile& operator=(DurableFile&& other) noexcept;
+  DurableFile(const DurableFile&) = delete;
+  DurableFile& operator=(const DurableFile&) = delete;
+  ~DurableFile();
+
+  /// Write all of `data` at the end of the file (throws on failure).
+  void append(std::string_view data);
+  /// fsync (throws on failure). A no-op on platforms without fsync.
+  void sync();
+  void close();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  DurableFile(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+
+  int fd_ = -1;
+  std::string path_;
+};
+
+/// CRC-32 (IEEE 802.3, reflected 0xEDB88320). crc32("123456789") ==
+/// 0xCBF43926.
+std::uint32_t crc32(std::string_view data);
+
+/// FNV-1a 64-bit. fnv1a64("") == 0xcbf29ce484222325.
+std::uint64_t fnv1a64(std::string_view data);
+
+/// Lower-case fixed-width hex ("00c0ffee").
+std::string to_hex(std::uint64_t value, int width);
+
+}  // namespace pals

@@ -82,4 +82,10 @@ std::string format_percent(double ratio, int digits) {
   return format_fixed(ratio * 100.0, digits) + "%";
 }
 
+std::string format_roundtrip(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
 }  // namespace pals

@@ -30,4 +30,9 @@ std::string format_fixed(double value, int digits);
 /// "12.34%" style percentage of a 0..1 ratio.
 std::string format_percent(double ratio, int digits = 2);
 
+/// Shortest "%.17g" rendering that parse_double() recovers bit-exactly —
+/// the serialization the sweep journal uses so resumed runs re-render
+/// byte-identical CSVs.
+std::string format_roundtrip(double value);
+
 }  // namespace pals

@@ -13,13 +13,13 @@
 // --smoke runs the generator's self-checks (determinism, seed
 // sensitivity, grammar round-trip) and exits non-zero on any failure;
 // ctest wires it in as smoke_pals_faultgen.
-#include <fstream>
 #include <iostream>
 
 #include "fault/campaign.hpp"
 #include "fault/fault_plan.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
+#include "util/fsio.hpp"
 #include "util/strings.hpp"
 
 namespace pals {
@@ -140,10 +140,7 @@ int run(int argc, char** argv) {
   const fault::FaultPlan plan = generate_campaign(options_from_cli(cli));
   const std::string text = plan.describe() + "\n";
   if (cli.has("out")) {
-    std::ofstream out(cli.get("out"));
-    PALS_CHECK_MSG(out.good(), "cannot open " << cli.get("out"));
-    out << text;
-    PALS_CHECK_MSG(out.good(), "write failure on " << cli.get("out"));
+    atomic_write_file(cli.get("out"), text);
     std::cout << "fault plan written to " << cli.get("out") << '\n';
   } else {
     std::cout << text;

@@ -1,18 +1,26 @@
 // pals_json_check — structural validator for the JSON artifacts the
 // observability layer emits (metrics snapshots, Chrome traces, bench
-// reports).
+// reports) and for sweep run journals.
 //
 //   pals_json_check m.json --require replay.events,pool.tasks_executed
 //   pals_json_check t.json --require traceEvents
+//   pals_json_check --journal run/journal.palsj
 //
 // Exit 0 when the file parses as JSON and every --require key is present;
 // a key counts as present when it appears as an object member anywhere in
 // the document, or as the string value of a "name" member (the metrics
 // snapshot stores metric names that way).
+//
+// --journal validates a run journal instead (analysis/journal.hpp): the
+// JSON metadata header (format/version/config_hash/scenarios) plus every
+// record's checksum and semantics, via the same read_journal the resume
+// path uses. A torn trailing record is reported but accepted (exit 0) —
+// that is the crash signature resume repairs; anything else exits 1.
 #include <iostream>
 #include <set>
 #include <string>
 
+#include "analysis/journal.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
 #include "util/json.hpp"
@@ -33,17 +41,43 @@ void collect_keys(const JsonValue& value, std::set<std::string>& keys) {
   }
 }
 
+int check_journal(const std::string& path, bool quiet) {
+  const JournalReadReport report = read_journal(path);
+  std::size_t rows = 0;
+  std::size_t errors = 0;
+  for (const JournalRecord& record : report.records) {
+    if (record.kind == JournalRecord::Kind::kRow)
+      ++rows;
+    else
+      ++errors;
+  }
+  if (report.tail_dropped)
+    std::cerr << path << ": torn trailing record dropped "
+              << "(crash mid-append; --resume re-runs that cell)\n";
+  if (!quiet)
+    std::cout << path << ": valid journal, config_hash "
+              << report.header.config_hash << ", "
+              << report.records.size() << "/" << report.header.scenarios
+              << " cells journaled (" << rows << " rows, " << errors
+              << " quarantined)\n";
+  return 0;
+}
+
 int run(int argc, char** argv) {
   CliParser cli;
   cli.add_option("require", "comma-separated keys that must be present");
+  cli.add_flag("journal", "validate a sweep run journal (.palsj) instead "
+                          "of a JSON document");
   cli.add_flag("quiet", "no output on success");
   cli.add_flag("help", "show usage");
   cli.parse(argc, argv);
   if (cli.get_flag("help") || cli.positional().size() != 1) {
-    std::cout << "usage: pals_json_check [--require k1,k2,...] <file.json>\n";
+    std::cout << "usage: pals_json_check [--require k1,k2,...] [--journal] "
+                 "<file>\n";
     return cli.get_flag("help") ? 0 : 2;
   }
   const std::string path = cli.positional().front();
+  if (cli.get_flag("journal")) return check_journal(path, cli.get_flag("quiet"));
   const JsonValue document = json_parse_file(path);
 
   std::set<std::string> keys;

@@ -18,7 +18,6 @@
 //                   for golden comparisons
 //   --bench-json    throughput report (scenarios/sec, events/sec,
 //                   per-phase seconds) in the BENCH_replay.json format
-#include <fstream>
 #include <iostream>
 
 #include "analysis/profile.hpp"
@@ -29,17 +28,12 @@
 #include "trace/io.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
+#include "util/fsio.hpp"
 #include "util/strings.hpp"
 
 namespace pals {
 namespace {
 
-void write_text_file(const std::string& path, const std::string& content) {
-  std::ofstream out(path, std::ios::binary);
-  PALS_CHECK_MSG(out.good(), "cannot open '" << path << "' for writing");
-  out.write(content.data(), static_cast<std::streamsize>(content.size()));
-  PALS_CHECK_MSG(out.good(), "write failure on '" << path << "'");
-}
 
 int run(int argc, char** argv) {
   CliParser cli;
@@ -106,12 +100,12 @@ int run(int argc, char** argv) {
   const ProfileReport report = profile_pipeline(trace, options);
   const obs::MetricsSnapshot snapshot = obs::default_registry().snapshot();
 
-  if (cli.has("metrics")) write_text_file(cli.get("metrics"), snapshot.to_json());
+  if (cli.has("metrics")) atomic_write_file(cli.get("metrics"), snapshot.to_json());
   if (cli.has("sim-metrics"))
-    write_text_file(cli.get("sim-metrics"),
+    atomic_write_file(cli.get("sim-metrics"),
                     snapshot.simulation_only().to_json());
   if (cli.has("bench-json"))
-    write_text_file(cli.get("bench-json"), report.bench_json());
+    atomic_write_file(cli.get("bench-json"), report.bench_json());
   if (cli.has("chrome-trace")) {
     obs::ChromeTraceWriter writer;
     append_host_spans(writer, obs::default_registry(), /*pid=*/1);

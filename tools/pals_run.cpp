@@ -8,9 +8,9 @@
 // Gear set names: unlimited, limited, uniform-N, exponential-N,
 // avg-discrete (uniform-6 + 2.6 GHz).
 #include <algorithm>
-#include <fstream>
 #include <iostream>
 #include <map>
+#include <sstream>
 
 #include "analysis/experiments.hpp"
 #include "analysis/critical_path.hpp"
@@ -19,6 +19,7 @@
 #include "analysis/svg_chart.hpp"
 #include "paraver/export.hpp"
 #include "util/error.hpp"
+#include "util/fsio.hpp"
 #include "trace/cutter.hpp"
 #include "trace/io.hpp"
 #include "util/cli.hpp"
@@ -152,8 +153,7 @@ int run(int argc, char** argv) {
         result.baseline_replay.timeline, reference_gears, dt);
     const auto scaled = power.power_series(result.scaled_replay.timeline,
                                            result.assignment.gears, dt);
-    std::ofstream out(cli.get("power-series"));
-    PALS_CHECK_MSG(out.good(), "cannot open " << cli.get("power-series"));
+    std::ostringstream out;
     CsvWriter csv(out);
     csv.row({"time_s", "baseline_power", "dvfs_power"});
     for (std::size_t k = 0; k < std::max(baseline.size(), scaled.size());
@@ -163,6 +163,7 @@ int run(int argc, char** argv) {
           .field(k < scaled.size() ? scaled[k] : 0.0, 6);
       csv.end_row();
     }
+    atomic_write_file(cli.get("power-series"), out.str());
     std::cout << "power profiles written to " << cli.get("power-series")
               << '\n';
     // Companion SVG chart next to the CSV.

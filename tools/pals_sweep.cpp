@@ -4,7 +4,8 @@
 //              [--summary=sweep.stats] [--config=platform.cfg] [--quiet]
 //              [--metrics=m.json] [--chrome-trace=t.json] [--progress]
 //              [--faults=plan|file] [--max-retries=N] [--keep-going]
-//              [--errors=errors.csv]
+//              [--errors=errors.csv] [--run-dir=DIR] [--resume=DIR]
+//              [--cell-timeout=SECONDS]
 //
 // The grid file is key = value (see docs/sweep.md):
 //
@@ -22,10 +23,23 @@
 // spec or file) whose simulated faults perturb every replay and whose
 // scenario faults fail grid cells; --keep-going quarantines failing
 // cells into --errors (written even when clean, as a header-only CSV)
-// instead of aborting. Exit codes: 0 clean, 1 error, 2 usage,
-// 3 completed with quarantined cells.
+// instead of aborting. --cell-timeout arms a per-cell wall-clock
+// watchdog so a wedged cell is classified as a timeout instead of
+// hanging the sweep.
+//
+// Crash safety (docs/resume.md): --run-dir journals every completed
+// cell durably to DIR/journal.palsj and writes results.csv / errors.csv
+// / summary.stats into DIR. After a crash or ^C, --resume=DIR replays
+// the journal, skips the completed cells and re-runs the rest; the
+// final results.csv/errors.csv are byte-identical to an uninterrupted
+// run at any --jobs count. SIGINT/SIGTERM drain in-flight cells, write
+// the partial artifacts and exit with the "interrupted" code.
+//
+// Exit codes (util/exit_codes.hpp): 0 clean, 1 error, 2 usage,
+// 3 completed with quarantined cells, 4 interrupted (resumable).
+#include <csignal>
 #include <cstdio>
-#include <fstream>
+#include <filesystem>
 #include <iostream>
 #include <optional>
 
@@ -39,6 +53,7 @@
 #define PALS_FILENO fileno
 #endif
 
+#include "analysis/journal.hpp"
 #include "analysis/sweep.hpp"
 #include "fault/fault_plan.hpp"
 #include "fault/injector.hpp"
@@ -46,16 +61,23 @@
 #include "obs/metrics.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
+#include "util/exit_codes.hpp"
+#include "util/fsio.hpp"
 #include "util/thread_pool.hpp"
 
 namespace pals {
 namespace {
 
-void write_text_file(const std::string& path, const std::string& content) {
-  std::ofstream out(path, std::ios::binary);
-  PALS_CHECK_MSG(out.good(), "cannot open '" << path << "' for writing");
-  out.write(content.data(), static_cast<std::streamsize>(content.size()));
-  PALS_CHECK_MSG(out.good(), "write failure on '" << path << "'");
+/// Set by the SIGINT/SIGTERM handler (and by --interrupt-after); polled
+/// by run_sweep between cells. In-flight cells finish and are journaled
+/// before the tool writes its partial artifacts and exits.
+std::atomic<bool> g_cancel{false};
+
+extern "C" void handle_stop_signal(int) { g_cancel.store(true); }
+
+void install_signal_handlers() {
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
 }
 
 int run(int argc, char** argv) {
@@ -80,6 +102,17 @@ int run(int argc, char** argv) {
   cli.add_option("metrics", "write the full metrics snapshot (JSON)");
   cli.add_option("chrome-trace",
                  "write the sweep's host-side spans as Chrome trace JSON");
+  cli.add_option("run-dir", "crash-safe run directory: journal.palsj, "
+                            "results.csv, errors.csv, summary.stats");
+  cli.add_option("resume", "resume an interrupted --run-dir sweep "
+                           "(implies --run-dir=DIR)");
+  cli.add_option("cell-timeout", "per-cell wall-clock watchdog, seconds "
+                                 "(0 = off; expired cells classify as "
+                                 "timeouts)", "0");
+  cli.add_option("kill-after", "test hook: SIGKILL self after N journal "
+                               "records (requires --run-dir)");
+  cli.add_option("interrupt-after", "test hook: simulate ^C after N "
+                                    "journal records (requires --run-dir)");
   cli.add_flag("progress", "periodic progress line on stderr "
                            "(suppressed when stderr is not a TTY)");
   cli.add_flag("force-progress",
@@ -91,15 +124,15 @@ int run(int argc, char** argv) {
     cli.parse(argc, argv);
   } catch (const Error& e) {
     std::cerr << e.what() << '\n' << cli.usage("pals_sweep");
-    return 2;
+    return exit_code(ToolExit::kUsage);
   }
   if (cli.get_flag("help")) {
     std::cout << cli.usage("pals_sweep");
-    return 0;
+    return exit_code(ToolExit::kOk);
   }
   if (!cli.has("grid")) {
     std::cerr << "need --grid\n" << cli.usage("pals_sweep");
-    return 2;
+    return exit_code(ToolExit::kUsage);
   }
 
   const SweepGrid grid = SweepGrid::from_file(cli.get("grid"));
@@ -120,9 +153,12 @@ int run(int argc, char** argv) {
   options.retry.max_retries = static_cast<int>(cli.get_int("max-retries", 2));
   PALS_CHECK_MSG(options.retry.max_retries >= 0,
                  "--max-retries must be >= 0");
+  options.cell_timeout_seconds = cli.get_double("cell-timeout", 0.0);
+  PALS_CHECK_MSG(options.cell_timeout_seconds >= 0.0,
+                 "--cell-timeout must be >= 0");
   if (cli.has("errors") && !options.keep_going) {
     std::cerr << "--errors requires --keep-going\n" << cli.usage("pals_sweep");
-    return 2;
+    return exit_code(ToolExit::kUsage);
   }
   std::optional<fault::Injector> injector;
   if (cli.has("faults")) {
@@ -134,11 +170,70 @@ int run(int argc, char** argv) {
       std::cout << "fault plan: " << plan.describe() << '\n';
   }
 
+  // Crash-safe run directory (docs/resume.md). --resume implies the same
+  // directory layout; the journal is validated against the live grid and
+  // options before any cell runs.
+  const bool resuming = cli.has("resume");
+  if (resuming && cli.has("run-dir") &&
+      cli.get("run-dir") != cli.get("resume")) {
+    std::cerr << "--resume and --run-dir name different directories\n"
+              << cli.usage("pals_sweep");
+    return exit_code(ToolExit::kUsage);
+  }
+  const std::string run_dir =
+      resuming ? cli.get("resume")
+               : (cli.has("run-dir") ? cli.get("run-dir") : "");
+  if ((cli.has("kill-after") || cli.has("interrupt-after")) &&
+      run_dir.empty()) {
+    std::cerr << "--kill-after/--interrupt-after require --run-dir\n"
+              << cli.usage("pals_sweep");
+    return exit_code(ToolExit::kUsage);
+  }
+  std::optional<JournalReadReport> prior;
+  if (!run_dir.empty()) {
+    std::filesystem::create_directories(run_dir);
+    options.journal_path = run_dir + "/journal.palsj";
+    if (resuming) {
+      prior = read_journal(options.journal_path);
+      if (prior->tail_dropped)
+        std::cerr << "note: dropped a torn trailing journal record "
+                     "(crash mid-append); the cell re-runs\n";
+      options.resume = &*prior;
+      if (!cli.get_flag("quiet"))
+        std::cout << "resuming: " << prior->records.size() << "/"
+                  << prior->header.scenarios
+                  << " cells already journaled\n";
+    }
+  }
+
+  install_signal_handlers();
+  options.cancel = &g_cancel;
+  if (cli.has("kill-after")) {
+    const auto kill_after =
+        static_cast<std::size_t>(cli.get_int("kill-after", 0));
+    options.on_journal_record = [kill_after](std::size_t appended) {
+      if (appended < kill_after) return;
+      // Die hard, like an OOM kill: no artifact writes, no journal
+      // close. Only what was already fsync'd survives.
+#ifdef _WIN32
+      std::_Exit(137);
+#else
+      std::raise(SIGKILL);
+#endif
+    };
+  } else if (cli.has("interrupt-after")) {
+    const auto interrupt_after =
+        static_cast<std::size_t>(cli.get_int("interrupt-after", 0));
+    options.on_journal_record = [interrupt_after](std::size_t appended) {
+      if (appended >= interrupt_after) g_cancel.store(true);
+    };
+  }
+
   const SweepResult result = run_sweep(grid, options);
 
   if (cli.has("metrics"))
-    write_text_file(cli.get("metrics"),
-                    obs::default_registry().snapshot().to_json());
+    atomic_write_file(cli.get("metrics"),
+                      obs::default_registry().snapshot().to_json());
   if (cli.has("chrome-trace")) {
     obs::ChromeTraceWriter writer;
     append_host_spans(writer, obs::default_registry());
@@ -170,17 +265,33 @@ int run(int argc, char** argv) {
     write_errors_csv(result.errors, cli.get("errors"));
     std::cout << "errors csv written to " << cli.get("errors") << '\n';
   }
+  if (!run_dir.empty()) {
+    // Partial on interruption, final otherwise — atomically replaced
+    // either way, so the directory never holds a torn artifact.
+    write_rows_csv(result.rows, run_dir + "/results.csv");
+    write_errors_csv(result.errors, run_dir + "/errors.csv");
+    atomic_write_file(run_dir + "/summary.stats", result.stats.to_kv());
+    std::cout << "run dir artifacts written to " << run_dir << '\n';
+  }
 
   const std::string summary = result.stats.to_kv();
   std::cout << "\n# sweep summary\n" << summary;
   if (cli.has("summary")) {
-    std::ofstream out(cli.get("summary"));
-    PALS_CHECK_MSG(out.good(), "cannot open " << cli.get("summary"));
-    out << summary;
-    PALS_CHECK_MSG(out.good(), "write failure on " << cli.get("summary"));
+    atomic_write_file(cli.get("summary"), summary);
     std::cout << "summary written to " << cli.get("summary") << '\n';
   }
-  return result.has_errors() ? 3 : 0;
+  if (result.interrupted) {
+    std::cerr << "sweep interrupted: "
+              << result.stats.skipped_cells << " cell"
+              << (result.stats.skipped_cells == 1 ? "" : "s")
+              << " pending";
+    if (!run_dir.empty())
+      std::cerr << "; resume with --resume=" << run_dir;
+    std::cerr << '\n';
+    return exit_code(ToolExit::kInterrupted);
+  }
+  return exit_code(result.has_errors() ? ToolExit::kQuarantined
+                                       : ToolExit::kOk);
 }
 
 }  // namespace
@@ -191,6 +302,6 @@ int main(int argc, char** argv) {
     return pals::run(argc, argv);
   } catch (const pals::Error& e) {
     std::cerr << "error: " << e.what() << '\n';
-    return 1;
+    return pals::exit_code(pals::ToolExit::kError);
   }
 }

@@ -4,6 +4,11 @@
 // and commit; the integration tests (integration/golden_test.cpp) fail
 // when fresh runs drift from these files unexpectedly.
 //
+// Every golden is replaced atomically (save_rows_csv and
+// ChromeTraceWriter::write_file go through util/fsio.hpp's
+// atomic_write_file), so an interrupted regeneration leaves the old
+// goldens intact instead of half-written ones.
+//
 //   update_golden [--dir=golden]
 #include <iostream>
 
