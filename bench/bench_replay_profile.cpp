@@ -5,11 +5,18 @@
 // scenarios_per_second, per-phase seconds) for cross-commit tracking.
 //
 //   bench_replay_profile [--workload CG-32] [--repeat N] [--jobs N]
+//                        [--controller static|dynamic_max|...]
 //                        [--out BENCH_replay.json]
+//
+// --controller routes the pipeline through the online-controller path
+// (core/controller_pipeline.hpp), so the per-iteration observe/re-solve
+// loop shows up in the phase breakdown; BENCH_controllers.json at the
+// repo root tracks the slack controller on a drifting workload.
 #include <iostream>
 
 #include "analysis/profile.hpp"
 #include "analysis/sweep.hpp"
+#include "core/controllers.hpp"
 #include "power/gearset.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
@@ -24,6 +31,7 @@ int run(int argc, char** argv) {
   cli.add_option("workload", "registry instance or inline spec", "CG-32");
   cli.add_option("repeat", "pipeline repetitions", "16");
   cli.add_option("jobs", "worker threads (0 = hardware concurrency)", "0");
+  cli.add_option("controller", "online DVFS controller policy", "static");
   cli.add_option("out", "report path", "BENCH_replay.json");
   cli.parse(argc, argv);
 
@@ -34,12 +42,13 @@ int run(int argc, char** argv) {
   options.repeat = static_cast<int>(cli.get_int("repeat", 16));
   options.jobs = static_cast<int>(cli.get_int("jobs", 0));
   options.config = default_pipeline_config(paper_uniform(6));
+  options.config.controller.kind = controller_by_name(cli.get("controller"));
 
   const ProfileReport report = profile_pipeline(trace, options);
 
-  std::cout << "bench_replay_profile: " << ref.display << ", "
-            << report.pipelines << " pipeline run(s), " << report.jobs
-            << " job(s)\n"
+  std::cout << "bench_replay_profile: " << ref.display << ", controller "
+            << cli.get("controller") << ", " << report.pipelines
+            << " pipeline run(s), " << report.jobs << " job(s)\n"
             << "  wall time:      " << format_fixed(report.wall_seconds, 3)
             << " s\n"
             << "  scenarios/sec:  "

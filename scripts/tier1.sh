@@ -63,6 +63,15 @@ cmake --build "${ASAN_DIR}" -j "${JOBS}" --target test_fault test_trace
 ctest --test-dir "${ASAN_DIR}" --output-on-failure -j "${JOBS}" \
       -R 'FaultPlan|Injector|Campaign|Classify|RetryPolicy|RunGuarded|FaultSweep|CorruptCorpus'
 
+echo "== tier 1: online-controller suite under ASan/UBSan =="
+# The controller battery drives per-iteration observe/re-solve loops,
+# the golden schedule comparison and the gear_stuck pinning path —
+# index-heavy code over per-rank vectors where an off-by-one reads out
+# of bounds silently in a plain build.
+cmake --build "${ASAN_DIR}" -j "${JOBS}" --target test_controller
+ctest --test-dir "${ASAN_DIR}" --output-on-failure -j "${JOBS}" \
+      -R 'Controller|Pareto|GoldenSchedules'
+
 echo "== tier 1: crash-safe resume (kill/resume, journal) under ASan/UBSan =="
 # The resume suite SIGKILLs pals_sweep mid-journal and stitches the run
 # back together — recovery and journal-parsing paths full of manual fd

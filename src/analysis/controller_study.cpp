@@ -1,0 +1,25 @@
+#include "analysis/controller_study.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "analysis/experiments.hpp"
+#include "core/controller_pipeline.hpp"
+#include "core/controllers.hpp"
+#include "power/controller.hpp"
+
+namespace pals {
+
+std::string controller_schedules_csv(const Trace& trace) {
+  std::vector<std::pair<std::string, std::vector<std::vector<Gear>>>>
+      schedules;
+  for (const std::string& name : controller_names()) {
+    PipelineConfig config = default_pipeline_config(paper_uniform(6));
+    config.controller.kind = controller_by_name(name);
+    ControllerPipelineResult result = run_controller_pipeline(trace, config);
+    schedules.emplace_back(name, std::move(result.controller.schedule));
+  }
+  return schedules_to_csv(schedules);
+}
+
+}  // namespace pals

@@ -1,0 +1,23 @@
+// Golden-schedule rendering for the controller regression tests.
+//
+// Every built-in controller (core/controllers.hpp) is run over one
+// iteration-marked trace under the paper-default pipeline configuration,
+// and the per-iteration gear schedules are rendered with
+// schedules_to_csv. tools/update_golden pins the result for the committed
+// rotating-hotspot fixture (tests/power/fixtures/drift4.palst) as
+// golden/controller_schedules.csv; tests/power/controller_test.cpp
+// requires a fresh rendering to match it byte-for-byte, so any change to
+// a controller's decisions shows up as a reviewable schedule diff.
+#pragma once
+
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace pals {
+
+/// CSV of every built-in controller's per-iteration gear schedule on
+/// `trace` (uniform-6 gear set, MAX scenario algorithm, paper defaults).
+std::string controller_schedules_csv(const Trace& trace);
+
+}  // namespace pals

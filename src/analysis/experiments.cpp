@@ -56,11 +56,14 @@ WorkloadRef resolve_workload(const std::string& spec, int default_iterations) {
   const std::string family = parts[0];
   const auto factory = workload_factory(family);  // throws on unknown family
   // Canonical key includes the resolved iteration count so grids with
-  // different defaults never collide in a shared cache.
+  // different defaults never collide in a shared cache. The display name
+  // is the same fully-qualified spec: two instances of one family that
+  // differ only in lb or iteration count must stay distinct in result
+  // rows — per-instance groupings (the Pareto front) key on it.
   const std::string key = parts.size() == 4
                               ? spec
                               : spec + ":" + std::to_string(config.iterations);
-  return WorkloadRef{key, family + "-" + parts[1],
+  return WorkloadRef{key, key,
                      [factory, config] { return factory(config); }};
 }
 
@@ -73,7 +76,9 @@ void apply_config_file(PipelineConfig& config, const std::string& path) {
   const KvConfig kv = KvConfig::parse_file(path);
   kv.require_known_keys({"latency", "bandwidth", "eager_threshold", "buses",
                          "links_per_node", "collective_scale", "beta",
-                         "static_fraction", "activity_ratio", "idle_scale"});
+                         "static_fraction", "activity_ratio", "idle_scale",
+                         "transition_latency", "transition_energy",
+                         "slack_threshold", "hysteresis", "ewma_alpha"});
   PlatformModel& platform = config.replay.platform;
   platform.latency = kv.get_double_or("latency", platform.latency);
   platform.bandwidth = kv.get_double_or("bandwidth", platform.bandwidth);
@@ -92,6 +97,15 @@ void apply_config_file(PipelineConfig& config, const std::string& path) {
       kv.get_double_or("activity_ratio", config.power.activity_ratio);
   config.power.idle_scale =
       kv.get_double_or("idle_scale", config.power.idle_scale);
+  ControllerOptions& ctrl = config.controller;
+  ctrl.transition_latency =
+      kv.get_double_or("transition_latency", ctrl.transition_latency);
+  ctrl.transition_energy =
+      kv.get_double_or("transition_energy", ctrl.transition_energy);
+  ctrl.slack_threshold =
+      kv.get_double_or("slack_threshold", ctrl.slack_threshold);
+  ctrl.hysteresis = kv.get_double_or("hysteresis", ctrl.hysteresis);
+  ctrl.ewma_alpha = kv.get_double_or("ewma_alpha", ctrl.ewma_alpha);
   config.validate();
 }
 

@@ -1,0 +1,56 @@
+#include "analysis/pareto.hpp"
+
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/fsio.hpp"
+
+namespace pals {
+
+bool dominates(const ExperimentRow& a, const ExperimentRow& b) {
+  const bool no_worse = a.normalized_time <= b.normalized_time &&
+                        a.normalized_energy <= b.normalized_energy;
+  const bool strictly_better = a.normalized_time < b.normalized_time ||
+                               a.normalized_energy < b.normalized_energy;
+  return no_worse && strictly_better;
+}
+
+std::vector<ParetoEntry> pareto_front(const std::vector<ExperimentRow>& rows) {
+  std::vector<ParetoEntry> entries;
+  entries.reserve(rows.size());
+  for (const ExperimentRow& row : rows) entries.push_back({row, true});
+  for (ParetoEntry& e : entries) {
+    for (const ExperimentRow& other : rows) {
+      if (other.instance != e.row.instance) continue;
+      if (dominates(other, e.row)) {
+        e.on_front = false;
+        break;
+      }
+    }
+  }
+  return entries;
+}
+
+std::string pareto_to_csv(const std::vector<ParetoEntry>& entries) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.row({"instance", "variant", "normalized_energy", "normalized_time",
+           "normalized_edp", "on_front"});
+  for (const ParetoEntry& e : entries) {
+    csv.field(e.row.instance)
+        .field(e.row.variant)
+        .field(e.row.normalized_energy)
+        .field(e.row.normalized_time)
+        .field(e.row.normalized_edp)
+        .field(std::string(e.on_front ? "1" : "0"));
+    csv.end_row();
+  }
+  return out.str();
+}
+
+void write_pareto_csv(const std::vector<ParetoEntry>& entries,
+                      const std::string& path) {
+  atomic_write_file(path, pareto_to_csv(entries));
+}
+
+}  // namespace pals

@@ -1,0 +1,43 @@
+// Energy/time Pareto fronts over experiment rows.
+//
+// The static-vs-dynamic controller comparison is two-objective: a variant
+// is only interesting if no other variant of the same workload is at
+// least as fast AND at least as frugal (and strictly better in one).
+// This module marks each row's membership in that per-instance front so
+// `pals_sweep --pareto=FILE` can emit a diffable CSV artifact (see
+// configs/dynamic_pareto.grid and EXPERIMENTS.md).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/experiments.hpp"
+
+namespace pals {
+
+/// True when `a` weakly dominates `b` on (normalized_time,
+/// normalized_energy): no worse in both objectives, strictly better in at
+/// least one. Rows are only comparable within the same instance; callers
+/// enforce that (pareto_front does).
+bool dominates(const ExperimentRow& a, const ExperimentRow& b);
+
+/// One row plus its front membership (input order preserved).
+struct ParetoEntry {
+  ExperimentRow row;
+  bool on_front = false;
+};
+
+/// Mark each row's membership in its instance's Pareto front. Duplicate
+/// objective vectors are all kept on the front (neither strictly
+/// dominates the other). O(n²) per instance — sweep grids are small.
+std::vector<ParetoEntry> pareto_front(const std::vector<ExperimentRow>& rows);
+
+/// Deterministic CSV: instance,variant,normalized_energy,normalized_time,
+/// normalized_edp,on_front (same float formatting as rows_to_csv).
+std::string pareto_to_csv(const std::vector<ParetoEntry>& entries);
+
+/// Write pareto_to_csv(entries) to `path` (throws on I/O failure).
+void write_pareto_csv(const std::vector<ParetoEntry>& entries,
+                      const std::string& path);
+
+}  // namespace pals

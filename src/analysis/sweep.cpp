@@ -12,6 +12,7 @@
 #include <thread>
 #include <utility>
 
+#include "core/controllers.hpp"
 #include "lint/lint.hpp"
 #include "obs/record.hpp"
 #include "obs/span.hpp"
@@ -125,6 +126,8 @@ Algorithm algorithm_by_name(const std::string& name) {
 std::string Scenario::variant_label() const {
   if (!label.empty()) return label;
   std::string derived;
+  if (!controller.empty() && controller != "static")
+    derived += controller + " ";
   switch (algorithm) {
     case Algorithm::kMax: break;  // the paper's default; no prefix
     case Algorithm::kAvg: derived += "AVG "; break;
@@ -137,8 +140,8 @@ std::string Scenario::variant_label() const {
 
 SweepGrid SweepGrid::from_file(const std::string& path) {
   const KvConfig kv = KvConfig::parse_file(path);
-  kv.require_known_keys(
-      {"workloads", "gear_sets", "algorithms", "betas", "iterations"});
+  kv.require_known_keys({"workloads", "gear_sets", "algorithms", "controllers",
+                         "betas", "iterations"});
   SweepGrid grid;
   grid.workloads = parse_name_list(kv.get_string("workloads"));
   grid.gear_sets = parse_name_list(kv.get_string("gear_sets"));
@@ -147,6 +150,8 @@ SweepGrid SweepGrid::from_file(const std::string& path) {
     for (const std::string& name : parse_name_list(kv.get_string("algorithms")))
       grid.algorithms.push_back(algorithm_by_name(name));
   }
+  if (kv.has("controllers"))
+    grid.controllers = parse_name_list(kv.get_string("controllers"));
   if (kv.has("betas")) grid.betas = parse_beta_list(kv.get_string("betas"));
   grid.iterations =
       static_cast<int>(kv.get_int_or("iterations", grid.iterations));
@@ -158,6 +163,9 @@ void SweepGrid::validate() const {
   PALS_CHECK_MSG(!workloads.empty(), "sweep grid has no workloads");
   PALS_CHECK_MSG(!gear_sets.empty(), "sweep grid has no gear sets");
   PALS_CHECK_MSG(!algorithms.empty(), "sweep grid has no algorithms");
+  PALS_CHECK_MSG(!controllers.empty(), "sweep grid has no controllers");
+  for (const std::string& name : controllers)
+    controller_by_name(name);  // throws with the valid options on a typo
   PALS_CHECK_MSG(!betas.empty(), "sweep grid has no betas");
   PALS_CHECK_MSG(iterations > 0, "sweep grid iterations must be > 0");
   for (const double beta : betas)
@@ -169,12 +177,14 @@ std::vector<Scenario> SweepGrid::expand() const {
   validate();
   std::vector<Scenario> scenarios;
   scenarios.reserve(workloads.size() * gear_sets.size() * algorithms.size() *
-                    betas.size());
+                    controllers.size() * betas.size());
   for (const std::string& workload : workloads)
     for (const std::string& gear_set : gear_sets)
       for (const Algorithm algorithm : algorithms)
-        for (const double beta : betas)
-          scenarios.push_back(Scenario{workload, gear_set, algorithm, beta, ""});
+        for (const std::string& controller : controllers)
+          for (const double beta : betas)
+            scenarios.push_back(
+                Scenario{workload, gear_set, algorithm, beta, "", controller});
   return scenarios;
 }
 
@@ -219,7 +229,7 @@ namespace {
 /// resume across versions with different semantics must be refused).
 std::string config_canonical_text(const std::vector<Scenario>& scenarios,
                                   const SweepOptions& options) {
-  std::string canon = "pals-sweep-config-v1";
+  std::string canon = "pals-sweep-config-v2";
   const auto put = [&canon](const std::string& key, const std::string& value) {
     canon += "|" + key + "=" + value;
   };
@@ -264,6 +274,14 @@ std::string config_canonical_text(const std::vector<Scenario>& scenarios,
   put("per_phase", base.per_phase ? "1" : "0");
   put("lint", base.lint ? "1" : "0");
 
+  put("controller.kind",
+      std::to_string(static_cast<int>(base.controller.kind)));
+  put_d("controller.transition_latency", base.controller.transition_latency);
+  put_d("controller.transition_energy", base.controller.transition_energy);
+  put_d("controller.slack_threshold", base.controller.slack_threshold);
+  put_d("controller.hysteresis", base.controller.hysteresis);
+  put_d("controller.ewma_alpha", base.controller.ewma_alpha);
+
   const fault::Injector* faults =
       options.faults != nullptr ? options.faults : base.replay.faults;
   put("faults", faults != nullptr ? faults->plan().describe() : "");
@@ -271,7 +289,7 @@ std::string config_canonical_text(const std::vector<Scenario>& scenarios,
   for (const Scenario& s : scenarios) {
     canon += "|scenario=" + s.workload + ";" + s.gear_set + ";" +
              std::to_string(static_cast<int>(s.algorithm)) + ";" +
-             format_roundtrip(s.beta) + ";" + s.label;
+             format_roundtrip(s.beta) + ";" + s.label + ";" + s.controller;
   }
   return canon;
 }
@@ -302,6 +320,8 @@ SweepResult run_sweep(const std::vector<Scenario>& scenarios,
   std::vector<std::size_t> scenario_workload(scenarios.size());
   std::vector<GearSet> scenario_gears;
   scenario_gears.reserve(scenarios.size());
+  std::vector<ControllerKind> scenario_controllers;
+  scenario_controllers.reserve(scenarios.size());
   for (std::size_t i = 0; i < scenarios.size(); ++i) {
     const Scenario& s = scenarios[i];
     WorkloadRef ref = resolve_workload(s.workload, options.iterations);
@@ -310,6 +330,9 @@ SweepResult run_sweep(const std::vector<Scenario>& scenarios,
     if (inserted) workloads.push_back(std::move(ref));
     scenario_workload[i] = it->second;
     scenario_gears.push_back(gear_set_by_name(s.gear_set));
+    scenario_controllers.push_back(
+        s.controller.empty() ? ControllerKind::kStatic
+                             : controller_by_name(s.controller));
   }
 
   TraceCache private_cache;
@@ -528,6 +551,7 @@ SweepResult run_sweep(const std::vector<Scenario>& scenarios,
         PipelineConfig config = options.base;
         config.algorithm.algorithm = s.algorithm;
         config.algorithm.gear_set = scenario_gears[i];
+        config.controller.kind = scenario_controllers[i];
         config.lint = false;  // each workload was already linted in phase 1
         config.replay.faults = faults;
         if (options.cell_timeout_seconds > 0.0)

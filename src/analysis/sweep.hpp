@@ -50,8 +50,12 @@ struct Scenario {
   Algorithm algorithm = Algorithm::kMax;
   double beta = 0.5;
   /// Variant label for the result row; empty derives one from the
-  /// gear set / algorithm / β.
+  /// controller / gear set / algorithm / β.
   std::string label;
+  /// Online DVFS controller name (core/controllers.hpp): "static" (the
+  /// paper's one-shot assignment), "dynamic_max", "dynamic_avg", "slack"
+  /// or "ewma".
+  std::string controller = "static";
 
   std::string variant_label() const;
 };
@@ -62,6 +66,8 @@ struct SweepGrid {
   std::vector<std::string> workloads;
   std::vector<std::string> gear_sets;
   std::vector<Algorithm> algorithms = {Algorithm::kMax};
+  /// Controller names (see Scenario::controller); validated on expand().
+  std::vector<std::string> controllers = {"static"};
   std::vector<double> betas = {0.5};
   /// Iterations for workloads that do not carry their own count.
   int iterations = 10;
@@ -69,11 +75,12 @@ struct SweepGrid {
   /// Parse a key = value grid file (util/kvconfig.hpp) with
   /// comma-separated lists:
   ///
-  ///   workloads  = CG-32, MG-32, lu:32:0.93:6
-  ///   gear_sets  = uniform-6, avg-discrete
-  ///   algorithms = max, avg
-  ///   betas      = 0.5
-  ///   iterations = 10
+  ///   workloads   = CG-32, MG-32, lu:32:0.93:6
+  ///   gear_sets   = uniform-6, avg-discrete
+  ///   algorithms  = max, avg
+  ///   controllers = static, dynamic_max, slack
+  ///   betas       = 0.5
+  ///   iterations  = 10
   static SweepGrid from_file(const std::string& path);
 
   void validate() const;

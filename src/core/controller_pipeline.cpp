@@ -1,0 +1,196 @@
+#include "core/controller_pipeline.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "trace/transform.hpp"
+#include "util/error.hpp"
+
+namespace pals {
+
+namespace {
+
+/// gear_stuck faults pin a rank's DVFS actuator: whatever the controller
+/// asked for, the effective gear is the extreme one. Applied to every
+/// decision (including the seed), so the controller's observations and the
+/// energy accounting both see the pinned gear.
+void pin_stuck_gears(std::vector<Gear>& gears, const PipelineConfig& config) {
+  if (config.replay.faults == nullptr ||
+      !config.replay.faults->has_stuck_gears())
+    return;
+  for (std::size_t r = 0; r < gears.size(); ++r) {
+    const std::optional<fault::StuckGear> stuck =
+        config.replay.faults->stuck_gear(static_cast<Rank>(r));
+    if (!stuck) continue;
+    gears[r] = *stuck == fault::StuckGear::kMin
+                   ? config.algorithm.gear_set.min_gear()
+                   : config.algorithm.gear_set.max_gear();
+  }
+}
+
+ControllerPipelineResult fall_back_static(const Trace& trace,
+                                          const PipelineConfig& config,
+                                          const ReplayResult& baseline) {
+  obs::default_registry().counter("ctrl.fallback_static").add(1);
+  PipelineConfig static_config = config;
+  static_config.controller.kind = ControllerKind::kStatic;
+  ControllerPipelineResult result;
+  result.pipeline = run_pipeline(trace, static_config, baseline);
+  result.controller.fell_back_static = true;
+  return result;
+}
+
+}  // namespace
+
+ControllerPipelineResult run_controller_pipeline(
+    const Trace& trace, const PipelineConfig& config) {
+  config.validate();
+  return run_controller_pipeline(trace, config, replay(trace, config.replay));
+}
+
+ControllerPipelineResult run_controller_pipeline(
+    const Trace& trace, const PipelineConfig& config,
+    const ReplayResult& baseline) {
+  config.validate();
+  PALS_CHECK_MSG(!config.per_phase,
+                 "per-phase assignment and online controllers are mutually "
+                 "exclusive");
+  if (trace.iteration_count() == 0)
+    return fall_back_static(trace, config, baseline);
+
+  obs::default_registry().counter("pipeline.runs").add(1);
+  obs::Registry* reg = config.observe ? &obs::default_registry() : nullptr;
+  const PowerModel power(config.power);
+  const auto n = static_cast<std::size_t>(trace.n_ranks());
+
+  ControllerPipelineResult result;
+  PipelineResult& pipe = result.pipeline;
+  ControllerRun& run = result.controller;
+
+  pipe.baseline_replay = baseline;
+  pipe.baseline_time = baseline.makespan;
+  {
+    PALS_SPAN("pipeline.energy", reg);
+    pipe.baseline_energy = power.baseline_energy(baseline.timeline);
+  }
+  pipe.computation_time = baseline.compute_time;
+  pipe.load_balance = load_balance(pipe.computation_time);
+  pipe.parallel_efficiency =
+      parallel_efficiency(pipe.computation_time, pipe.baseline_time);
+
+  const std::vector<std::vector<Seconds>> base_times =
+      iteration_computation_times(trace);
+  const std::size_t iterations = base_times.size();
+
+  std::vector<std::vector<Seconds>> stalls(
+      iterations, std::vector<Seconds>(n, 0.0));
+  {
+    PALS_SPAN("pipeline.assignment", reg);
+    const std::unique_ptr<Controller> controller =
+        make_controller(config.controller, config.algorithm, config.power);
+
+    ControllerSeed seed;
+    seed.n_ranks = n;
+    seed.iterations = iterations;
+    seed.total_compute = pipe.computation_time;
+
+    std::vector<Gear> gears = controller->start(seed);
+    PALS_CHECK_MSG(gears.size() == n,
+                   "controller returned " << gears.size()
+                                          << " gears for " << n << " ranks");
+    pin_stuck_gears(gears, config);
+    run.schedule.reserve(iterations);
+    run.schedule.push_back(gears);
+
+    for (std::size_t i = 0; i + 1 < iterations; ++i) {
+      IterationObservation obs;
+      obs.iteration = i;
+      obs.applied_gears = run.schedule[i];
+      obs.observed_compute.resize(n);
+      for (std::size_t r = 0; r < n; ++r)
+        obs.observed_compute[r] =
+            base_times[i][r] *
+            power.time_scale(run.schedule[i][r].frequency_ghz);
+
+      std::vector<Gear> next = controller->observe(obs);
+      PALS_CHECK_MSG(next.size() == n,
+                     "controller returned " << next.size()
+                                            << " gears for " << n
+                                            << " ranks");
+      pin_stuck_gears(next, config);
+      for (std::size_t r = 0; r < n; ++r) {
+        if (next[r].frequency_ghz == run.schedule[i][r].frequency_ghz &&
+            next[r].voltage_v == run.schedule[i][r].voltage_v)
+          continue;
+        ++run.switches;
+        stalls[i + 1][r] = config.controller.transition_latency;
+        run.transition_stall_seconds += config.controller.transition_latency;
+      }
+      run.schedule.push_back(std::move(next));
+    }
+    run.iterations = iterations;
+    run.transition_energy =
+        static_cast<double>(run.switches) * config.controller.transition_energy;
+  }
+  obs::default_registry().counter("ctrl.iterations").add(
+      static_cast<std::uint64_t>(run.iterations));
+  obs::default_registry().counter("ctrl.switches").add(
+      static_cast<std::uint64_t>(run.switches));
+
+  // Report the seed assignment (iteration 0) as "the" assignment; the
+  // overclocked fraction counts ranks that ever exceeded nominal fmax.
+  pipe.assignment.gears = run.schedule.front();
+  std::size_t overclocked = 0;
+  for (std::size_t r = 0; r < n; ++r) {
+    for (const auto& row : run.schedule) {
+      if (row[r].frequency_ghz >
+          config.algorithm.nominal_fmax_ghz + 1e-12) {
+        ++overclocked;
+        break;
+      }
+    }
+  }
+  pipe.overclocked_fraction =
+      static_cast<double>(overclocked) / static_cast<double>(n);
+
+  Trace scaled;
+  {
+    PALS_SPAN("pipeline.rescale", reg);
+    std::vector<std::vector<double>> factors(iterations,
+                                             std::vector<double>(n, 1.0));
+    for (std::size_t i = 0; i < iterations; ++i)
+      for (std::size_t r = 0; r < n; ++r)
+        factors[i][r] =
+            power.time_scale(run.schedule[i][r].frequency_ghz);
+    // Bursts outside any iteration (setup/teardown) run under the seed
+    // gears — the runtime sets them before entering the loop.
+    std::vector<double> default_factors(n);
+    for (std::size_t r = 0; r < n; ++r)
+      default_factors[r] =
+          power.time_scale(run.schedule.front()[r].frequency_ghz);
+    scaled = scale_compute_per_iteration(trace, factors, default_factors);
+    // Scale first, then insert transition stalls: a regulator stall is
+    // wall-clock time independent of the chosen frequency.
+    if (run.transition_stall_seconds > 0.0)
+      scaled = add_iteration_overhead(scaled, stalls);
+  }
+
+  {
+    PALS_SPAN("pipeline.scaled_replay", reg);
+    pipe.scaled_replay = replay(scaled, config.replay);
+  }
+  pipe.scaled_time = pipe.scaled_replay.makespan;
+  {
+    PALS_SPAN("pipeline.energy", reg);
+    pipe.scaled_energy =
+        power.scheduled_energy(pipe.scaled_replay.timeline, run.schedule,
+                               run.schedule.front()) +
+        run.transition_energy;
+  }
+  return result;
+}
+
+}  // namespace pals

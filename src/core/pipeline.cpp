@@ -4,6 +4,7 @@
 #include <numeric>
 #include <optional>
 
+#include "core/controller_pipeline.hpp"
 #include "lint/lint.hpp"
 #include "obs/span.hpp"
 #include "trace/transform.hpp"
@@ -15,6 +16,10 @@ void PipelineConfig::validate() const {
   algorithm.validate();
   power.validate();
   replay.validate();
+  controller.validate();
+  PALS_CHECK_MSG(!per_phase || controller.kind == ControllerKind::kStatic,
+                 "per-phase assignment and online controllers are mutually "
+                 "exclusive");
   PALS_CHECK_MSG(algorithm.beta == power.beta,
                  "algorithm beta (" << algorithm.beta
                                     << ") and power-model beta ("
@@ -84,6 +89,8 @@ PipelineResult run_pipeline(const Trace& trace, const PipelineConfig& config,
                             const ReplayResult& baseline) {
   config.validate();
   if (config.lint) lint_input_trace(trace, config);
+  if (config.controller.kind != ControllerKind::kStatic)
+    return run_controller_pipeline(trace, config, baseline).pipeline;
   obs::default_registry().counter("pipeline.runs").add(1);
   obs::Registry* reg = config.observe ? &obs::default_registry() : nullptr;
   const PowerModel power(config.power);

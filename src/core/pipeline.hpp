@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/algorithms.hpp"
+#include "core/controllers.hpp"
 #include "power/power_model.hpp"
 #include "replay/replay.hpp"
 #include "trace/trace.hpp"
@@ -23,6 +24,12 @@ struct PipelineConfig {
   AlgorithmConfig algorithm;
   PowerModelConfig power;
   ReplayConfig replay;
+  /// Online DVFS controller (core/controllers.hpp). kStatic keeps the
+  /// classic one-shot path below byte-identical; any dynamic kind routes
+  /// run_pipeline through the controller pipeline
+  /// (core/controller_pipeline.hpp), which re-assigns gears at iteration
+  /// boundaries and charges the configured transition costs.
+  ControllerOptions controller;
   /// Ablation: compute a separate frequency per computation phase instead
   /// of one per rank (the paper uses a single setting; PEPC's 20 % slowdown
   /// stems from that restriction).

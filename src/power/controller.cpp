@@ -1,0 +1,33 @@
+#include "power/controller.hpp"
+
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+
+namespace pals {
+
+Controller::~Controller() = default;
+
+std::string schedules_to_csv(
+    const std::vector<
+        std::pair<std::string, std::vector<std::vector<Gear>>>>& schedules) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.row({"controller", "iteration", "rank", "frequency_ghz", "voltage_v"});
+  for (const auto& [name, schedule] : schedules) {
+    for (std::size_t i = 0; i < schedule.size(); ++i) {
+      for (std::size_t r = 0; r < schedule[i].size(); ++r) {
+        csv.field(name)
+            .field(i)
+            .field(r)
+            .field(format_roundtrip(schedule[i][r].frequency_ghz))
+            .field(format_roundtrip(schedule[i][r].voltage_v));
+        csv.end_row();
+      }
+    }
+  }
+  return out.str();
+}
+
+}  // namespace pals

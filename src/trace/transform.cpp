@@ -57,8 +57,11 @@ Trace scale_compute_uniform(const Trace& trace, double factor) {
   return scale_compute(trace, factors);
 }
 
-Trace scale_compute_per_iteration(
-    const Trace& trace, const std::vector<std::vector<double>>& factor) {
+namespace {
+
+Trace scale_per_iteration_impl(const Trace& trace,
+                               const std::vector<std::vector<double>>& factor,
+                               std::span<const double> default_factor) {
   PALS_CHECK_MSG(trace.iteration_count() > 0,
                  "per-iteration scaling requires iteration markers");
   Trace out = trace;
@@ -71,7 +74,14 @@ Trace scale_compute_per_iteration(
         continue;
       }
       auto* c = std::get_if<ComputeEvent>(&e);
-      if (!c || iteration < 0) continue;
+      if (!c) continue;
+      if (iteration < 0) {
+        if (default_factor.empty()) continue;  // classic: leave untouched
+        const double f = default_factor[static_cast<std::size_t>(r)];
+        PALS_CHECK_MSG(f > 0.0, "compute scale factor must be positive");
+        c->duration *= f;
+        continue;
+      }
       const auto i = static_cast<std::size_t>(iteration);
       PALS_CHECK_MSG(i < factor.size(),
                      "no factors for iteration " << iteration);
@@ -84,6 +94,22 @@ Trace scale_compute_per_iteration(
     }
   }
   return out;
+}
+
+}  // namespace
+
+Trace scale_compute_per_iteration(
+    const Trace& trace, const std::vector<std::vector<double>>& factor) {
+  return scale_per_iteration_impl(trace, factor, {});
+}
+
+Trace scale_compute_per_iteration(
+    const Trace& trace, const std::vector<std::vector<double>>& factor,
+    std::span<const double> default_factor) {
+  PALS_CHECK_MSG(
+      default_factor.size() == static_cast<std::size_t>(trace.n_ranks()),
+      "default factor rank count mismatch");
+  return scale_per_iteration_impl(trace, factor, default_factor);
 }
 
 Trace add_iteration_overhead(

@@ -33,6 +33,14 @@ Trace scale_compute_uniform(const Trace& trace, double factor);
 Trace scale_compute_per_iteration(
     const Trace& trace, const std::vector<std::vector<double>>& factor);
 
+/// As above, but bursts outside any iteration are scaled by
+/// `default_factor[r]` instead of keeping their duration — the shape the
+/// controller pipeline needs, where setup/teardown code runs under the
+/// initial gear rather than at the reference frequency.
+Trace scale_compute_per_iteration(
+    const Trace& trace, const std::vector<std::vector<double>>& factor,
+    std::span<const double> default_factor);
+
 /// Per-rank computation time of each iteration: result[i][r]. Requires
 /// iteration markers; bursts outside iterations are ignored.
 std::vector<std::vector<Seconds>> iteration_computation_times(

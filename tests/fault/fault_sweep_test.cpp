@@ -137,7 +137,7 @@ TEST(FaultSweep, WorkloadLevelFailureQuarantinesOnlyThatWorkload) {
 
   ASSERT_EQ(result.errors.size(), 1u);
   EXPECT_EQ(result.errors[0].index, 1u);
-  EXPECT_EQ(result.errors[0].workload, "cg-16");  // display name of the spec
+  EXPECT_EQ(result.errors[0].workload, "cg:16:0.9:6");  // qualified spec
   EXPECT_EQ(result.errors[0].error_class, fault::ErrorClass::kTimeout);
   EXPECT_NE(result.errors[0].message.find("event limit"), std::string::npos);
   ASSERT_EQ(result.rows.size(), 1u);

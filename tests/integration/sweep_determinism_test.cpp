@@ -96,12 +96,12 @@ TEST(SweepDeterminism, RowsFollowCanonicalGridOrder) {
   const SweepResult result = run_with_jobs(8);
   ASSERT_EQ(result.rows.size(), 8u);
   // Workload-major, then gear set, then algorithm.
-  EXPECT_EQ(result.rows[0].instance, "cg-8");
+  EXPECT_EQ(result.rows[0].instance, "cg:8:0.9:2");
   EXPECT_EQ(result.rows[0].variant, "uniform-4");
   EXPECT_EQ(result.rows[1].variant, "AVG uniform-4");
   EXPECT_EQ(result.rows[2].variant, "avg-discrete");
   EXPECT_EQ(result.rows[3].variant, "AVG avg-discrete");
-  EXPECT_EQ(result.rows[4].instance, "is-8");
+  EXPECT_EQ(result.rows[4].instance, "is:8:0.8:2");
 }
 
 TEST(SweepDeterminism, BaselineIsCachedPerWorkload) {

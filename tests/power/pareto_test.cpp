@@ -1,0 +1,102 @@
+// Unit tests of the energy/time Pareto-front marking (analysis/pareto.hpp)
+// that backs `pals_sweep --pareto=FILE` and the static-vs-dynamic
+// controller comparison.
+#include "analysis/pareto.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace pals {
+namespace {
+
+ExperimentRow row(const std::string& instance, const std::string& variant,
+                  double time, double energy) {
+  ExperimentRow r;
+  r.instance = instance;
+  r.variant = variant;
+  r.normalized_time = time;
+  r.normalized_energy = energy;
+  r.normalized_edp = time * energy;
+  return r;
+}
+
+TEST(Pareto, DominanceIsWeakInBothStrictInOne) {
+  const ExperimentRow a = row("X", "a", 1.0, 0.8);
+  const ExperimentRow better_energy = row("X", "b", 1.0, 0.7);
+  const ExperimentRow better_both = row("X", "c", 0.9, 0.7);
+  const ExperimentRow tradeoff = row("X", "d", 0.9, 0.9);
+  EXPECT_TRUE(dominates(better_energy, a));
+  EXPECT_TRUE(dominates(better_both, a));
+  EXPECT_FALSE(dominates(a, better_energy));
+  // A pure trade-off dominates in neither direction.
+  EXPECT_FALSE(dominates(tradeoff, a));
+  EXPECT_FALSE(dominates(a, tradeoff));
+  // Equal vectors: no strict improvement, no domination either way.
+  EXPECT_FALSE(dominates(a, a));
+}
+
+TEST(Pareto, FrontKeepsTradeOffsDropsDominated) {
+  const std::vector<ExperimentRow> rows{
+      row("X", "static", 1.0, 1.0),   // dominated by "slack"
+      row("X", "slack", 1.0, 0.74),   // on the front
+      row("X", "avg", 0.9, 0.95),     // trade-off: faster, hungrier
+  };
+  const std::vector<ParetoEntry> entries = pareto_front(rows);
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_FALSE(entries[0].on_front);
+  EXPECT_TRUE(entries[1].on_front);
+  EXPECT_TRUE(entries[2].on_front);
+  // Input order is preserved.
+  EXPECT_EQ(entries[0].row.variant, "static");
+}
+
+TEST(Pareto, FrontsAreComputedPerInstance) {
+  // "B slow" would be dominated by "A fast" — but only rows of the same
+  // instance are comparable, so both stay on their own front.
+  const std::vector<ExperimentRow> rows{
+      row("A", "fast", 0.8, 0.8),
+      row("B", "slow", 1.0, 1.0),
+  };
+  const std::vector<ParetoEntry> entries = pareto_front(rows);
+  EXPECT_TRUE(entries[0].on_front);
+  EXPECT_TRUE(entries[1].on_front);
+}
+
+TEST(Pareto, DuplicateObjectiveVectorsAllStayOnTheFront) {
+  const std::vector<ExperimentRow> rows{
+      row("X", "a", 1.0, 0.8),
+      row("X", "b", 1.0, 0.8),
+  };
+  const std::vector<ParetoEntry> entries = pareto_front(rows);
+  EXPECT_TRUE(entries[0].on_front);
+  EXPECT_TRUE(entries[1].on_front);
+}
+
+TEST(Pareto, CsvIsDeterministicAndMarksMembership) {
+  const std::vector<ExperimentRow> rows{
+      row("X", "static", 1.0, 1.0),
+      row("X", "slack", 1.0, 0.74),
+  };
+  const std::string csv = pareto_to_csv(pareto_front(rows));
+  EXPECT_EQ(csv.rfind("instance,variant,normalized_energy,normalized_time,"
+                      "normalized_edp,on_front\n",
+                      0),
+            0u);
+  EXPECT_NE(csv.find("static"), std::string::npos);
+  EXPECT_NE(csv.find(",0\n"), std::string::npos);  // dominated row
+  EXPECT_NE(csv.find(",1\n"), std::string::npos);  // front member
+  // Rendering twice gives the same bytes (no hidden state).
+  EXPECT_EQ(csv, pareto_to_csv(pareto_front(rows)));
+}
+
+TEST(Pareto, EmptyInputYieldsHeaderOnlyCsv) {
+  const std::string csv = pareto_to_csv({});
+  EXPECT_EQ(csv,
+            "instance,variant,normalized_energy,normalized_time,"
+            "normalized_edp,on_front\n");
+}
+
+}  // namespace
+}  // namespace pals

@@ -111,6 +111,26 @@ TEST(ResumeSweep, InterruptThenResumeIsByteIdenticalAcrossJobCounts) {
                        /*after=*/3, /*interrupt_jobs=*/1, /*resume_jobs=*/8);
 }
 
+TEST(ResumeSweep, ControllerGridInterruptThenResumeIsByteIdentical) {
+  // The controller axis is part of the sweep config hash; an interrupted
+  // controller sweep must stitch back together byte-for-byte like any
+  // other — per-iteration schedules included (they feed the energy
+  // column of every dynamic row).
+  SweepGrid grid;
+  grid.workloads = {"amr-drift:8:0.7:4", "cg:8:0.9:2"};
+  grid.gear_sets = {"uniform-4"};
+  grid.algorithms = {Algorithm::kAvg};
+  grid.controllers = {"static", "dynamic_max", "slack"};
+  grid.betas = {0.4, 0.6};
+  grid.iterations = 2;
+  const std::vector<Scenario> scenarios = grid.expand();
+  ASSERT_EQ(scenarios.size(), 12u);
+  const SweepResult reference = run_sweep(scenarios, base_options(1));
+  interrupt_and_resume(scenarios, base_options(1), reference,
+                       journal_in_temp("resume_controllers.palsj"),
+                       /*after=*/4, /*interrupt_jobs=*/4, /*resume_jobs=*/8);
+}
+
 TEST(ResumeSweep, FaultedKeepGoingResumeIsByteIdentical) {
   const fault::Injector injector(fault::FaultPlan::parse(
       "seed=42; scenario_flaky:rate=0.4,failures=2; scenario_crash:index=2"));

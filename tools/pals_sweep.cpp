@@ -5,14 +5,19 @@
 //              [--metrics=m.json] [--chrome-trace=t.json] [--progress]
 //              [--faults=plan|file] [--max-retries=N] [--keep-going]
 //              [--errors=errors.csv] [--run-dir=DIR] [--resume=DIR]
-//              [--cell-timeout=SECONDS]
+//              [--cell-timeout=SECONDS] [--pareto=pareto.csv]
 //
 // The grid file is key = value (see docs/sweep.md):
 //
-//   workloads  = CG-32, MG-32, lu:32:0.93:6
-//   gear_sets  = uniform-6, avg-discrete
-//   algorithms = max, avg
-//   betas      = 0.5
+//   workloads   = CG-32, MG-32, lu:32:0.93:6
+//   gear_sets   = uniform-6, avg-discrete
+//   algorithms  = max, avg
+//   controllers = static, dynamic_max, slack
+//   betas       = 0.5
+//
+// --pareto marks each result row's membership in its workload's
+// energy/time Pareto front (docs/controllers.md) and writes the
+// annotated CSV — the static-vs-dynamic comparison artifact.
 //
 // Results are merged in canonical grid order: the CSV is byte-identical
 // for every --jobs value. The run's timing/throughput counters are
@@ -54,6 +59,7 @@
 #endif
 
 #include "analysis/journal.hpp"
+#include "analysis/pareto.hpp"
 #include "analysis/sweep.hpp"
 #include "fault/fault_plan.hpp"
 #include "fault/injector.hpp"
@@ -85,6 +91,8 @@ int run(int argc, char** argv) {
   cli.add_option("grid", "scenario grid file (key = value)");
   cli.add_option("jobs", "worker threads (0 = hardware concurrency)", "0");
   cli.add_option("out", "write result rows as CSV");
+  cli.add_option("pareto", "write rows annotated with per-workload "
+                           "energy/time Pareto-front membership as CSV");
   cli.add_option("summary", "write the run summary (key = value) to a file");
   cli.add_option("config", "key=value platform/power overrides "
                            "(applied to every scenario)");
@@ -248,6 +256,10 @@ int run(int argc, char** argv) {
   if (cli.has("out")) {
     write_rows_csv(result.rows, cli.get("out"));
     std::cout << "csv written to " << cli.get("out") << '\n';
+  }
+  if (cli.has("pareto")) {
+    write_pareto_csv(pareto_front(result.rows), cli.get("pareto"));
+    std::cout << "pareto csv written to " << cli.get("pareto") << '\n';
   }
   if (result.has_errors() && !cli.get_flag("quiet")) {
     std::cerr << "\n" << result.errors.size() << " quarantined cell"

@@ -12,6 +12,7 @@
 //   update_golden [--dir=golden]
 #include <iostream>
 
+#include "analysis/controller_study.hpp"
 #include "analysis/figures.hpp"
 #include "analysis/golden.hpp"
 #include "obs/chrome_trace.hpp"
@@ -19,6 +20,7 @@
 #include "trace/io.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
+#include "util/fsio.hpp"
 
 namespace pals {
 namespace {
@@ -28,6 +30,8 @@ int run(int argc, char** argv) {
   cli.add_option("dir", "output directory", "golden");
   cli.add_option("examples", "examples directory (for ring.palst)",
                  "examples");
+  cli.add_option("fixtures", "test fixtures directory (for drift4.palst)",
+                 "tests/power/fixtures");
   cli.parse(argc, argv);
   const std::string dir = cli.get("dir");
 
@@ -48,6 +52,15 @@ int run(int argc, char** argv) {
   append_simulated_replay(writer, replayed);
   writer.write_file(dir + "/ring_chrome_trace.json");
   std::cout << "wrote " << dir << "/ring_chrome_trace.json\n";
+
+  // Per-iteration gear schedules of every controller on the rotating-
+  // hotspot fixture: pure doubles in, round-trip formatting out, so the
+  // CSV is byte-stable and schedule changes show as reviewable diffs.
+  const Trace drift =
+      read_trace_auto(cli.get("fixtures") + "/drift4.palst");
+  atomic_write_file(dir + "/controller_schedules.csv",
+                    controller_schedules_csv(drift));
+  std::cout << "wrote " << dir << "/controller_schedules.csv\n";
   return 0;
 }
 
