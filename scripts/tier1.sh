@@ -24,6 +24,18 @@ for trace in examples/traces/*.palst; do
   "${BUILD_DIR}/tools/pals_lint" --strict --quiet "${trace}"
 done
 
+echo "== tier 1: clang-tidy over src/lint + src/analysis =="
+# The static-analysis subsystem itself gets the static-analysis pass;
+# restricted to the two directories so the leg stays fast. Degrades to a
+# notice when the toolchain does not ship clang-tidy.
+if command -v clang-tidy >/dev/null 2>&1; then
+  cmake -B "${BUILD_DIR}" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  clang-tidy -p "${BUILD_DIR}" --quiet \
+      src/lint/*.cpp src/analysis/*.cpp
+else
+  echo "clang-tidy not installed; skipping the leg"
+fi
+
 echo "== tier 1: observability artifacts (pals_profile) =="
 OBS_DIR="${BUILD_DIR}/Testing/tier1-obs"
 mkdir -p "${OBS_DIR}"
@@ -71,6 +83,22 @@ echo "== tier 1: online-controller suite under ASan/UBSan =="
 cmake --build "${ASAN_DIR}" -j "${JOBS}" --target test_controller
 ctest --test-dir "${ASAN_DIR}" --output-on-failure -j "${JOBS}" \
       -R 'Controller|Pareto|GoldenSchedules'
+
+echo "== tier 1: bounds oracle + pruning under ASan/UBSan =="
+# The static bounds analyzer (docs/bounds.md) re-derives the controller
+# schedule and budgets the serialization bound with index arithmetic over
+# per-rank/per-slot vectors; the oracle leg replays every example trace
+# and the shipped Pareto grid with the soundness check armed, so an
+# unsound interval or an out-of-bounds read fails here.
+cmake --build "${ASAN_DIR}" -j "${JOBS}" --target \
+      test_bounds pals_lint_tool pals_check
+ctest --test-dir "${ASAN_DIR}" --output-on-failure -j "${JOBS}" \
+      -R 'BoundsAnalyzer|BoundsOracle|BoundsRendering|PruneBounds|LintCodeDrift'
+for trace in examples/traces/*.palst; do
+  "${ASAN_DIR}/tools/pals_check" --quiet "${trace}"
+done
+"${ASAN_DIR}/tools/pals_sweep" --grid=configs/dynamic_pareto.grid \
+    --prune-bounds --quiet
 
 echo "== tier 1: crash-safe resume (kill/resume, journal) under ASan/UBSan =="
 # The resume suite SIGKILLs pals_sweep mid-journal and stitches the run

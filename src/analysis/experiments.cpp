@@ -109,10 +109,9 @@ void apply_config_file(PipelineConfig& config, const std::string& path) {
   config.validate();
 }
 
-namespace {
-
-ExperimentRow flatten(const PipelineResult& result, const std::string& instance,
-                      const std::string& variant) {
+ExperimentRow flatten_result(const PipelineResult& result,
+                             const std::string& instance,
+                             const std::string& variant) {
   ExperimentRow row;
   row.instance = instance;
   row.variant = variant;
@@ -125,19 +124,18 @@ ExperimentRow flatten(const PipelineResult& result, const std::string& instance,
   return row;
 }
 
-}  // namespace
-
 ExperimentRow run_experiment(const Trace& trace, const std::string& instance,
                              const std::string& variant,
                              const PipelineConfig& config) {
-  return flatten(run_pipeline(trace, config), instance, variant);
+  return flatten_result(run_pipeline(trace, config), instance, variant);
 }
 
 ExperimentRow run_experiment(const Trace& trace, const ReplayResult& baseline,
                              const std::string& instance,
                              const std::string& variant,
                              const PipelineConfig& config) {
-  return flatten(run_pipeline(trace, config, baseline), instance, variant);
+  return flatten_result(run_pipeline(trace, config, baseline), instance,
+                        variant);
 }
 
 const Trace& TraceCache::get(const BenchmarkInstance& instance) {

@@ -57,6 +57,14 @@ struct ExperimentRow {
   double overclocked_fraction = 0.0;
 };
 
+/// Flatten a pipeline result into a row. run_experiment composes
+/// run_pipeline with this; the sweep engine calls the two pieces itself
+/// so the raw scaled time/energy can also feed the bounds soundness
+/// oracle (analysis/bounds.hpp) before the result is flattened.
+ExperimentRow flatten_result(const PipelineResult& result,
+                             const std::string& instance,
+                             const std::string& variant);
+
 /// Runs `config` on a prebuilt trace and flattens the result.
 ExperimentRow run_experiment(const Trace& trace, const std::string& instance,
                              const std::string& variant,

@@ -93,6 +93,17 @@ std::string error_payload(const JournalRecord& record) {
   return os.str();
 }
 
+std::string pruned_payload(const JournalRecord& record) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.field(record.workload)
+      .field(record.variant)
+      .field(format_roundtrip(record.lb_normalized_time))
+      .field(format_roundtrip(record.lb_normalized_energy))
+      .field(static_cast<long long>(record.dominated_by));
+  return os.str();
+}
+
 JournalRecord parse_record(std::string_view kind, const std::string& index,
                            const std::string& payload) {
   JournalRecord record;
@@ -110,6 +121,15 @@ JournalRecord parse_record(std::string_view kind, const std::string& index,
     record.row.normalized_time = parse_double(fields[5]);
     record.row.normalized_edp = parse_double(fields[6]);
     record.row.overclocked_fraction = parse_double(fields[7]);
+  } else if (kind == "P") {
+    record.kind = JournalRecord::Kind::kPruned;
+    PALS_CHECK_MSG(fields.size() == 5, "journal pruned record: expected 5 csv "
+                                       "fields, got " << fields.size());
+    record.workload = fields[0];
+    record.variant = fields[1];
+    record.lb_normalized_time = parse_double(fields[2]);
+    record.lb_normalized_energy = parse_double(fields[3]);
+    record.dominated_by = static_cast<std::size_t>(parse_int(fields[4]));
   } else {
     record.kind = JournalRecord::Kind::kError;
     PALS_CHECK_MSG(fields.size() == 7, "journal error record: expected 7 csv "
@@ -177,10 +197,14 @@ JournalHeader JournalHeader::from_json_line(const std::string& line) {
 }
 
 std::string JournalRecord::to_line() const {
-  const std::string kind_token = kind == Kind::kRow ? "R" : "E";
+  const std::string kind_token =
+      kind == Kind::kRow ? "R" : kind == Kind::kPruned ? "P" : "E";
   const std::string index_token = std::to_string(index);
-  const std::string payload =
-      kind == Kind::kRow ? row_payload(row) : error_payload(*this);
+  const std::string payload = kind == Kind::kRow
+                                  ? row_payload(row)
+                                  : kind == Kind::kPruned
+                                        ? pruned_payload(*this)
+                                        : error_payload(*this);
   return kind_token + ' ' + index_token + ' ' +
          checksum_hex(kind_token, index_token, payload) + ' ' + payload;
 }
@@ -259,7 +283,7 @@ JournalReadReport read_journal(const std::string& path) {
       index = structured ? line.substr(s1 + 1, s2 - s1 - 1) : "";
       payload = structured ? line.substr(s3 + 1) : "";
       const bool intact =
-          structured && (kind == "R" || kind == "E") &&
+          structured && (kind == "R" || kind == "E" || kind == "P") &&
           line.substr(s2 + 1, s3 - s2 - 1) == checksum_hex(kind, index, payload);
       if (!intact) {
         if (is_tail) {
@@ -267,7 +291,7 @@ JournalReadReport read_journal(const std::string& path) {
           break;
         }
         if (!structured) throw fail("not a 'kind index checksum payload' record");
-        if (kind != "R" && kind != "E")
+        if (kind != "R" && kind != "E" && kind != "P")
           throw fail("unknown record kind '" + kind + "'");
         throw fail("record checksum mismatch (bit corruption)");
       }
@@ -281,6 +305,11 @@ JournalReadReport read_journal(const std::string& path) {
           record.index < report.header.scenarios,
           "record index " << record.index << " out of range (header declares "
                           << report.header.scenarios << " scenarios)");
+      if (record.kind == JournalRecord::Kind::kPruned)
+        PALS_CHECK_MSG(record.dominated_by < report.header.scenarios,
+                       "pruned record dominator " << record.dominated_by
+                           << " out of range (header declares "
+                           << report.header.scenarios << " scenarios)");
       if (seen[record.index] != 0) {
         PALS_CHECK_MSG(seen_lines[record.index] == line,
                        "conflicting duplicate records for cell "

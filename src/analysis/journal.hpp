@@ -14,6 +14,7 @@
 //    "scenarios":<N>}                                      <- header, JSON
 //   R <index> <crc32> <csv payload of the result row>      <- per cell
 //   E <index> <crc32> <csv payload of the quarantined error>
+//   P <index> <crc32> <csv payload of the pruned cell>      <- --prune-bounds
 //
 // The checksum covers `<kind> <index> <payload>`; doubles are serialized
 // with format_roundtrip (17 significant digits) so the resumed rows
@@ -54,7 +55,7 @@ struct JournalHeader {
 
 /// One journaled terminal cell.
 struct JournalRecord {
-  enum class Kind { kRow, kError };
+  enum class Kind { kRow, kError, kPruned };
 
   Kind kind = Kind::kRow;
   std::size_t index = 0;  ///< canonical grid index
@@ -65,6 +66,7 @@ struct JournalRecord {
   /// kind == kError: the quarantined cell, mirrored from ScenarioError
   /// (analysis/sweep.hpp) field by field. error_class is kept as the
   /// fault::to_string spelling so the journal stays self-describing.
+  /// workload/variant are shared with kind == kPruned.
   std::string workload;
   std::string variant;
   std::string error_class;
@@ -72,6 +74,14 @@ struct JournalRecord {
   int retries = 0;
   double backoff_seconds = 0.0;
   std::string message;
+
+  /// kind == kPruned: a cell `pals_sweep --prune-bounds` skipped because
+  /// its static lower-bound point was already Pareto-dominated by the
+  /// completed cell `dominated_by` (docs/bounds.md). Stored at full
+  /// precision so a resumed run re-derives the identical decision.
+  double lb_normalized_time = 0.0;
+  double lb_normalized_energy = 0.0;
+  std::size_t dominated_by = 0;
 
   /// Serialized record line (no trailing newline).
   std::string to_line() const;

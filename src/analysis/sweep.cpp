@@ -12,6 +12,8 @@
 #include <thread>
 #include <utility>
 
+#include "analysis/bounds.hpp"
+#include "analysis/pareto.hpp"
 #include "core/controllers.hpp"
 #include "lint/lint.hpp"
 #include "obs/record.hpp"
@@ -218,6 +220,7 @@ std::string SweepStats::to_kv() const {
   put("resumed_cells", std::to_string(resumed_cells));
   put("skipped_cells", std::to_string(skipped_cells));
   put("journal_records", std::to_string(journal_records));
+  put("pruned_cells", std::to_string(pruned_cells));
   return out;
 }
 
@@ -286,6 +289,12 @@ std::string config_canonical_text(const std::vector<Scenario>& scenarios,
       options.faults != nullptr ? options.faults : base.replay.faults;
   put("faults", faults != nullptr ? faults->plan().describe() : "");
 
+  // Appended only when the feature deviates from the default so every
+  // pre-existing journal hash stays valid. Pruning changes which cells
+  // produce rows; disabling the oracle changes which cells can fail.
+  if (options.prune_bounds) put("prune_bounds", "1");
+  if (!options.bounds_oracle) put("bounds_oracle", "0");
+
   for (const Scenario& s : scenarios) {
     canon += "|scenario=" + s.workload + ";" + s.gear_set + ";" +
              std::to_string(static_cast<int>(s.algorithm)) + ";" +
@@ -344,6 +353,21 @@ SweepResult run_sweep(const std::vector<Scenario>& scenarios,
   // baseline and scaled replays both see the perturbed machine.
   const fault::Injector* faults =
       options.faults != nullptr ? options.faults : options.base.replay.faults;
+
+  // Static bounds integration (docs/bounds.md). The analyzer describes
+  // the fault-free single-schedule replay, so pruning refuses fault plans
+  // and per-phase configs outright while the always-on oracle merely
+  // disarms (a perturbed or per-phase sweep is still a valid sweep).
+  PALS_CHECK_MSG(!options.prune_bounds || faults == nullptr,
+                 "prune_bounds requires a fault-free sweep (the static "
+                 "bounds describe the unperturbed replay)");
+  PALS_CHECK_MSG(!options.prune_bounds || !options.base.per_phase,
+                 "prune_bounds does not support per-phase configurations "
+                 "(no single schedule to bound)");
+  const bool prune_enabled = options.prune_bounds;
+  const bool oracle_armed =
+      options.bounds_oracle && faults == nullptr && !options.base.per_phase;
+
   ReplayConfig baseline_config = options.base.replay;
   baseline_config.faults = faults;
   if (options.cell_timeout_seconds > 0.0)
@@ -357,6 +381,7 @@ SweepResult run_sweep(const std::vector<Scenario>& scenarios,
   std::vector<double> second_slots(scenarios.size(), 0.0);
   std::vector<char> row_ok(scenarios.size(), 0);
   std::vector<std::optional<ScenarioError>> error_slots(scenarios.size());
+  std::vector<std::optional<PrunedCell>> pruned_slots(scenarios.size());
   std::vector<char> done(scenarios.size(), 0);
   std::string config_hash;
   if (!options.journal_path.empty() || options.resume != nullptr)
@@ -378,6 +403,19 @@ SweepResult run_sweep(const std::vector<Scenario>& scenarios,
       if (record.kind == JournalRecord::Kind::kRow) {
         row_slots[i] = record.row;
         row_ok[i] = 1;
+      } else if (record.kind == JournalRecord::Kind::kPruned) {
+        PALS_CHECK_MSG(prune_enabled,
+                       "resume journal records pruned cell "
+                           << i << " but this sweep does not set "
+                              "prune_bounds");
+        pruned_slots[i] = PrunedCell{i,
+                                     record.workload,
+                                     record.variant,
+                                     record.lb_normalized_time,
+                                     record.lb_normalized_energy,
+                                     record.dominated_by,
+                                     scenarios[record.dominated_by]
+                                         .variant_label()};
       } else {
         error_slots[i] = ScenarioError{
             i,
@@ -476,7 +514,19 @@ SweepResult run_sweep(const std::vector<Scenario>& scenarios,
                              options.progress_interval_seconds,
                              scenarios.size(), completed, completed.value());
     PALS_SPAN("sweep.scenarios", span_reg);
-    pool.parallel_for(scenarios.size(), [&](std::size_t i) {
+    // Durably journal one terminal record. Appends are serialized: the
+    // journal is append-only and fsync'd per record, so at most one
+    // in-flight record can be torn by a crash — exactly what
+    // read_journal's tail-drop repairs.
+    const auto journal_append = [&](const JournalRecord& record) {
+      if (!journal.has_value()) return;
+      std::lock_guard<std::mutex> lock(journal_mutex);
+      journal->append(record);
+      reg.counter("journal.records_appended").add(1);
+      if (options.on_journal_record)
+        options.on_journal_record(journal->records_appended());
+    };
+    const auto run_cell = [&](std::size_t i) {
       if (done[i] != 0) {
         // Resumed from the journal: the slot is already terminal.
         completed.add(1);
@@ -501,10 +551,6 @@ SweepResult run_sweep(const std::vector<Scenario>& scenarios,
             outcome.attempts, outcome.retries, outcome.backoff_seconds,
             outcome.message};
       };
-      // Durably journal this cell's terminal state (the slot just
-      // written). Appends are serialized: the journal is append-only and
-      // fsync'd per record, so at most one in-flight record can be torn
-      // by a crash — exactly what read_journal's tail-drop repairs.
       const auto journal_cell = [&] {
         if (!journal.has_value()) return;
         JournalRecord record;
@@ -523,11 +569,7 @@ SweepResult run_sweep(const std::vector<Scenario>& scenarios,
           record.backoff_seconds = e.backoff_seconds;
           record.message = e.message;
         }
-        std::lock_guard<std::mutex> lock(journal_mutex);
-        journal->append(record);
-        reg.counter("journal.records_appended").add(1);
-        if (options.on_journal_record)
-          options.on_journal_record(journal->records_appended());
+        journal_append(record);
       };
       if (!workload_outcomes[w].ok) {
         // keep_going only (fail-fast threw in phase 1): the workload's
@@ -536,6 +578,65 @@ SweepResult run_sweep(const std::vector<Scenario>& scenarios,
         journal_cell();
         completed.add(1);
         return;
+      }
+      // The cell's pipeline configuration, shared verbatim between the
+      // replay and the bounds analyzer so both describe the same run.
+      const auto make_config = [&] {
+        PipelineConfig config = options.base;
+        config.algorithm.algorithm = s.algorithm;
+        config.algorithm.gear_set = scenario_gears[i];
+        config.controller.kind = scenario_controllers[i];
+        config.lint = false;  // each workload was already linted in phase 1
+        config.replay.faults = faults;
+        if (options.cell_timeout_seconds > 0.0)
+          config.replay.max_wall_seconds = options.cell_timeout_seconds;
+        set_beta(config, s.beta);
+        return config;
+      };
+      // Static intervals, computed once and reused by the pruner and the
+      // oracle. A throw here is an analyzer bug and aborts the sweep even
+      // under keep_going — silently degrading the soundness contract
+      // would hide exactly the failures the oracle exists to catch.
+      std::optional<bounds::ScenarioBounds> cell_bounds;
+      if (prune_enabled || oracle_armed)
+        cell_bounds = bounds::analyze(*traces[w], make_config(),
+                                      &baselines[w]);
+      if (prune_enabled && cell_bounds->normalized) {
+        // Candidate dominators are completed earlier cells of the same
+        // workload: the pruning fan-out runs a workload's cells serially
+        // in canonical order, so row_ok[j] is settled for every j < i of
+        // this group (including cells pre-filled by --resume), and the
+        // decision is identical at any jobs count.
+        ExperimentRow optimistic;
+        optimistic.instance = workloads[w].display;
+        optimistic.normalized_time = cell_bounds->normalized_time.lo;
+        optimistic.normalized_energy = cell_bounds->normalized_energy.lo;
+        for (std::size_t j = 0; j < i; ++j) {
+          if (scenario_workload[j] != w || row_ok[j] == 0) continue;
+          if (!dominates(row_slots[j], optimistic)) continue;
+          // Even the cell's best case is beaten outright: the replay can
+          // not land on the Pareto front, so skip it with provenance.
+          PrunedCell cell{i,
+                          workloads[w].display,
+                          s.variant_label(),
+                          optimistic.normalized_time,
+                          optimistic.normalized_energy,
+                          j,
+                          scenarios[j].variant_label()};
+          pruned_slots[i] = std::move(cell);
+          reg.counter("sweep.cells_pruned").add(1);
+          JournalRecord record;
+          record.kind = JournalRecord::Kind::kPruned;
+          record.index = i;
+          record.workload = pruned_slots[i]->workload;
+          record.variant = pruned_slots[i]->variant;
+          record.lb_normalized_time = pruned_slots[i]->lb_normalized_time;
+          record.lb_normalized_energy = pruned_slots[i]->lb_normalized_energy;
+          record.dominated_by = j;
+          journal_append(record);
+          completed.add(1);
+          return;
+        }
       }
       const auto body = [&](int attempt) {
         if (faults != nullptr) {
@@ -548,18 +649,23 @@ SweepResult run_sweep(const std::vector<Scenario>& scenarios,
                 std::to_string(i) + ", attempt " + std::to_string(attempt) +
                 ")");
         }
-        PipelineConfig config = options.base;
-        config.algorithm.algorithm = s.algorithm;
-        config.algorithm.gear_set = scenario_gears[i];
-        config.controller.kind = scenario_controllers[i];
-        config.lint = false;  // each workload was already linted in phase 1
-        config.replay.faults = faults;
-        if (options.cell_timeout_seconds > 0.0)
-          config.replay.max_wall_seconds = options.cell_timeout_seconds;
-        set_beta(config, s.beta);
-        row_slots[i] = run_experiment(*traces[w], baselines[w],
-                                      workloads[w].display, s.variant_label(),
-                                      config);
+        const PipelineResult pipeline =
+            run_pipeline(*traces[w], make_config(), baselines[w]);
+        if (oracle_armed) {
+          const std::vector<lint::Diagnostic> violations =
+              bounds::check_soundness(*cell_bounds, pipeline.scaled_time,
+                                      pipeline.scaled_energy);
+          if (!violations.empty()) {
+            std::string text = "bounds soundness oracle: ";
+            for (std::size_t k = 0; k < violations.size(); ++k) {
+              if (k > 0) text += "; ";
+              text += violations[k].to_text();
+            }
+            throw Error(text);
+          }
+        }
+        row_slots[i] = flatten_result(pipeline, workloads[w].display,
+                                      s.variant_label());
       };
       if (!options.keep_going && faults == nullptr &&
           options.cell_timeout_seconds <= 0.0) {
@@ -585,7 +691,22 @@ SweepResult run_sweep(const std::vector<Scenario>& scenarios,
                     ") failed: " + outcome.describe());
       }
       completed.add(1);
-    });
+    };
+    if (prune_enabled) {
+      // Pruning needs earlier cells of the workload to be terminal before
+      // later ones are judged, so parallelism moves up a level: workload
+      // groups fan out across the pool, cells inside a group run serially
+      // in canonical order. Scenario order within a group — and therefore
+      // every prune decision — is independent of the thread count.
+      std::vector<std::vector<std::size_t>> groups(workloads.size());
+      for (std::size_t i = 0; i < scenarios.size(); ++i)
+        groups[scenario_workload[i]].push_back(i);
+      pool.parallel_for(groups.size(), [&](std::size_t g) {
+        for (const std::size_t i : groups[g]) run_cell(i);
+      });
+    } else {
+      pool.parallel_for(scenarios.size(), run_cell);
+    }
   }
   obs::record_thread_pool(pool.stats(), reg);
 
@@ -601,6 +722,8 @@ SweepResult run_sweep(const std::vector<Scenario>& scenarios,
       result.scenario_seconds.push_back(second_slots[i]);
     } else if (error_slots[i].has_value()) {
       result.errors.push_back(std::move(*error_slots[i]));
+    } else if (pruned_slots[i].has_value()) {
+      result.pruned.push_back(std::move(*pruned_slots[i]));
     }
   }
 
@@ -633,6 +756,7 @@ SweepResult run_sweep(const std::vector<Scenario>& scenarios,
   }
   stats.resumed_cells = resumed_cells;
   stats.skipped_cells = skipped.load();
+  stats.pruned_cells = result.pruned.size();
   stats.journal_records = journal.has_value() ? journal->records_appended() : 0;
   result.interrupted = stats.skipped_cells > 0;
   if (faults != nullptr || options.keep_going) {
@@ -674,6 +798,29 @@ std::string errors_to_csv(const std::vector<ScenarioError>& errors) {
 void write_errors_csv(const std::vector<ScenarioError>& errors,
                       const std::string& path) {
   atomic_write_file(path, errors_to_csv(errors));
+}
+
+std::string pruned_to_csv(const std::vector<PrunedCell>& pruned) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.row({"index", "workload", "variant", "lb_normalized_time",
+           "lb_normalized_energy", "dominated_by", "dominated_by_variant"});
+  for (const PrunedCell& p : pruned) {
+    csv.field(p.index)
+        .field(p.workload)
+        .field(p.variant)
+        .field(p.lb_normalized_time)
+        .field(p.lb_normalized_energy)
+        .field(static_cast<long long>(p.dominated_by))
+        .field(p.dominated_by_variant);
+    csv.end_row();
+  }
+  return out.str();
+}
+
+void write_pruned_csv(const std::vector<PrunedCell>& pruned,
+                      const std::string& path) {
+  atomic_write_file(path, pruned_to_csv(pruned));
 }
 
 }  // namespace pals

@@ -160,6 +160,26 @@ struct SweepOptions {
   /// journal lock held — keep it cheap. pals_sweep's --kill-after /
   /// --interrupt-after use it to die at a deterministic point.
   std::function<void(std::size_t)> on_journal_record;
+
+  // --- Static bounds integration (docs/bounds.md) --------------------------
+
+  /// Branch-and-bound cell pruning: before a cell replays, its static
+  /// lower-bound point (bounds::analyze) is compared against the cells of
+  /// the same workload that already completed; when one Pareto-dominates
+  /// the optimistic point, the replay is provably off the front and is
+  /// skipped (recorded in SweepResult::pruned, journal kind "P", no
+  /// results.csv row). Surviving rows — and the extracted Pareto front —
+  /// stay byte-identical to an unpruned sweep. Cells of one workload run
+  /// serially (workloads still fan out across threads) so the dominator
+  /// set is deterministic at any jobs count. Incompatible with fault
+  /// injection and per-phase configs (run_sweep throws).
+  bool prune_bounds = false;
+  /// Post-replay soundness oracle: assert every replayed cell lands inside
+  /// its static makespan/energy interval, failing the cell with the
+  /// kBoundViolationTime / kBoundViolationEnergy diagnostics on escape.
+  /// On by default; disarmed automatically under fault injection or
+  /// per-phase configs (the analyzer does not model either).
+  bool bounds_oracle = true;
 };
 
 /// Fingerprint of everything that determines a sweep's *results*: the
@@ -169,6 +189,19 @@ struct SweepOptions {
 /// Stored in the journal header; resume validates it.
 std::string sweep_config_hash(const std::vector<Scenario>& scenarios,
                               const SweepOptions& options);
+
+/// Provenance of one cell skipped by SweepOptions::prune_bounds: the
+/// static lower-bound point that was dominated and the completed cell
+/// that dominated it (docs/bounds.md).
+struct PrunedCell {
+  std::size_t index = 0;        ///< canonical grid index of the pruned cell
+  std::string workload;         ///< display name
+  std::string variant;          ///< scenario variant label
+  double lb_normalized_time = 0.0;    ///< optimistic point, time axis
+  double lb_normalized_energy = 0.0;  ///< optimistic point, energy axis
+  std::size_t dominated_by = 0;       ///< grid index of the dominating cell
+  std::string dominated_by_variant;   ///< its variant label
+};
 
 /// One quarantined grid cell (only produced with SweepOptions::keep_going).
 struct ScenarioError {
@@ -207,6 +240,8 @@ struct SweepStats {
   std::size_t resumed_cells = 0;   ///< cells pre-filled from a resume journal
   std::size_t skipped_cells = 0;   ///< cells skipped by cancellation
   std::size_t journal_records = 0; ///< records durably appended this run
+  /// Cells skipped by --prune-bounds (docs/bounds.md); deterministic.
+  std::size_t pruned_cells = 0;
 
   /// "key = value" lines, parseable by util/kvconfig.hpp.
   std::string to_kv() const;
@@ -222,6 +257,8 @@ struct SweepResult {
   /// Quarantined cells in canonical grid order; empty unless
   /// SweepOptions::keep_going let failing cells be recorded.
   std::vector<ScenarioError> errors;
+  /// Cells skipped by SweepOptions::prune_bounds, canonical grid order.
+  std::vector<PrunedCell> pruned;
   SweepStats stats;
   /// Cancellation (SweepOptions::cancel) stopped the sweep before every
   /// cell ran: rows/errors cover only the cells that reached a terminal
@@ -250,6 +287,14 @@ std::string errors_to_csv(const std::vector<ScenarioError>& errors);
 
 /// Write errors_to_csv(errors) to `path` (throws on I/O failure).
 void write_errors_csv(const std::vector<ScenarioError>& errors,
+                      const std::string& path);
+
+/// Render pruned-cell provenance as deterministic CSV (header always
+/// emitted, like errors_to_csv).
+std::string pruned_to_csv(const std::vector<PrunedCell>& pruned);
+
+/// Write pruned_to_csv(pruned) to `path` (throws on I/O failure).
+void write_pruned_csv(const std::vector<PrunedCell>& pruned,
                       const std::string& path);
 
 }  // namespace pals

@@ -38,7 +38,10 @@ EnergyBound energy_saving_bound(std::span<const Seconds> computation_time,
   const Seconds t_max =
       *std::max_element(computation_time.begin(), computation_time.end());
   PALS_CHECK_MSG(t_max > 0.0, "all ranks have zero computation");
-  PALS_CHECK_MSG(total_time >= t_max,
+  // Snapped/gear-discretized callers legitimately hand a total_time an
+  // ulp under the critical compute time (the replayed makespan and the
+  // compute profile round independently); refuse only a real deficit.
+  PALS_CHECK_MSG(total_time >= t_max * (1.0 - 1e-9),
                  "total time below the critical computation time");
 
   const PowerModel power(config.power);
@@ -48,9 +51,16 @@ EnergyBound energy_saving_bound(std::span<const Seconds> computation_time,
 
   // Communication/synchronization outside computation is frequency
   // independent; the computation budget absorbs the whole allowed delay.
-  const Seconds comm = total_time - t_max;
+  // When fmax sits below the reference frequency even running flat out
+  // stretches the critical rank beyond that budget; relax to that floor
+  // so every rank keeps an admissible frequency and predicted_time
+  // reports the honest synchronized finish instead of under-reporting.
+  const Seconds comm = std::max(0.0, total_time - t_max);
+  const double stretch_at_fmax =
+      beta * (fref / config.fmax_ghz - 1.0) + 1.0;
   const Seconds compute_budget =
-      (1.0 + allowed_slowdown) * total_time - comm;
+      std::max((1.0 + allowed_slowdown) * total_time - comm,
+               t_max * stretch_at_fmax);
   const Seconds new_total = compute_budget + comm;
 
   EnergyBound bound;

@@ -4,6 +4,7 @@
 
 #include "util/csv.hpp"
 #include "util/error.hpp"
+#include "util/json.hpp"
 
 namespace pals {
 namespace lint {
@@ -41,6 +42,8 @@ std::string to_string(Code code) {
     case Code::kEmptyRank: return "empty-rank";
     case Code::kEmptyTrace: return "empty-trace";
     case Code::kDeadlock: return "deadlock";
+    case Code::kBoundViolationTime: return "bound-violation-time";
+    case Code::kBoundViolationEnergy: return "bound-violation-energy";
   }
   throw Error("invalid lint Code enum value");
 }
@@ -62,6 +65,8 @@ Severity severity_of(Code code) {
     case Code::kNegativeDuration:
     case Code::kEmptyTrace:
     case Code::kDeadlock:
+    case Code::kBoundViolationTime:
+    case Code::kBoundViolationEnergy:
       return Severity::kError;
     case Code::kBytesMismatch:
     case Code::kWaitAllNoPending:
@@ -119,6 +124,23 @@ std::string to_csv(const LintReport& report) {
         .field(d.message);
     csv.end_row();
   }
+  return os.str();
+}
+
+std::string to_json(const LintReport& report) {
+  std::ostringstream os;
+  os << "{\"summary\":{\"errors\":" << report.errors
+     << ",\"warnings\":" << report.warnings << ",\"infos\":" << report.infos
+     << ",\"dropped\":" << report.dropped << "},\"diagnostics\":[";
+  for (std::size_t i = 0; i < report.diagnostics.size(); ++i) {
+    const Diagnostic& d = report.diagnostics[i];
+    if (i > 0) os << ',';
+    os << "{\"severity\":\"" << to_string(d.severity) << "\",\"code\":\""
+       << to_string(d.code) << "\",\"rank\":" << d.rank
+       << ",\"event\":" << d.event_index << ",\"message\":\""
+       << json_escape(d.message) << "\"}";
+  }
+  os << "]}";
   return os.str();
 }
 

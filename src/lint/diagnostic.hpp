@@ -54,6 +54,9 @@ enum class Code {
   kEmptyTrace,           ///< trace with zero ranks
   // Cross-rank dependency analysis.
   kDeadlock,             ///< blocked dependency cycle (or starved rank)
+  // Bounds soundness oracle (pals::bounds, docs/bounds.md).
+  kBoundViolationTime,   ///< replayed makespan escaped the static interval
+  kBoundViolationEnergy, ///< replayed energy escaped the static interval
 };
 
 std::string to_string(Code code);
@@ -96,6 +99,11 @@ std::string to_text(const LintReport& report);
 
 /// RFC-4180 CSV with header "severity,code,rank,event,message".
 std::string to_csv(const LintReport& report);
+
+/// Deterministic single-line JSON:
+/// {"summary":{"errors":N,...},"diagnostics":[{...},...]} so CI can gate
+/// on errors-only without parsing the text renderer.
+std::string to_json(const LintReport& report);
 
 }  // namespace lint
 }  // namespace pals

@@ -727,6 +727,44 @@ void enforce_lint(const Trace& trace, const LintOptions& options,
   throw Error(message);
 }
 
+CommVolume comm_volume(const Trace& trace) {
+  CommVolume volume;
+  const Rank n = trace.n_ranks();
+  // Per-rank collective programs (op ignored for ranks > 0: replay takes
+  // the op from the slot's first arrival, lint checks agreement against
+  // rank 0, and bounds follow lint).
+  std::vector<std::vector<CollectiveSlot>> programs(
+      static_cast<std::size_t>(std::max<Rank>(n, 0)));
+  for (Rank r = 0; r < n; ++r) {
+    for (const Event& e : trace.events(r)) {
+      const auto count_send = [&](Rank peer, Bytes bytes) {
+        if (peer < 0 || peer >= n || peer == r) return;
+        ++volume.messages;
+        volume.total_bytes += bytes;
+      };
+      if (const auto* s = std::get_if<SendEvent>(&e)) {
+        count_send(s->peer, s->bytes);
+      } else if (const auto* is = std::get_if<IsendEvent>(&e)) {
+        count_send(is->peer, is->bytes);
+      } else if (const auto* c = std::get_if<CollectiveEvent>(&e)) {
+        programs[static_cast<std::size_t>(r)].push_back(
+            CollectiveSlot{c->op, c->bytes});
+      }
+    }
+  }
+  if (n == 0) return volume;
+  std::size_t slots = programs[0].size();
+  for (const auto& program : programs) slots = std::min(slots, program.size());
+  volume.collectives.reserve(slots);
+  for (std::size_t k = 0; k < slots; ++k) {
+    CollectiveSlot slot = programs[0][k];
+    for (const auto& program : programs)
+      slot.max_bytes = std::max(slot.max_bytes, program[k].max_bytes);
+    volume.collectives.push_back(slot);
+  }
+  return volume;
+}
+
 std::string DeadlockInfo::describe() const {
   if (!deadlocked) return "";
   std::ostringstream os;

@@ -61,6 +61,36 @@ LintReport lint_trace(const Trace& trace, const LintOptions& options = {});
 void enforce_lint(const Trace& trace, const LintOptions& options,
                   const std::string& context);
 
+/// One collective slot of the static collective program. Slot k is the
+/// k-th collective every rank issues (replay synchronizes per slot); the
+/// op comes from rank 0's program and `max_bytes` is the largest per-rank
+/// contribution at that slot — exactly the inputs replay feeds to
+/// `collective_cost`.
+struct CollectiveSlot {
+  CollectiveOp op = CollectiveOp::kBarrier;
+  Bytes max_bytes = 0;
+};
+
+/// Static communication-volume summary derived from the same p2p match
+/// graph and collective program the linter checks. `pals::bounds` budgets
+/// its serialization upper bound (every message fully serialized) and its
+/// critical-path lower bound (every rank pays every collective slot) from
+/// these totals without running a replay.
+struct CommVolume {
+  /// Point-to-point messages: every posted send/isend whose peer is a
+  /// valid foreign rank (mirrors replay's point_to_point_messages).
+  std::size_t messages = 0;
+  /// Total payload bytes over those messages.
+  Bytes total_bytes = 0;
+  /// Collective program, one entry per slot all ranks reach. Slots some
+  /// rank never issues are dropped (replay would wedge there anyway).
+  std::vector<CollectiveSlot> collectives;
+};
+
+/// Extract the communication volume of `trace`. Never throws on trace
+/// content; malformed programs simply contribute what statically matches.
+CommVolume comm_volume(const Trace& trace);
+
 /// One blocked rank of a wedged abstract replay.
 struct BlockedRank {
   Rank rank = -1;

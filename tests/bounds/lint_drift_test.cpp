@@ -1,0 +1,116 @@
+// Drift guard for the lint diagnostic vocabulary: every lint::Code must
+// have a to_string spelling, a severity, and a documented row in
+// docs/lint.md. The enumerator count is parsed out of diagnostic.hpp
+// itself, so adding a code without extending kAllCodes below (and the
+// docs table) fails here instead of silently shipping an undocumented
+// diagnostic.
+#include "lint/diagnostic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace pals {
+namespace lint {
+namespace {
+
+const std::vector<Code> kAllCodes = {
+    Code::kUnmatchedSend,
+    Code::kUnmatchedRecv,
+    Code::kBytesMismatch,
+    Code::kPeerOutOfRange,
+    Code::kSelfMessage,
+    Code::kCollectiveCountMismatch,
+    Code::kCollectiveKindMismatch,
+    Code::kCollectiveRootMismatch,
+    Code::kCollectiveRootOutOfRange,
+    Code::kRequestAlreadyOpen,
+    Code::kWaitUnknownRequest,
+    Code::kRequestNeverWaited,
+    Code::kWaitAllNoPending,
+    Code::kNonFiniteDuration,
+    Code::kNegativeDuration,
+    Code::kZeroDuration,
+    Code::kHugeDuration,
+    Code::kEmptyIteration,
+    Code::kUnbalancedMarkers,
+    Code::kEmptyRank,
+    Code::kEmptyTrace,
+    Code::kDeadlock,
+    Code::kBoundViolationTime,
+    Code::kBoundViolationEnergy,
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// Count the enumerators of `enum class Code { ... }` in diagnostic.hpp.
+std::size_t enumerators_in_header() {
+  const std::string text =
+      read_file(PALS_SOURCE_DIR "/src/lint/diagnostic.hpp");
+  const std::size_t begin = text.find("enum class Code {");
+  const std::size_t end = text.find("};", begin);
+  EXPECT_NE(begin, std::string::npos);
+  EXPECT_NE(end, std::string::npos);
+  std::size_t count = 0;
+  std::istringstream lines(text.substr(begin, end - begin));
+  for (std::string line; std::getline(lines, line);) {
+    const std::size_t k = line.find_first_not_of(" \t");
+    if (k != std::string::npos && line[k] == 'k' &&
+        line.find(',') != std::string::npos)
+      ++count;
+  }
+  return count;
+}
+
+TEST(LintCodeDrift, TestListCoversTheWholeEnum) {
+  EXPECT_EQ(kAllCodes.size(), enumerators_in_header())
+      << "a lint::Code was added/removed without updating kAllCodes";
+}
+
+TEST(LintCodeDrift, EveryCodeHasAUniqueSpelling) {
+  std::set<std::string> names;
+  for (const Code code : kAllCodes) {
+    const std::string name = to_string(code);
+    EXPECT_FALSE(name.empty());
+    // Kebab-case, the spelling contract of text/CSV output and docs.
+    for (const char c : name)
+      EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                  c == '-')
+          << name;
+    EXPECT_TRUE(names.insert(name).second) << "duplicate spelling " << name;
+  }
+}
+
+TEST(LintCodeDrift, EveryCodeHasASeverity) {
+  for (const Code code : kAllCodes) {
+    const Severity severity = severity_of(code);
+    EXPECT_TRUE(severity == Severity::kInfo || severity == Severity::kWarning ||
+                severity == Severity::kError)
+        << to_string(code);
+  }
+  // The oracle's violations are hard errors: a bound escape is a bug in
+  // the simulator, the power model or the analyzer.
+  EXPECT_EQ(severity_of(Code::kBoundViolationTime), Severity::kError);
+  EXPECT_EQ(severity_of(Code::kBoundViolationEnergy), Severity::kError);
+}
+
+TEST(LintCodeDrift, EveryCodeHasADocsTableRow) {
+  const std::string docs = read_file(PALS_SOURCE_DIR "/docs/lint.md");
+  for (const Code code : kAllCodes)
+    EXPECT_NE(docs.find("| `" + to_string(code) + "` |"), std::string::npos)
+        << "docs/lint.md is missing a table row for " << to_string(code);
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace pals

@@ -105,5 +105,63 @@ TEST(EnergyBound, ZeroComputationRankHandled) {
   EXPECT_LT(b.normalized_energy, 1.0);
 }
 
+TEST(EnergyBound, SnappedBaselineTolerated) {
+  // Gear-snapped callers derive total_time and the compute profile from
+  // independently rounded replays: a makespan one ulp under the critical
+  // compute time is legitimate noise, not an invalid input.
+  const std::vector<Seconds> times{1.0, 2.0};
+  const EnergyBound b = energy_saving_bound(times, 2.0 * (1.0 - 1e-12), 0.0,
+                                            default_config());
+  EXPECT_GT(b.normalized_energy, 0.0);
+  EXPECT_LE(b.normalized_energy, 1.0 + 1e-9);
+  // The sub-ulp communication deficit clamps to zero instead of going
+  // negative and inflating the compute budget.
+  EXPECT_LE(b.predicted_time, 2.0 + 1e-9);
+}
+
+TEST(EnergyBound, SingleRankTrace) {
+  // One rank, some communication: nothing to rebalance, so the only
+  // saving is slack outside the critical compute time.
+  const std::vector<Seconds> times{2.0};
+  const EnergyBound b =
+      energy_saving_bound(times, 3.0, 0.0, default_config());
+  ASSERT_EQ(b.frequency_ghz.size(), 1u);
+  EXPECT_NEAR(b.frequency_ghz[0], 2.3, 1e-3);  // critical rank stays fast
+  EXPECT_NEAR(b.predicted_time, 3.0, 1e-12);
+  EXPECT_LE(b.normalized_energy, 1.0 + 1e-9);
+}
+
+TEST(EnergyBound, FminEqualsFmaxIsExactlyBaseline) {
+  // A degenerate one-point frequency range at the reference gear admits
+  // no DVFS at all: the bound must reproduce the baseline bit-exactly
+  // (same energy terms, same accumulation order), not approximately.
+  const std::vector<Seconds> times{1.0, 2.0, 4.0};
+  EnergyBoundConfig config = default_config();
+  config.fmin_ghz = config.power.reference.frequency_ghz;
+  config.fmax_ghz = config.power.reference.frequency_ghz;
+  const EnergyBound b = energy_saving_bound(times, 4.0, 0.0, config);
+  EXPECT_EQ(b.normalized_energy, 1.0);
+  for (const double f : b.frequency_ghz)
+    EXPECT_EQ(f, config.power.reference.frequency_ghz);
+  EXPECT_NEAR(b.predicted_time, 4.0, 1e-12);
+}
+
+TEST(EnergyBound, FmaxBelowReferenceRelaxesBudget) {
+  // With fmax below the reference frequency even δ=0 is unattainable:
+  // the critical rank stretches past the budget at full admissible
+  // speed. The bound relaxes the budget to that floor and reports the
+  // honest synchronized finish instead of the impossible (1+δ)·T0.
+  const std::vector<Seconds> times{1.0, 4.0};
+  EnergyBoundConfig config = default_config();
+  config.fmax_ghz = 1.8;
+  const EnergyBound b = energy_saving_bound(times, 5.0, 0.0, config);
+  const double beta = config.power.beta;
+  const double fref = config.power.reference.frequency_ghz;
+  const double stretch = beta * (fref / config.fmax_ghz - 1.0) + 1.0;
+  EXPECT_GT(b.predicted_time, 5.0);
+  EXPECT_NEAR(b.predicted_time, 1.0 + 4.0 * stretch, 1e-9);
+  for (const double f : b.frequency_ghz) EXPECT_LE(f, 1.8 + 1e-12);
+}
+
 }  // namespace
 }  // namespace pals

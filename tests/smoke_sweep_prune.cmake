@@ -1,0 +1,66 @@
+# End-to-end acceptance check for pals_sweep --prune-bounds
+# (docs/bounds.md): on the shipped Pareto grid the pruner must skip at
+# least 20% of the cells, the surviving rows must be a subset of the
+# unpruned rows, and the *extracted* Pareto front (on_front=1 rows) must
+# be byte-identical to the unpruned run's.
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+function(run_step)
+  execute_process(COMMAND ${ARGN} RESULT_VARIABLE code)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "step failed (${code}): ${ARGN}")
+  endif()
+endfunction()
+
+run_step(${PALS_SWEEP} --grid=${GRID} --jobs=0 --quiet
+         --out=${WORK_DIR}/prune_off.csv
+         --pareto=${WORK_DIR}/prune_off_pareto.csv)
+run_step(${PALS_SWEEP} --grid=${GRID} --jobs=0 --quiet --prune-bounds
+         --out=${WORK_DIR}/prune_on.csv
+         --pareto=${WORK_DIR}/prune_on_pareto.csv
+         --pruned=${WORK_DIR}/pruned.csv)
+
+# Prune rate: pruned.csv rows (minus header) vs total grid cells.
+file(STRINGS ${WORK_DIR}/prune_off.csv all_rows)
+file(STRINGS ${WORK_DIR}/pruned.csv pruned_rows)
+list(LENGTH all_rows total_lines)
+list(LENGTH pruned_rows pruned_lines)
+math(EXPR total "${total_lines} - 1")
+math(EXPR pruned "${pruned_lines} - 1")
+math(EXPR permille "(1000 * ${pruned}) / ${total}")
+if(permille LESS 200)
+  message(FATAL_ERROR
+          "--prune-bounds skipped only ${pruned}/${total} cells (< 20%)")
+endif()
+
+# Surviving rows must all appear verbatim in the unpruned output.
+file(STRINGS ${WORK_DIR}/prune_on.csv surviving_rows)
+foreach(row IN LISTS surviving_rows)
+  list(FIND all_rows "${row}" found)
+  if(found EQUAL -1)
+    message(FATAL_ERROR "pruned sweep invented a row: ${row}")
+  endif()
+endforeach()
+
+# Extracted fronts (rows marked on_front=1) are byte-identical.
+function(extract_front input output)
+  file(STRINGS ${input} rows)
+  set(front "")
+  foreach(row IN LISTS rows)
+    if(row MATCHES ",1$")
+      string(APPEND front "${row}\n")
+    endif()
+  endforeach()
+  file(WRITE ${output} "${front}")
+endfunction()
+
+extract_front(${WORK_DIR}/prune_off_pareto.csv ${WORK_DIR}/front_off.txt)
+extract_front(${WORK_DIR}/prune_on_pareto.csv ${WORK_DIR}/front_on.txt)
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                ${WORK_DIR}/front_off.txt ${WORK_DIR}/front_on.txt
+                RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  message(FATAL_ERROR
+          "extracted Pareto front differs between pruned and unpruned runs")
+endif()
+message(STATUS "prune-bounds: ${pruned}/${total} cells skipped, front intact")

@@ -1,0 +1,191 @@
+// pals_check — one-command pre-replay static gate.
+//
+//   pals_check trace.palst [more.palst ...] [options]
+//   pals_check --workload=CG-32 [--iterations=N] [options]
+//
+//   options: [--algorithm=max|avg] [--gears=uniform-6] [--beta=0.5]
+//            [--controllers=static,dynamic_max,...] [--power-cap=P]
+//            [--strict] [--json] [--quiet]
+//
+// Answers "is this trace worth replaying, and can it possibly meet the
+// power cap?" without running the DES. Per input:
+//
+//  1. Full lint (lint/lint.hpp). Errors fail the gate; warnings fail it
+//     only under --strict.
+//  2. For every requested controller, the static bounds analyzer
+//     (docs/bounds.md) derives guaranteed makespan/energy intervals and
+//     the provable floor on time-average power. With --power-cap=P the
+//     gate fails when P is below the floor of *every* controller: no
+//     configured scenario can meet the cap, so the sweep is statically
+//     infeasible. (A cap above some floor passes — feasibility of the
+//     cheapest admissible scenario is all a static gate can promise.)
+//
+// Exit codes: 0 gate passed for every input; 1 gate failed for at least
+// one input; 2 usage error or unreadable input.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/bounds.hpp"
+#include "analysis/experiments.hpp"
+#include "core/controllers.hpp"
+#include "lint/lint.hpp"
+#include "trace/io.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/strings.hpp"
+#include "workloads/registry.hpp"
+
+namespace pals {
+namespace {
+
+struct Input {
+  std::string label;
+  Trace trace;
+};
+
+int run(int argc, char** argv) {
+  CliParser cli;
+  cli.add_option("workload", "check a generated benchmark instance "
+                             "(registry name, e.g. CG-32) instead of a file");
+  cli.add_option("iterations", "iterations for --workload", "10");
+  cli.add_option("algorithm", "max or avg", "max");
+  cli.add_option("gears", "gear set name", "uniform-6");
+  cli.add_option("beta", "memory boundedness [0,1]", "0.5");
+  cli.add_option("controllers",
+                 "comma-separated controllers to bound (default: all)",
+                 "static,dynamic_max,dynamic_avg,slack,ewma");
+  cli.add_option("power-cap",
+                 "fail when the cap (a.u./s) is below every controller's "
+                 "provable average-power floor");
+  cli.add_flag("strict", "treat lint warnings as gate failures");
+  cli.add_flag("json", "one JSON object per input, one per line");
+  cli.add_flag("quiet", "print only the per-input verdict line");
+  cli.add_flag("help", "show usage");
+
+  try {
+    cli.parse(argc, argv);
+  } catch (const Error& e) {
+    std::cerr << e.what() << '\n' << cli.usage("pals_check");
+    return 2;
+  }
+  if (cli.get_flag("help")) {
+    std::cout << cli.usage("pals_check");
+    return 0;
+  }
+  if (cli.positional().empty() && !cli.has("workload")) {
+    std::cerr << "need at least one trace file or --workload\n"
+              << cli.usage("pals_check");
+    return 2;
+  }
+
+  std::vector<std::string> controllers;
+  for (const std::string& name : split(cli.get("controllers"), ','))
+    controllers.push_back(std::string(trim(name)));
+  if (controllers.empty()) {
+    std::cerr << "--controllers needs at least one name\n";
+    return 2;
+  }
+
+  std::vector<Input> inputs;
+  for (const std::string& path : cli.positional())
+    inputs.push_back(Input{path, read_trace_auto(path, /*validate=*/false)});
+  if (cli.has("workload")) {
+    const std::string name = cli.get("workload");
+    const auto iterations = static_cast<int>(cli.get_int("iterations", 10));
+    const auto instance = benchmark_by_name(name, iterations);
+    if (!instance.has_value()) {
+      std::cerr << "unknown workload '" << name
+                << "' (expected a Table 3 instance name like CG-32)\n";
+      return 2;
+    }
+    inputs.push_back(Input{name, instance->make()});
+  }
+
+  const Algorithm algorithm =
+      cli.get("algorithm") == "avg" ? Algorithm::kAvg : Algorithm::kMax;
+  const bool json = cli.get_flag("json");
+  const bool quiet = cli.get_flag("quiet");
+
+  bool failed = false;
+  for (const Input& input : inputs) {
+    const lint::LintReport report = lint::lint_trace(input.trace, {});
+    const bool lint_bad =
+        report.has_errors() || (cli.get_flag("strict") && report.warnings > 0);
+
+    // Bound every requested controller scenario; a lint-broken trace
+    // skips the analysis (the abstract interpretation assumes replayable
+    // input).
+    std::vector<std::pair<std::string, bounds::ScenarioBounds>> scenarios;
+    if (!report.has_errors()) {
+      for (const std::string& name : controllers) {
+        PipelineConfig config = default_pipeline_config(
+            gear_set_by_name(cli.get("gears")), algorithm);
+        config.controller.kind = controller_by_name(name);
+        set_beta(config, cli.get_double("beta", 0.5));
+        scenarios.emplace_back(name, bounds::analyze(input.trace, config));
+      }
+    }
+
+    // Cap feasibility: infeasible only when no scenario's floor admits it.
+    bool cap_infeasible = false;
+    if (cli.has("power-cap") && !scenarios.empty()) {
+      const double cap = cli.get_double("power-cap", 0.0);
+      cap_infeasible = true;
+      for (const auto& [name, b] : scenarios)
+        cap_infeasible = cap_infeasible && cap < b.min_average_power;
+    }
+    const bool bad = lint_bad || cap_infeasible;
+    failed = failed || bad;
+
+    if (json) {
+      std::cout << "{\"input\":\"" << json_escape(input.label)
+                << "\",\"pass\":" << (bad ? "false" : "true")
+                << ",\"lint\":" << to_json(report) << ",\"bounds\":{";
+      for (std::size_t i = 0; i < scenarios.size(); ++i) {
+        if (i > 0) std::cout << ',';
+        std::cout << '"' << json_escape(scenarios[i].first)
+                  << "\":" << bounds::to_json(scenarios[i].second);
+      }
+      std::cout << '}';
+      if (cli.has("power-cap"))
+        std::cout << ",\"power_cap\":{\"cap\":"
+                  << format_roundtrip(cli.get_double("power-cap", 0.0))
+                  << ",\"feasible\":" << (cap_infeasible ? "false" : "true")
+                  << '}';
+      std::cout << "}\n";
+      continue;
+    }
+
+    std::cout << input.label << ": " << (bad ? "FAIL" : "PASS") << " ("
+              << report.summary();
+    if (cli.has("power-cap") && !scenarios.empty())
+      std::cout << "; power cap "
+                << (cap_infeasible ? "statically infeasible" : "feasible");
+    std::cout << ")\n";
+    if (quiet) continue;
+    if (report.has_errors()) {
+      std::cout << to_text(report)
+                << "bounds: skipped (trace has lint errors)\n";
+      continue;
+    }
+    for (const auto& [name, b] : scenarios)
+      std::cout << "bounds (" << name << " over "
+                << gear_set_by_name(cli.get("gears")).describe() << "):\n"
+                << bounds::to_text(b);
+  }
+  return failed ? 1 : 0;
+}
+
+}  // namespace
+}  // namespace pals
+
+int main(int argc, char** argv) {
+  try {
+    return pals::run(argc, argv);
+  } catch (const pals::Error& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 2;
+  }
+}

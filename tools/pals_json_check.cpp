@@ -44,10 +44,13 @@ void collect_keys(const JsonValue& value, std::set<std::string>& keys) {
 int check_journal(const std::string& path, bool quiet) {
   const JournalReadReport report = read_journal(path);
   std::size_t rows = 0;
+  std::size_t pruned = 0;
   std::size_t errors = 0;
   for (const JournalRecord& record : report.records) {
     if (record.kind == JournalRecord::Kind::kRow)
       ++rows;
+    else if (record.kind == JournalRecord::Kind::kPruned)
+      ++pruned;
     else
       ++errors;
   }
@@ -58,8 +61,8 @@ int check_journal(const std::string& path, bool quiet) {
     std::cout << path << ": valid journal, config_hash "
               << report.header.config_hash << ", "
               << report.records.size() << "/" << report.header.scenarios
-              << " cells journaled (" << rows << " rows, " << errors
-              << " quarantined)\n";
+              << " cells journaled (" << rows << " rows, " << pruned
+              << " pruned, " << errors << " quarantined)\n";
   return 0;
 }
 

@@ -1,25 +1,47 @@
 // pals_lint — static trace verifier CLI.
 //
-//   pals_lint trace.palst [more.palst ...] [--format=text|csv]
+//   pals_lint trace.palst [more.palst ...] [--format=text|csv|json]
 //             [--strict] [--max-diags=N] [--eager-threshold=BYTES]
 //             [--no-deadlock] [--quiet]
 //   pals_lint --workload=CG-32 [--iterations=N] ...
+//   pals_lint --workload=CG-32 --bounds [--power-cap=P]
+//             [--algorithm=max|avg] [--gears=uniform-6]
+//             [--controller=static|dynamic_max|...] [--beta=0.5]
 //
 // Loads each input trace *without* Trace::validate() (so broken traces
 // reach the linter intact), runs every lint pass (lint/lint.hpp) and
-// prints the exhaustive diagnostic list. Exit codes:
+// prints the exhaustive diagnostic list. --json is shorthand for
+// --format=json (one JSON object per input, one per line).
 //
-//   0  every input linted clean (warnings allowed unless --strict)
-//   1  at least one input has errors (or warnings, with --strict)
+// Static bounds (docs/bounds.md): --bounds additionally abstract-
+// interprets each *clean* input under the configured gear set /
+// algorithm / controller and prints guaranteed pre-replay intervals on
+// makespan and CPU energy, plus the provable floor on time-average
+// power. With --power-cap=P, a cap below that floor is reported as
+// statically infeasible and fails the run. Traces with lint errors skip
+// the analysis (the abstract interpretation assumes a replayable trace).
+//
+// Exit codes:
+//
+//   0  every input linted clean (warnings allowed unless --strict) and,
+//      with --bounds --power-cap, every cap is feasible
+//   1  at least one input has errors (or warnings, with --strict), or a
+//      power cap is statically infeasible
 //   2  usage error or unreadable/unparseable input
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "analysis/bounds.hpp"
+#include "analysis/experiments.hpp"
+#include "core/controllers.hpp"
 #include "lint/lint.hpp"
 #include "trace/io.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/strings.hpp"
 #include "workloads/registry.hpp"
 
 namespace pals {
@@ -32,7 +54,7 @@ struct Input {
 
 int run(int argc, char** argv) {
   CliParser cli;
-  cli.add_option("format", "output format: text or csv", "text");
+  cli.add_option("format", "output format: text, csv or json", "text");
   cli.add_option("max-diags", "keep at most N diagnostics (0 = all)", "0");
   cli.add_option("eager-threshold",
                  "eager/rendezvous protocol switch in bytes "
@@ -41,9 +63,22 @@ int run(int argc, char** argv) {
   cli.add_option("workload", "lint a generated benchmark instance "
                              "(registry name, e.g. CG-32) instead of a file");
   cli.add_option("iterations", "iterations for --workload", "10");
+  cli.add_option("algorithm", "--bounds scenario: max or avg", "max");
+  cli.add_option("gears", "--bounds scenario: gear set name", "uniform-6");
+  cli.add_option("controller",
+                 "--bounds scenario: static, dynamic_max, dynamic_avg, "
+                 "slack or ewma", "static");
+  cli.add_option("beta", "--bounds scenario: memory boundedness [0,1]",
+                 "0.5");
+  cli.add_option("power-cap",
+                 "with --bounds: fail when the cap (a.u./s) is below the "
+                 "provable average-power floor");
   cli.add_flag("strict", "treat warnings as fatal (exit 1)");
   cli.add_flag("no-deadlock", "skip the abstract-replay deadlock analysis");
   cli.add_flag("quiet", "print only the per-input summary line");
+  cli.add_flag("json", "shorthand for --format=json");
+  cli.add_flag("bounds", "run the static bounds analyzer on clean inputs "
+                         "(docs/bounds.md)");
   cli.add_flag("help", "show usage");
 
   try {
@@ -61,9 +96,14 @@ int run(int argc, char** argv) {
               << cli.usage("pals_lint");
     return 2;
   }
-  const std::string format = cli.get("format");
-  if (format != "text" && format != "csv") {
-    std::cerr << "unknown --format '" << format << "' (text or csv)\n";
+  const std::string format =
+      cli.get_flag("json") ? "json" : cli.get("format");
+  if (format != "text" && format != "csv" && format != "json") {
+    std::cerr << "unknown --format '" << format << "' (text, csv or json)\n";
+    return 2;
+  }
+  if (cli.has("power-cap") && !cli.get_flag("bounds")) {
+    std::cerr << "--power-cap requires --bounds\n";
     return 2;
   }
 
@@ -92,20 +132,74 @@ int run(int argc, char** argv) {
     inputs.push_back(Input{name, instance->make()});
   }
 
+  // The pre-replay scenario the bounds analyzer interprets; built once,
+  // shared by every input.
+  std::optional<PipelineConfig> bounds_config;
+  if (cli.get_flag("bounds")) {
+    const Algorithm algorithm =
+        cli.get("algorithm") == "avg" ? Algorithm::kAvg : Algorithm::kMax;
+    bounds_config =
+        default_pipeline_config(gear_set_by_name(cli.get("gears")), algorithm);
+    bounds_config->controller.kind =
+        controller_by_name(cli.get("controller"));
+    set_beta(*bounds_config, cli.get_double("beta", 0.5));
+  }
+
   bool failed = false;
   for (const Input& input : inputs) {
     const lint::LintReport report = lint::lint_trace(input.trace, options);
     const bool bad =
         report.has_errors() || (cli.get_flag("strict") && report.warnings > 0);
     failed = failed || bad;
+
+    std::optional<bounds::ScenarioBounds> scenario;
+    bool cap_infeasible = false;
+    if (bounds_config.has_value() && !report.has_errors()) {
+      scenario = bounds::analyze(input.trace, *bounds_config);
+      if (cli.has("power-cap")) {
+        cap_infeasible =
+            cli.get_double("power-cap", 0.0) < scenario->min_average_power;
+        failed = failed || cap_infeasible;
+      }
+    }
+
     if (inputs.size() > 1 && format == "text")
       std::cout << "== " << input.label << " ==\n";
     if (format == "csv") {
       std::cout << to_csv(report);
+    } else if (format == "json") {
+      // One self-contained object per input, one per line.
+      std::cout << "{\"input\":\"" << json_escape(input.label)
+                << "\",\"lint\":" << to_json(report);
+      if (scenario.has_value()) {
+        std::cout << ",\"bounds\":" << to_json(*scenario);
+        if (cli.has("power-cap"))
+          std::cout << ",\"power_cap\":{\"cap\":"
+                    << format_roundtrip(cli.get_double("power-cap", 0.0))
+                    << ",\"feasible\":" << (cap_infeasible ? "false" : "true")
+                    << '}';
+      }
+      std::cout << "}\n";
     } else if (cli.get_flag("quiet")) {
       std::cout << input.label << ": " << report.summary() << '\n';
     } else {
       std::cout << to_text(report);
+    }
+    if (format != "json" && format != "csv" &&
+        bounds_config.has_value()) {
+      if (!scenario.has_value()) {
+        std::cout << "bounds: skipped (trace has lint errors)\n";
+      } else {
+        std::cout << "bounds (" << cli.get("controller") << " over "
+                  << bounds_config->algorithm.gear_set.describe() << "):\n"
+                  << bounds::to_text(*scenario);
+        if (cli.has("power-cap"))
+          std::cout << "power cap " << cli.get("power-cap") << ": "
+                    << (cap_infeasible
+                            ? "STATICALLY INFEASIBLE (below provable floor)"
+                            : "feasible")
+                    << '\n';
+      }
     }
   }
   return failed ? 1 : 0;

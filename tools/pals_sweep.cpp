@@ -6,6 +6,7 @@
 //              [--faults=plan|file] [--max-retries=N] [--keep-going]
 //              [--errors=errors.csv] [--run-dir=DIR] [--resume=DIR]
 //              [--cell-timeout=SECONDS] [--pareto=pareto.csv]
+//              [--prune-bounds] [--pruned=pruned.csv] [--no-bounds-oracle]
 //
 // The grid file is key = value (see docs/sweep.md):
 //
@@ -18,6 +19,14 @@
 // --pareto marks each result row's membership in its workload's
 // energy/time Pareto front (docs/controllers.md) and writes the
 // annotated CSV — the static-vs-dynamic comparison artifact.
+//
+// Static bounds (docs/bounds.md): --prune-bounds skips cells whose
+// optimistic lower-bound point is already Pareto-dominated by a
+// completed cell of the same workload (provenance in --pruned /
+// DIR/pruned.csv; surviving rows and the Pareto front stay
+// byte-identical to an unpruned sweep). Every replayed cell is checked
+// against its static makespan/energy interval by the soundness oracle;
+// --no-bounds-oracle disarms it.
 //
 // Results are merged in canonical grid order: the CSV is byte-identical
 // for every --jobs value. The run's timing/throughput counters are
@@ -93,6 +102,13 @@ int run(int argc, char** argv) {
   cli.add_option("out", "write result rows as CSV");
   cli.add_option("pareto", "write rows annotated with per-workload "
                            "energy/time Pareto-front membership as CSV");
+  cli.add_flag("prune-bounds", "skip cells whose static lower-bound point "
+                               "is Pareto-dominated by a completed cell "
+                               "(docs/bounds.md)");
+  cli.add_option("pruned", "write pruned-cell provenance as CSV "
+                           "(requires --prune-bounds)");
+  cli.add_flag("no-bounds-oracle", "disarm the post-replay bounds "
+                                   "soundness oracle");
   cli.add_option("summary", "write the run summary (key = value) to a file");
   cli.add_option("config", "key=value platform/power overrides "
                            "(applied to every scenario)");
@@ -166,6 +182,13 @@ int run(int argc, char** argv) {
                  "--cell-timeout must be >= 0");
   if (cli.has("errors") && !options.keep_going) {
     std::cerr << "--errors requires --keep-going\n" << cli.usage("pals_sweep");
+    return exit_code(ToolExit::kUsage);
+  }
+  options.prune_bounds = cli.get_flag("prune-bounds");
+  options.bounds_oracle = !cli.get_flag("no-bounds-oracle");
+  if (cli.has("pruned") && !options.prune_bounds) {
+    std::cerr << "--pruned requires --prune-bounds\n"
+              << cli.usage("pals_sweep");
     return exit_code(ToolExit::kUsage);
   }
   std::optional<fault::Injector> injector;
@@ -261,6 +284,14 @@ int run(int argc, char** argv) {
     write_pareto_csv(pareto_front(result.rows), cli.get("pareto"));
     std::cout << "pareto csv written to " << cli.get("pareto") << '\n';
   }
+  if (cli.has("pruned")) {
+    write_pruned_csv(result.pruned, cli.get("pruned"));
+    std::cout << "pruned csv written to " << cli.get("pruned") << '\n';
+  }
+  if (options.prune_bounds && !cli.get_flag("quiet")) {
+    std::cout << "pruned " << result.pruned.size() << "/"
+              << result.stats.scenarios << " cells by static bounds\n";
+  }
   if (result.has_errors() && !cli.get_flag("quiet")) {
     std::cerr << "\n" << result.errors.size() << " quarantined cell"
               << (result.errors.size() == 1 ? "" : "s") << ":\n";
@@ -282,6 +313,8 @@ int run(int argc, char** argv) {
     // either way, so the directory never holds a torn artifact.
     write_rows_csv(result.rows, run_dir + "/results.csv");
     write_errors_csv(result.errors, run_dir + "/errors.csv");
+    if (options.prune_bounds)
+      write_pruned_csv(result.pruned, run_dir + "/pruned.csv");
     atomic_write_file(run_dir + "/summary.stats", result.stats.to_kv());
     std::cout << "run dir artifacts written to " << run_dir << '\n';
   }
