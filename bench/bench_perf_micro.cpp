@@ -1,24 +1,37 @@
-// Micro-benchmarks of the simulation infrastructure itself
-// (google-benchmark): replay throughput, frequency assignment, energy
-// integration, trace generation and serialization.
-#include <benchmark/benchmark.h>
-
+// Micro-benchmarks of the simulation infrastructure itself, on the
+// shared pals::obs::bench runner (docs/bench.md): replay throughput,
+// frequency assignment, energy integration, trace generation,
+// serialization and critical-path extraction.
+//
+//   bench_perf_micro [--warmup N] [--repetitions N] [--filter SUBSTR]
+//                    [--out BENCH_micro.json]
+//
+// Emits the same schema-versioned report as pals_bench, so two runs
+// gate against each other with `pals_bench --compare`.
+#include <iostream>
 #include <map>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "analysis/critical_path.hpp"
 #include "core/pipeline.hpp"
+#include "obs/bench.hpp"
 #include "power/power_model.hpp"
 #include "replay/replay.hpp"
-#include "analysis/critical_path.hpp"
 #include "trace/binary_io.hpp"
 #include "trace/io.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/fsio.hpp"
 #include "util/rng.hpp"
+#include "util/strings.hpp"
 #include "workloads/registry.hpp"
 
 namespace pals {
 namespace {
+
+namespace bench = obs::bench;
 
 const Trace& cached_trace(const char* name) {
   static std::map<std::string, Trace> cache;
@@ -30,112 +43,125 @@ const Trace& cached_trace(const char* name) {
   return it->second;
 }
 
-void BM_ReplayWrf128(benchmark::State& state) {
-  const Trace& trace = cached_trace("WRF-128");
-  std::size_t events = 0;
-  for (auto _ : state) {
-    const ReplayResult r = replay(trace, ReplayConfig{});
-    benchmark::DoNotOptimize(r.makespan);
-    events = r.simulated_events;
-  }
-  state.counters["events/s"] = benchmark::Counter(
-      static_cast<double>(events), benchmark::Counter::kIsIterationInvariantRate);
-}
-BENCHMARK(BM_ReplayWrf128)->Unit(benchmark::kMillisecond);
+std::vector<bench::Case> build_cases() {
+  std::vector<bench::Case> cases;
 
-void BM_ReplayIs64(benchmark::State& state) {
-  const Trace& trace = cached_trace("IS-64");
-  for (auto _ : state) {
-    const ReplayResult r = replay(trace, ReplayConfig{});
-    benchmark::DoNotOptimize(r.makespan);
-  }
-}
-BENCHMARK(BM_ReplayIs64)->Unit(benchmark::kMillisecond);
+  cases.push_back({"micro.replay.wrf128", [](bench::Sink&) {
+    const ReplayResult r = replay(cached_trace("WRF-128"), ReplayConfig{});
+    if (r.makespan <= 0.0) throw Error("empty replay");
+  }});
 
-void BM_FullPipelinePepc128(benchmark::State& state) {
-  const Trace& trace = cached_trace("PEPC-128");
-  const PipelineConfig config = [] {
-    PipelineConfig c;
-    c.algorithm.gear_set = paper_uniform(6);
-    return c;
-  }();
-  for (auto _ : state) {
-    const PipelineResult r = run_pipeline(trace, config);
-    benchmark::DoNotOptimize(r.scaled_energy);
-  }
-}
-BENCHMARK(BM_FullPipelinePepc128)->Unit(benchmark::kMillisecond);
+  cases.push_back({"micro.replay.is64", [](bench::Sink&) {
+    const ReplayResult r = replay(cached_trace("IS-64"), ReplayConfig{});
+    if (r.makespan <= 0.0) throw Error("empty replay");
+  }});
 
-void BM_FrequencyAssignment(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  Rng rng(42);
-  std::vector<Seconds> times(n);
-  for (auto& t : times) t = rng.uniform(0.1, 1.0);
-  AlgorithmConfig config;
-  config.gear_set = paper_uniform(6);
-  for (auto _ : state) {
+  cases.push_back({"micro.pipeline.pepc128", [](bench::Sink&) {
+    PipelineConfig config;
+    config.algorithm.gear_set = paper_uniform(6);
+    const PipelineResult r = run_pipeline(cached_trace("PEPC-128"), config);
+    if (r.scaled_energy <= 0.0) throw Error("empty pipeline result");
+  }});
+
+  cases.push_back({"micro.assignment.4096", [](bench::Sink&) {
+    Rng rng(42);
+    std::vector<Seconds> times(4096);
+    for (auto& t : times) t = rng.uniform(0.1, 1.0);
+    AlgorithmConfig config;
+    config.gear_set = paper_uniform(6);
     const FrequencyAssignment a = assign_frequencies(times, config);
-    benchmark::DoNotOptimize(a.gears.data());
-  }
-}
-BENCHMARK(BM_FrequencyAssignment)->Range(32, 8192);
+    if (a.gears.empty()) throw Error("empty assignment");
+  }});
 
-void BM_EnergyIntegration(benchmark::State& state) {
-  const Trace& trace = cached_trace("WRF-128");
-  const ReplayResult r = replay(trace, ReplayConfig{});
-  const PowerModel pm(PowerModelConfig{});
-  const std::vector<Gear> gears(static_cast<std::size_t>(r.timeline.n_ranks()),
-                                Gear{2.3, 1.5});
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(pm.total_energy(r.timeline, gears));
-  }
-}
-BENCHMARK(BM_EnergyIntegration)->Unit(benchmark::kMicrosecond);
+  cases.push_back({"micro.energy.wrf128", [](bench::Sink&) {
+    const ReplayResult r = replay(cached_trace("WRF-128"), ReplayConfig{});
+    const PowerModel pm(PowerModelConfig{});
+    const std::vector<Gear> gears(
+        static_cast<std::size_t>(r.timeline.n_ranks()), Gear{2.3, 1.5});
+    if (pm.total_energy(r.timeline, gears) <= 0.0) throw Error("zero energy");
+  }});
 
-void BM_TraceGeneration(benchmark::State& state) {
-  const auto inst = benchmark_by_name("MG-64", 4);
-  for (auto _ : state) {
+  cases.push_back({"micro.tracegen.mg64", [](bench::Sink&) {
+    const auto inst = benchmark_by_name("MG-64", 4);
     const Trace t = inst->make();
-    benchmark::DoNotOptimize(t.total_events());
-  }
-}
-BENCHMARK(BM_TraceGeneration)->Unit(benchmark::kMillisecond);
+    if (t.total_events() == 0) throw Error("empty trace");
+  }});
 
-void BM_TraceSerialization(benchmark::State& state) {
-  const Trace& trace = cached_trace("CG-32");
-  for (auto _ : state) {
+  cases.push_back({"micro.serialize.text", [](bench::Sink&) {
+    const Trace& trace = cached_trace("CG-32");
     std::stringstream buffer;
     write_trace(trace, buffer);
     const Trace restored = read_trace(buffer);
-    benchmark::DoNotOptimize(restored.total_events());
-  }
-}
-BENCHMARK(BM_TraceSerialization)->Unit(benchmark::kMillisecond);
+    if (restored.total_events() != trace.total_events())
+      throw Error("text round trip lost events");
+  }});
 
-void BM_TraceSerializationBinary(benchmark::State& state) {
-  const Trace& trace = cached_trace("CG-32");
-  std::size_t bytes = 0;
-  for (auto _ : state) {
+  cases.push_back({"micro.serialize.binary", [](bench::Sink& sink) {
+    const Trace& trace = cached_trace("CG-32");
+    reset_trace_io_stats();
     const auto buffer = write_trace_binary(trace);
-    bytes = buffer.size();
     const Trace restored = read_trace_binary(buffer);
-    benchmark::DoNotOptimize(restored.total_events());
-  }
-  state.counters["bytes"] = static_cast<double>(bytes);
-}
-BENCHMARK(BM_TraceSerializationBinary)->Unit(benchmark::kMillisecond);
+    if (restored.total_events() != trace.total_events())
+      throw Error("binary round trip lost events");
+    sink.sample("buffer_bytes", static_cast<double>(buffer.size()));
+  }});
 
-void BM_CriticalPath(benchmark::State& state) {
-  const Trace& trace = cached_trace("PEPC-128");
-  const ReplayResult r = replay(trace, ReplayConfig{});
-  for (auto _ : state) {
+  cases.push_back({"micro.critical_path.pepc128", [](bench::Sink&) {
+    const ReplayResult r = replay(cached_trace("PEPC-128"), ReplayConfig{});
     const CriticalPath path = critical_path(r);
-    benchmark::DoNotOptimize(path.segments.size());
-  }
+    if (path.segments.empty()) throw Error("empty critical path");
+  }});
+
+  return cases;
 }
-BENCHMARK(BM_CriticalPath)->Unit(benchmark::kMillisecond);
+
+int run(int argc, char** argv) {
+  CliParser cli;
+  cli.add_option("warmup", "discarded repetitions per case", "1");
+  cli.add_option("repetitions", "measured repetitions per case", "3");
+  cli.add_option("filter", "run only cases whose name contains this");
+  cli.add_option("out", "report path", "BENCH_micro.json");
+  cli.parse(argc, argv);
+
+  std::vector<bench::Case> cases = build_cases();
+  const std::string needle = cli.get_or("filter", "");
+  if (!needle.empty()) {
+    std::vector<bench::Case> kept;
+    for (auto& c : cases)
+      if (c.name.find(needle) != std::string::npos)
+        kept.push_back(std::move(c));
+    PALS_CHECK_MSG(!kept.empty(),
+                   "--filter '" << needle << "' matches no case");
+    cases = std::move(kept);
+  }
+
+  bench::RunOptions options;
+  options.methodology.warmup = static_cast<int>(cli.get_int("warmup", 1));
+  options.methodology.repetitions =
+      static_cast<int>(cli.get_int("repetitions", 3));
+  options.log = [](const std::string& line) {
+    std::cerr << "bench_perf_micro: " << line << '\n';
+  };
+
+  const bench::Report report = bench::run_suite("micro", cases, options);
+  for (const bench::CaseResult& c : report.cases) {
+    const bench::MetricStats* wall = c.find_timing("wall_seconds");
+    std::cout << c.name << ": median " << format_fixed(wall->median * 1e3, 3)
+              << " ms (CV " << format_fixed(wall->cv, 3) << ")\n";
+  }
+  atomic_write_file(cli.get("out"), report.to_json());
+  std::cout << "report written to " << cli.get("out") << '\n';
+  return 0;
+}
 
 }  // namespace
 }  // namespace pals
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  try {
+    return pals::run(argc, argv);
+  } catch (const pals::Error& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

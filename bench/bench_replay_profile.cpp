@@ -1,11 +1,12 @@
 // Throughput benchmark of the full pipeline (baseline replay, gear
 // assignment, rescale, scaled replay, energy), built on the pals::obs
-// profiling harness. Prints the phase breakdown and writes the
-// machine-readable report to BENCH_replay.json (events_per_second,
-// scenarios_per_second, per-phase seconds) for cross-commit tracking.
+// profiling harness. Prints the phase breakdown and writes a
+// pals::obs::bench report (docs/bench.md) to BENCH_replay.json for
+// cross-commit tracking; pals_bench --compare gates two such reports.
 //
 //   bench_replay_profile [--workload CG-32] [--repeat N] [--jobs N]
 //                        [--controller static|dynamic_max|...]
+//                        [--warmup N] [--repetitions N]
 //                        [--out BENCH_replay.json]
 //
 // --controller routes the pipeline through the online-controller path
@@ -17,6 +18,7 @@
 #include "analysis/profile.hpp"
 #include "analysis/sweep.hpp"
 #include "core/controllers.hpp"
+#include "obs/bench.hpp"
 #include "power/gearset.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
@@ -26,12 +28,16 @@
 namespace pals {
 namespace {
 
+namespace bench = obs::bench;
+
 int run(int argc, char** argv) {
   CliParser cli;
   cli.add_option("workload", "registry instance or inline spec", "CG-32");
-  cli.add_option("repeat", "pipeline repetitions", "16");
+  cli.add_option("repeat", "pipeline repetitions per measurement", "16");
   cli.add_option("jobs", "worker threads (0 = hardware concurrency)", "0");
   cli.add_option("controller", "online DVFS controller policy", "static");
+  cli.add_option("warmup", "discarded measurements", "1");
+  cli.add_option("repetitions", "recorded measurements", "3");
   cli.add_option("out", "report path", "BENCH_replay.json");
   cli.parse(argc, argv);
 
@@ -44,23 +50,39 @@ int run(int argc, char** argv) {
   options.config = default_pipeline_config(paper_uniform(6));
   options.config.controller.kind = controller_by_name(cli.get("controller"));
 
-  const ProfileReport report = profile_pipeline(trace, options);
+  // One bench case wrapping the profiling harness: the obs runner times
+  // each measurement, snapshots the work counters, and collects the
+  // harness's own throughput numbers as extra metrics.
+  ProfileReport last;
+  const bench::Case profile_case{
+      "replay.profile." + cli.get("controller"), [&](bench::Sink& sink) {
+        last = profile_pipeline(trace, options);
+        sink.sample("scenarios_per_second", last.pipelines_per_second);
+        sink.sample("events_per_second", last.events_per_second);
+      }};
+
+  bench::RunOptions run_options;
+  run_options.methodology.warmup = static_cast<int>(cli.get_int("warmup", 1));
+  run_options.methodology.repetitions =
+      static_cast<int>(cli.get_int("repetitions", 3));
+  const bench::Report report =
+      bench::run_suite("replay", {profile_case}, run_options);
 
   std::cout << "bench_replay_profile: " << ref.display << ", controller "
-            << cli.get("controller") << ", " << report.pipelines
-            << " pipeline run(s), " << report.jobs << " job(s)\n"
-            << "  wall time:      " << format_fixed(report.wall_seconds, 3)
+            << cli.get("controller") << ", " << last.pipelines
+            << " pipeline run(s), " << last.jobs << " job(s)\n"
+            << "  wall time:      " << format_fixed(last.wall_seconds, 3)
             << " s\n"
             << "  scenarios/sec:  "
-            << format_fixed(report.pipelines_per_second, 1) << '\n'
+            << format_fixed(last.pipelines_per_second, 1) << '\n'
             << "  events/sec:     "
-            << format_fixed(report.events_per_second / 1e6, 2) << " M\n";
-  for (const PhaseProfile& phase : report.phases)
+            << format_fixed(last.events_per_second / 1e6, 2) << " M\n";
+  for (const PhaseProfile& phase : last.phases)
     std::cout << "  phase " << phase.name << ": "
               << format_fixed(phase.seconds * 1e3, 3) << " ms over "
               << phase.count << " span(s)\n";
 
-  atomic_write_file(cli.get("out"), report.bench_json());
+  atomic_write_file(cli.get("out"), report.to_json());
   std::cout << "report written to " << cli.get("out") << '\n';
   return 0;
 }

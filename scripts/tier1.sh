@@ -60,6 +60,38 @@ cmp "${OBS_DIR}/sim_metrics_j1.json" "${OBS_DIR}/sim_metrics_j4.json"
 cmp "${OBS_DIR}/sim_trace_j1.json" "${OBS_DIR}/sim_trace_j4.json"
 diff golden/ring_chrome_trace.json "${OBS_DIR}/sim_trace_j1.json"
 
+echo "== tier 1: bench observatory (pals_bench) =="
+BENCH_DIR="${BUILD_DIR}/Testing/tier1-bench"
+rm -rf "${BENCH_DIR}"
+mkdir -p "${BENCH_DIR}"
+# A reduced suite (1 repetition, no warmup) three times — twice at
+# --jobs=1 and once at --jobs=4. The deterministic-counter sections must
+# be byte-identical across runs and thread counts; the counters are
+# per-repetition absolutes, so the reduced run also compares cleanly
+# against the committed full-methodology baseline in counters-only mode.
+"${BUILD_DIR}/tools/pals_bench" --suite --warmup=0 --repetitions=1 \
+    --jobs=1 --quiet --out="${BENCH_DIR}/suite_a.json" \
+    --counters-out="${BENCH_DIR}/counters_a.json"
+"${BUILD_DIR}/tools/pals_bench" --suite --warmup=0 --repetitions=1 \
+    --jobs=1 --quiet --out="${BENCH_DIR}/suite_b.json" \
+    --counters-out="${BENCH_DIR}/counters_b.json"
+"${BUILD_DIR}/tools/pals_bench" --suite --warmup=0 --repetitions=1 \
+    --jobs=4 --quiet --out="${BENCH_DIR}/suite_j4.json" \
+    --counters-out="${BENCH_DIR}/counters_j4.json"
+cmp "${BENCH_DIR}/counters_a.json" "${BENCH_DIR}/counters_b.json"
+cmp "${BENCH_DIR}/counters_a.json" "${BENCH_DIR}/counters_j4.json"
+"${BUILD_DIR}/tools/pals_json_check" --quiet --bench "${BENCH_DIR}/suite_a.json"
+"${BUILD_DIR}/tools/pals_json_check" --quiet --bench "${BENCH_DIR}/counters_a.json"
+# Self-compare exercises the full timing gate (must pass trivially);
+# cross-run and baseline compares gate counters only — 1-rep timing is
+# noise, but the work counters never are.
+"${BUILD_DIR}/tools/pals_bench" --compare \
+    "${BENCH_DIR}/suite_a.json" "${BENCH_DIR}/suite_a.json"
+"${BUILD_DIR}/tools/pals_bench" --compare --counters-only \
+    "${BENCH_DIR}/suite_a.json" "${BENCH_DIR}/suite_b.json"
+"${BUILD_DIR}/tools/pals_bench" --compare --counters-only \
+    BENCH_suite.json "${BENCH_DIR}/suite_a.json"
+
 echo "== tier 1: sweep determinism under ASan/UBSan (${ASAN_DIR}) =="
 cmake -B "${ASAN_DIR}" -S . -DPALS_SANITIZE="address;undefined"
 cmake --build "${ASAN_DIR}" -j "${JOBS}" --target test_sweep

@@ -1,0 +1,535 @@
+#include "obs/bench.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <set>
+
+#include "obs/record.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+
+namespace pals {
+namespace obs {
+namespace bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::string quoted(std::string_view s) {
+  return "\"" + json_escape(s) + "\"";
+}
+
+/// Timing direction for the compare gate, inferred from the metric name.
+enum class Direction { kLowerBetter, kHigherBetter, kUngated };
+
+Direction metric_direction(std::string_view name) {
+  if (ends_with(name, "_per_second")) return Direction::kHigherBetter;
+  if (ends_with(name, "_seconds")) return Direction::kLowerBetter;
+  return Direction::kUngated;
+}
+
+/// The member `key` of `object`, or a structural error naming `where`.
+const JsonValue& require_member(const JsonValue& object, const char* key,
+                                const std::string& where) {
+  PALS_CHECK_MSG(object.is_object(),
+                 "bench report: " << where << " is not an object");
+  const JsonValue* value = object.find(key);
+  PALS_CHECK_MSG(value != nullptr,
+                 "bench report: " << where << " is missing '" << key << "'");
+  return *value;
+}
+
+double require_number(const JsonValue& object, const char* key,
+                      const std::string& where) {
+  const JsonValue& value = require_member(object, key, where);
+  PALS_CHECK_MSG(value.is_number(),
+                 "bench report: " << where << "." << key << " is not a number");
+  return value.number;
+}
+
+std::string require_string(const JsonValue& object, const char* key,
+                           const std::string& where) {
+  const JsonValue& value = require_member(object, key, where);
+  PALS_CHECK_MSG(value.is_string(),
+                 "bench report: " << where << "." << key << " is not a string");
+  return value.string;
+}
+
+bool require_bool(const JsonValue& object, const char* key,
+                  const std::string& where) {
+  const JsonValue& value = require_member(object, key, where);
+  PALS_CHECK_MSG(value.is_bool(),
+                 "bench report: " << where << "." << key << " is not a bool");
+  return value.boolean;
+}
+
+MetricStats metric_from_json(const std::string& name, const JsonValue& value,
+                             const std::string& where) {
+  MetricStats stats;
+  stats.name = name;
+  stats.median = require_number(value, "median", where);
+  stats.mad = require_number(value, "mad", where);
+  stats.p95 = require_number(value, "p95", where);
+  stats.mean = require_number(value, "mean", where);
+  stats.min = require_number(value, "min", where);
+  stats.max = require_number(value, "max", where);
+  stats.cv = require_number(value, "cv", where);
+  stats.unstable = require_bool(value, "unstable", where);
+  const JsonValue& samples = require_member(value, "samples", where);
+  PALS_CHECK_MSG(samples.is_array(),
+                 "bench report: " << where << ".samples is not an array");
+  for (const JsonValue& sample : samples.array) {
+    PALS_CHECK_MSG(sample.is_number(),
+                   "bench report: " << where << ".samples holds a non-number");
+    stats.samples.push_back(sample.number);
+  }
+  return stats;
+}
+
+std::vector<CounterValue> counters_from_json(const JsonValue& value,
+                                             const std::string& where) {
+  PALS_CHECK_MSG(value.is_object(),
+                 "bench report: " << where << ".counters is not an object");
+  std::vector<CounterValue> counters;
+  for (const auto& [name, member] : value.object) {
+    PALS_CHECK_MSG(member.is_number(), "bench report: " << where
+                                                        << ".counters." << name
+                                                        << " is not a number");
+    counters.push_back(
+        {name, static_cast<std::int64_t>(std::llround(member.number))});
+  }
+  std::sort(counters.begin(), counters.end(),
+            [](const CounterValue& a, const CounterValue& b) {
+              return a.name < b.name;
+            });
+  return counters;
+}
+
+void render_counters(const std::vector<CounterValue>& counters,
+                     std::string& out) {
+  out += "{";
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    if (i > 0) out += ",";
+    out += quoted(counters[i].name) + ":" + std::to_string(counters[i].value);
+  }
+  out += "}";
+}
+
+void render_metric(const MetricStats& m, std::string& out) {
+  out += "{";
+  out += "\"median\":" + format_roundtrip(m.median);
+  out += ",\"mad\":" + format_roundtrip(m.mad);
+  out += ",\"p95\":" + format_roundtrip(m.p95);
+  out += ",\"mean\":" + format_roundtrip(m.mean);
+  out += ",\"min\":" + format_roundtrip(m.min);
+  out += ",\"max\":" + format_roundtrip(m.max);
+  out += ",\"cv\":" + format_roundtrip(m.cv);
+  out += std::string(",\"unstable\":") + (m.unstable ? "true" : "false");
+  out += ",\"samples\":[";
+  for (std::size_t i = 0; i < m.samples.size(); ++i) {
+    if (i > 0) out += ",";
+    out += format_roundtrip(m.samples[i]);
+  }
+  out += "]}";
+}
+
+/// The per-repetition deterministic work record: counter values and
+/// gauge values from the simulation-only view of a freshly reset
+/// registry (so every value is absolute per repetition). Histograms are
+/// skipped — their sums are doubles and not byte-stable by contract.
+std::vector<CounterValue> collect_counters(const Registry& registry) {
+  const MetricsSnapshot snap =
+      registry.snapshot().simulation_only();
+  std::vector<CounterValue> counters;
+  for (const MetricValue& m : snap.metrics) {
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        if (m.count > 0)
+          counters.push_back({m.name, static_cast<std::int64_t>(m.count)});
+        break;
+      case MetricKind::kGauge:
+        if (m.gauge != 0) counters.push_back({m.name, m.gauge});
+        break;
+      case MetricKind::kHistogram:
+        break;
+    }
+  }
+  return counters;  // snapshot is key-sorted, so counters already are
+}
+
+}  // namespace
+
+MetricStats summarize_metric(std::string name, std::vector<double> samples,
+                             double unstable_cv) {
+  PALS_CHECK_MSG(!samples.empty(),
+                 "benchmark metric '" << name << "' has no samples");
+  MetricStats stats;
+  stats.name = std::move(name);
+  const StatsSummary summary = summarize(samples);
+  stats.mean = summary.mean;
+  stats.min = summary.min;
+  stats.max = summary.max;
+  stats.median = percentile(samples, 50.0);
+  stats.p95 = percentile(samples, 95.0);
+  std::vector<double> deviations;
+  deviations.reserve(samples.size());
+  for (const double s : samples) deviations.push_back(std::abs(s - stats.median));
+  stats.mad = percentile(deviations, 50.0);
+  stats.cv = coefficient_of_variation(samples);
+  stats.unstable = stats.cv > unstable_cv;
+  stats.samples = std::move(samples);
+  return stats;
+}
+
+const MetricStats* CaseResult::find_timing(std::string_view metric) const {
+  for (const MetricStats& m : timing)
+    if (m.name == metric) return &m;
+  return nullptr;
+}
+
+const CounterValue* CaseResult::find_counter(std::string_view counter) const {
+  for (const CounterValue& c : counters)
+    if (c.name == counter) return &c;
+  return nullptr;
+}
+
+const CaseResult* Report::find(std::string_view case_name) const {
+  for (const CaseResult& c : cases)
+    if (c.name == case_name) return &c;
+  return nullptr;
+}
+
+bool Report::counters_deterministic() const {
+  return std::all_of(cases.begin(), cases.end(), [](const CaseResult& c) {
+    return c.counters_deterministic;
+  });
+}
+
+std::string Report::to_json() const {
+  std::string out = "{\n";
+  out += "  \"schema\": \"pals-bench\",\n";
+  out += "  \"schema_version\": " + std::to_string(schema_version) + ",\n";
+  out += "  \"suite\": " + quoted(suite) + ",\n";
+  out += "  \"methodology\": {\"warmup\": " +
+         std::to_string(methodology.warmup) +
+         ", \"repetitions\": " + std::to_string(methodology.repetitions) +
+         ", \"unstable_cv\": " + format_roundtrip(methodology.unstable_cv) +
+         "},\n";
+  out += "  \"env\": " + env.to_json() + ",\n";
+  out += "  \"peak_rss_bytes\": " + std::to_string(peak_rss_bytes) + ",\n";
+  out += "  \"cases\": [";
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const CaseResult& c = cases[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"name\": " + quoted(c.name) + ",\n";
+    out += std::string("     \"unstable\": ") +
+           (c.unstable ? "true" : "false") + ",\n";
+    out += std::string("     \"counters_deterministic\": ") +
+           (c.counters_deterministic ? "true" : "false") + ",\n";
+    out += "     \"timing\": {";
+    for (std::size_t t = 0; t < c.timing.size(); ++t) {
+      if (t > 0) out += ",";
+      out += "\n      " + quoted(c.timing[t].name) + ": ";
+      render_metric(c.timing[t], out);
+    }
+    if (!c.timing.empty()) out += "\n     ";
+    out += "},\n";
+    out += "     \"counters\": ";
+    render_counters(c.counters, out);
+    out += "}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+std::string Report::counters_json() const {
+  std::string out = "{\n";
+  out += "  \"schema\": \"pals-bench-counters\",\n";
+  out += "  \"schema_version\": " + std::to_string(schema_version) + ",\n";
+  out += "  \"suite\": " + quoted(suite) + ",\n";
+  out += "  \"cases\": [";
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"name\": " + quoted(cases[i].name) + ", \"counters\": ";
+    render_counters(cases[i].counters, out);
+    out += "}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+std::string Report::history_line() const {
+  std::string out = "{\"schema\":\"pals-bench-history\",\"schema_version\":" +
+                    std::to_string(schema_version) +
+                    ",\"git_sha\":" + quoted(env.git_sha) +
+                    ",\"suite\":" + quoted(suite) + ",\"cases\":{";
+  bool first = true;
+  for (const CaseResult& c : cases) {
+    const MetricStats* wall = c.find_timing("wall_seconds");
+    if (wall == nullptr) continue;
+    if (!first) out += ",";
+    first = false;
+    out += quoted(c.name) + ":{\"wall_seconds_median\":" +
+           format_roundtrip(wall->median) +
+           ",\"unstable\":" + (c.unstable ? "true" : "false") + "}";
+  }
+  out += "}}\n";
+  return out;
+}
+
+Report report_from_json(const JsonValue& document) {
+  PALS_CHECK_MSG(document.is_object(), "bench report: document is not an object");
+  const std::string schema = require_string(document, "schema", "document");
+  PALS_CHECK_MSG(schema == "pals-bench" || schema == "pals-bench-counters",
+                 "bench report: unknown schema '" << schema << "'");
+  const bool counters_only = schema == "pals-bench-counters";
+
+  Report report;
+  report.schema_version = static_cast<int>(
+      std::llround(require_number(document, "schema_version", "document")));
+  report.suite = require_string(document, "suite", "document");
+
+  if (!counters_only) {
+    const JsonValue& methodology =
+        require_member(document, "methodology", "document");
+    report.methodology.warmup = static_cast<int>(
+        std::llround(require_number(methodology, "warmup", "methodology")));
+    report.methodology.repetitions = static_cast<int>(std::llround(
+        require_number(methodology, "repetitions", "methodology")));
+    report.methodology.unstable_cv =
+        require_number(methodology, "unstable_cv", "methodology");
+
+    const JsonValue& env = require_member(document, "env", "document");
+    report.env.git_sha = require_string(env, "git_sha", "env");
+    report.env.compiler = require_string(env, "compiler", "env");
+    report.env.compiler_flags = require_string(env, "compiler_flags", "env");
+    report.env.build_type = require_string(env, "build_type", "env");
+    report.env.sanitizers = require_string(env, "sanitizers", "env");
+    report.env.cpu_count = static_cast<int>(
+        std::llround(require_number(env, "cpu_count", "env")));
+    report.peak_rss_bytes = static_cast<std::uint64_t>(
+        std::llround(require_number(document, "peak_rss_bytes", "document")));
+  }
+
+  const JsonValue& cases = require_member(document, "cases", "document");
+  PALS_CHECK_MSG(cases.is_array(), "bench report: cases is not an array");
+  std::set<std::string> seen;
+  for (const JsonValue& entry : cases.array) {
+    CaseResult result;
+    const std::string where_base = "cases[" + std::to_string(seen.size()) + "]";
+    result.name = require_string(entry, "name", where_base);
+    const std::string where = "case " + result.name;
+    PALS_CHECK_MSG(seen.insert(result.name).second,
+                   "bench report: duplicate case '" << result.name << "'");
+    result.counters =
+        counters_from_json(require_member(entry, "counters", where), where);
+    if (!counters_only) {
+      result.unstable = require_bool(entry, "unstable", where);
+      result.counters_deterministic =
+          require_bool(entry, "counters_deterministic", where);
+      const JsonValue& timing = require_member(entry, "timing", where);
+      PALS_CHECK_MSG(timing.is_object(),
+                     "bench report: " << where << ".timing is not an object");
+      for (const auto& [metric, value] : timing.object)
+        result.timing.push_back(
+            metric_from_json(metric, value, where + ".timing." + metric));
+      std::sort(result.timing.begin(), result.timing.end(),
+                [](const MetricStats& a, const MetricStats& b) {
+                  return a.name < b.name;
+                });
+    }
+    report.cases.push_back(std::move(result));
+  }
+  return report;
+}
+
+Report report_from_file(const std::string& path) {
+  return report_from_json(json_parse_file(path));
+}
+
+void Sink::sample(const std::string& metric, double value) {
+  PALS_CHECK_MSG(metric != "wall_seconds",
+                 "benchmark bodies may not sample 'wall_seconds' "
+                 "(the runner measures it)");
+  PALS_CHECK_MSG(samples_.emplace(metric, value).second,
+                 "benchmark metric '" << metric
+                                      << "' sampled twice in one repetition");
+}
+
+Report run_suite(const std::string& suite_name, const std::vector<Case>& cases,
+                 const RunOptions& options) {
+  PALS_CHECK_MSG(!cases.empty(), "benchmark suite '" << suite_name
+                                                     << "' has no cases");
+  {
+    std::set<std::string> names;
+    for (const Case& c : cases)
+      PALS_CHECK_MSG(names.insert(c.name).second,
+                     "duplicate benchmark case '" << c.name << "'");
+  }
+  Registry& registry =
+      options.registry != nullptr ? *options.registry : default_registry();
+  const Methodology& method = options.methodology;
+  PALS_CHECK_MSG(method.warmup >= 0, "bench warmup must be >= 0");
+  PALS_CHECK_MSG(method.repetitions > 0, "bench repetitions must be > 0");
+
+  Report report;
+  report.suite = suite_name;
+  report.methodology = method;
+  report.env = collect_env_info();
+
+  for (const Case& c : cases) {
+    if (options.log) options.log("case " + c.name);
+    for (int w = 0; w < method.warmup; ++w) {
+      registry.reset();
+      Sink sink;
+      c.body(sink);
+    }
+    std::map<std::string, std::vector<double>> samples;
+    std::vector<std::vector<CounterValue>> rep_counters;
+    for (int r = 0; r < method.repetitions; ++r) {
+      registry.reset();
+      Sink sink;
+      const auto start = Clock::now();
+      c.body(sink);
+      const double wall =
+          std::chrono::duration<double>(Clock::now() - start).count();
+      rep_counters.push_back(collect_counters(registry));
+      samples["wall_seconds"].push_back(wall);
+      for (const auto& [metric, value] : sink.samples())
+        samples[metric].push_back(value);
+    }
+    // Every repetition must contribute every metric, or the statistics
+    // would silently mix sample counts.
+    for (const auto& [metric, values] : samples)
+      PALS_CHECK_MSG(
+          values.size() == static_cast<std::size_t>(method.repetitions),
+          "benchmark case '" << c.name << "' sampled metric '" << metric
+                             << "' in only " << values.size() << "/"
+                             << method.repetitions << " repetitions");
+
+    CaseResult result;
+    result.name = c.name;
+    for (auto& [metric, values] : samples)
+      result.timing.push_back(
+          summarize_metric(metric, std::move(values), method.unstable_cv));
+    result.counters = rep_counters.front();
+    result.counters_deterministic =
+        std::all_of(rep_counters.begin(), rep_counters.end(),
+                    [&](const std::vector<CounterValue>& reps) {
+                      return reps == rep_counters.front();
+                    });
+    result.unstable =
+        std::any_of(result.timing.begin(), result.timing.end(),
+                    [](const MetricStats& m) { return m.unstable; });
+    report.cases.push_back(std::move(result));
+  }
+  report.peak_rss_bytes = peak_rss_bytes();
+  return report;
+}
+
+std::string CompareResult::to_text() const {
+  std::string out;
+  if (ok) {
+    out = "bench compare: OK\n";
+  } else {
+    out = "bench compare: FAIL (" + std::to_string(failures.size()) +
+          " failure" + (failures.size() == 1 ? "" : "s") + ")\n";
+  }
+  for (const CompareFailure& f : failures) {
+    out += "  FAIL ";
+    if (!f.case_name.empty()) out += "[" + f.case_name + "] ";
+    out += f.what + "\n";
+  }
+  for (const std::string& note : notes) out += "  note " + note + "\n";
+  return out;
+}
+
+CompareResult compare_reports(const Report& baseline, const Report& candidate,
+                              const CompareOptions& options) {
+  CompareResult result;
+  const auto fail = [&](const std::string& case_name, std::string what) {
+    result.ok = false;
+    result.failures.push_back({case_name, std::move(what)});
+  };
+
+  if (baseline.schema_version != candidate.schema_version) {
+    fail("", "schema_version mismatch: baseline " +
+                 std::to_string(baseline.schema_version) + " vs candidate " +
+                 std::to_string(candidate.schema_version));
+    return result;
+  }
+  if (baseline.suite != candidate.suite)
+    result.notes.push_back("suite name differs: '" + baseline.suite +
+                           "' vs '" + candidate.suite + "'");
+
+  for (const CaseResult& b : baseline.cases)
+    if (candidate.find(b.name) == nullptr)
+      fail(b.name, "case missing from candidate");
+  for (const CaseResult& c : candidate.cases)
+    if (baseline.find(c.name) == nullptr)
+      fail(c.name, "case missing from baseline (refresh the baseline)");
+
+  for (const CaseResult& b : baseline.cases) {
+    const CaseResult* c = candidate.find(b.name);
+    if (c == nullptr) continue;
+
+    // Hard gate: the deterministic section must agree byte-exactly.
+    if (!b.counters_deterministic || !c->counters_deterministic)
+      fail(b.name, "counters were not deterministic across repetitions");
+    for (const CounterValue& counter : b.counters) {
+      const CounterValue* other = c->find_counter(counter.name);
+      if (other == nullptr) {
+        fail(b.name, "counter '" + counter.name + "' missing from candidate");
+      } else if (other->value != counter.value) {
+        fail(b.name, "counter '" + counter.name + "' drifted: " +
+                         std::to_string(counter.value) + " -> " +
+                         std::to_string(other->value));
+      }
+    }
+    for (const CounterValue& counter : c->counters)
+      if (b.find_counter(counter.name) == nullptr)
+        fail(b.name, "counter '" + counter.name + "' missing from baseline");
+
+    if (options.counters_only) continue;
+
+    // Soft gate: timing medians within the relative threshold.
+    for (const MetricStats& bm : b.timing) {
+      const MetricStats* cm = c->find_timing(bm.name);
+      if (cm == nullptr) {
+        fail(b.name, "timing metric '" + bm.name + "' missing from candidate");
+        continue;
+      }
+      const Direction direction = metric_direction(bm.name);
+      if (direction == Direction::kUngated) continue;
+      if (bm.median <= 0.0) {
+        result.notes.push_back("[" + b.name + "] baseline median of '" +
+                               bm.name + "' is not positive; not gated");
+        continue;
+      }
+      if (bm.unstable || cm->unstable)
+        result.notes.push_back("[" + b.name + "] metric '" + bm.name +
+                               "' flagged unstable (CV " +
+                               format_fixed(bm.cv, 3) + " vs " +
+                               format_fixed(cm->cv, 3) + ")");
+      const double ratio = cm->median / bm.median;
+      const double limit = 1.0 + options.timing_threshold;
+      const bool regressed = direction == Direction::kLowerBetter
+                                 ? ratio > limit
+                                 : ratio < 1.0 / limit;
+      if (regressed)
+        fail(b.name, "timing regression on '" + bm.name + "': median " +
+                         format_roundtrip(bm.median) + " -> " +
+                         format_roundtrip(cm->median) + " (" +
+                         format_fixed(ratio, 3) + "x, limit " +
+                         format_fixed(limit, 3) + "x)");
+    }
+  }
+  return result;
+}
+
+}  // namespace bench
+}  // namespace obs
+}  // namespace pals

@@ -1,0 +1,68 @@
+#include "obs/envinfo.hpp"
+
+#include <thread>
+
+#include "util/json.hpp"
+
+// Configure-time facts, attached to this translation unit only (see
+// src/obs/CMakeLists.txt). Fallbacks keep non-CMake builds compiling.
+#ifndef PALS_GIT_SHA
+#define PALS_GIT_SHA "unknown"
+#endif
+#ifndef PALS_BUILD_TYPE
+#define PALS_BUILD_TYPE "unknown"
+#endif
+#ifndef PALS_CXX_FLAGS
+#define PALS_CXX_FLAGS ""
+#endif
+#ifndef PALS_SANITIZERS
+#define PALS_SANITIZERS "none"
+#endif
+
+namespace pals {
+namespace obs {
+namespace {
+
+std::string compiler_id() {
+#if defined(__clang__)
+  return "Clang " + std::to_string(__clang_major__) + "." +
+         std::to_string(__clang_minor__) + "." +
+         std::to_string(__clang_patchlevel__);
+#elif defined(__GNUC__)
+  return "GNU " + std::to_string(__GNUC__) + "." +
+         std::to_string(__GNUC_MINOR__) + "." +
+         std::to_string(__GNUC_PATCHLEVEL__);
+#elif defined(_MSC_VER)
+  return "MSVC " + std::to_string(_MSC_VER);
+#else
+  return "unknown";
+#endif
+}
+
+}  // namespace
+
+std::string EnvInfo::to_json() const {
+  std::string out = "{";
+  out += "\"git_sha\":\"" + json_escape(git_sha) + "\"";
+  out += ",\"compiler\":\"" + json_escape(compiler) + "\"";
+  out += ",\"compiler_flags\":\"" + json_escape(compiler_flags) + "\"";
+  out += ",\"build_type\":\"" + json_escape(build_type) + "\"";
+  out += ",\"sanitizers\":\"" + json_escape(sanitizers) + "\"";
+  out += ",\"cpu_count\":" + std::to_string(cpu_count);
+  out += "}";
+  return out;
+}
+
+EnvInfo collect_env_info() {
+  EnvInfo env;
+  env.git_sha = PALS_GIT_SHA;
+  env.compiler = compiler_id();
+  env.compiler_flags = PALS_CXX_FLAGS;
+  env.build_type = PALS_BUILD_TYPE;
+  env.sanitizers = PALS_SANITIZERS;
+  env.cpu_count = static_cast<int>(std::thread::hardware_concurrency());
+  return env;
+}
+
+}  // namespace obs
+}  // namespace pals

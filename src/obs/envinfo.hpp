@@ -1,0 +1,41 @@
+// pals::obs — environment fingerprint for benchmark reports.
+//
+// A benchmark number is meaningless without the environment it was
+// measured in: the same suite on the same commit produces different
+// wall-clock on a Debug build, under a sanitizer, or on a different
+// core count. EnvInfo pins the facts a reader needs to judge whether
+// two BENCH_*.json files are comparable — git SHA, compiler + flags,
+// build type, sanitizer state and CPU count.
+//
+// The build-side fields (SHA, flags, build type, sanitizers) are baked
+// in at CMake configure time via compile definitions on envinfo.cpp
+// only, so touching the SHA never rebuilds the rest of the library;
+// the runtime fields (CPU count) are sampled by collect_env_info().
+#pragma once
+
+#include <string>
+
+namespace pals {
+namespace obs {
+
+struct EnvInfo {
+  std::string git_sha;         ///< "a1b2c3d4e5f6" (configure-time; "unknown"
+                               ///< outside a git checkout)
+  std::string compiler;        ///< "GNU 13.2.0" / "Clang 17.0.1"
+  std::string compiler_flags;  ///< CMAKE_CXX_FLAGS + per-build-type flags
+  std::string build_type;      ///< "RelWithDebInfo", "Debug", ...
+  std::string sanitizers;      ///< "none" or the PALS_SANITIZE list
+  int cpu_count = 0;           ///< hardware_concurrency at run time
+
+  bool operator==(const EnvInfo&) const = default;
+
+  /// {"git_sha":...,"compiler":...,...} — one line, no trailing newline.
+  std::string to_json() const;
+};
+
+/// Sample the current process environment (build facts from the baked-in
+/// definitions, CPU count from the runtime).
+EnvInfo collect_env_info();
+
+}  // namespace obs
+}  // namespace pals

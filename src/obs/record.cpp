@@ -2,6 +2,10 @@
 
 #include "trace/io.hpp"
 
+#ifndef _WIN32
+#include <sys/resource.h>
+#endif
+
 namespace pals {
 namespace obs {
 
@@ -25,6 +29,25 @@ void record_thread_pool(const ThreadPoolStats& stats, Registry& registry) {
   for (std::size_t i = 0; i < stats.worker_busy_ns.size(); ++i)
     registry.gauge("pool.worker." + std::to_string(i) + ".busy_ns")
         .set(static_cast<std::int64_t>(stats.worker_busy_ns[i]));
+}
+
+std::uint64_t peak_rss_bytes() {
+#ifdef _WIN32
+  return 0;
+#else
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#ifdef __APPLE__
+  return static_cast<std::uint64_t>(usage.ru_maxrss);  // already bytes
+#else
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;  // KiB
+#endif
+#endif
+}
+
+void record_peak_rss(Registry& registry) {
+  registry.gauge("host.peak_rss_bytes")
+      .set(static_cast<std::int64_t>(peak_rss_bytes()));
 }
 
 }  // namespace obs

@@ -20,5 +20,13 @@ void record_trace_io(Registry& registry);
 /// "pool.*" (host metrics: excluded from determinism comparisons).
 void record_thread_pool(const ThreadPoolStats& stats, Registry& registry);
 
+/// The process's peak resident set size in bytes (getrusage high-water
+/// mark), or 0 where the platform offers no equivalent.
+std::uint64_t peak_rss_bytes();
+
+/// Record peak_rss_bytes() into `registry` as the "host.peak_rss_bytes"
+/// gauge (host metric: excluded from determinism comparisons).
+void record_peak_rss(Registry& registry);
+
 }  // namespace obs
 }  // namespace pals

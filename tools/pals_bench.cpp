@@ -1,0 +1,265 @@
+// pals_bench — the continuous-benchmarking observatory driver.
+//
+// Runs the registered macro-benchmark suite under the pals::obs::bench
+// methodology (docs/bench.md) and emits one schema-versioned report:
+//
+//   pals_bench --suite [--out BENCH_suite.json] [--counters-out FILE]
+//              [--history FILE] [--warmup N] [--repetitions N] [--jobs N]
+//              [--filter SUBSTRING] [--quiet]
+//   pals_bench --compare BASELINE.json CANDIDATE.json
+//              [--timing-threshold 0.5] [--counters-only]
+//   pals_bench --list
+//
+// Suite cases cover the hot paths ROADMAP item 3 will optimize: replay
+// throughput, the full DVFS pipeline, the parallel sweep engine, the
+// online-controller replay, the static bounds analyzer, trace binary
+// I/O and the trace linter. Every case carries deterministic work
+// counters from obs::default_registry() alongside its wall-clock
+// statistics; --compare gates byte-exactly on the former and with a
+// relative threshold on the latter. Exit codes: 0 ok, 1 regression /
+// counter drift / non-deterministic counters, 2 usage.
+#include <chrono>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/bounds.hpp"
+#include "analysis/experiments.hpp"
+#include "analysis/sweep.hpp"
+#include "core/controllers.hpp"
+#include "core/pipeline.hpp"
+#include "lint/lint.hpp"
+#include "obs/bench.hpp"
+#include "obs/record.hpp"
+#include "power/gearset.hpp"
+#include "replay/replay.hpp"
+#include "trace/binary_io.hpp"
+#include "trace/io.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/exit_codes.hpp"
+#include "util/fsio.hpp"
+#include "util/strings.hpp"
+#include "util/json.hpp"
+
+namespace pals {
+namespace {
+
+namespace bench = obs::bench;
+
+/// The registered macro suite. Traces are prebuilt into `cache` so case
+/// bodies measure the subsystem under test, not workload generation, and
+/// so the deterministic counters are identical from the first repetition
+/// (workload generation records no obs metrics, but trace parsing would).
+const Trace& suite_trace(TraceCache& cache, const std::string& spec) {
+  const WorkloadRef ref = resolve_workload(spec, 10);
+  return cache.get(ref.key, ref.build);
+}
+
+std::vector<bench::Case> build_suite(TraceCache& cache, int jobs) {
+  std::vector<bench::Case> cases;
+
+  // Raw DES throughput: one replay of the paper's CG-32 instance.
+  cases.push_back({"replay.throughput", [&cache](bench::Sink& sink) {
+    const Trace& trace = suite_trace(cache, "CG-32");
+    const auto start = std::chrono::steady_clock::now();
+    const ReplayResult result = replay(trace, ReplayConfig{});
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    if (seconds > 0.0)
+      sink.sample("events_per_second",
+                  static_cast<double>(result.simulated_events) / seconds);
+  }});
+
+  // The full power-analysis pipeline: baseline replay, assignment,
+  // rescale, scaled replay, energy.
+  cases.push_back({"pipeline.stages", [&cache](bench::Sink&) {
+    const Trace& trace = suite_trace(cache, "CG-32");
+    const PipelineConfig config = default_pipeline_config(paper_uniform(6));
+    const PipelineResult result = run_pipeline(trace, config);
+    if (result.scaled_time <= 0.0) throw Error("pipeline produced no result");
+  }});
+
+  // The parallel sweep engine over a small grid (2 workloads x 2 gear
+  // sets); cells_per_second is the sweep-scaling headline number.
+  cases.push_back({"sweep.cells", [&cache, jobs](bench::Sink& sink) {
+    suite_trace(cache, "cg:16:0.9:4");  // pre-warm so rep 1 matches rep N
+    suite_trace(cache, "mg:16:0.9:4");
+    SweepGrid grid;
+    grid.workloads = {"cg:16:0.9:4", "mg:16:0.9:4"};
+    grid.gear_sets = {"uniform-6", "avg-discrete"};
+    grid.iterations = 4;
+    SweepOptions options;
+    options.jobs = jobs;
+    options.trace_cache = &cache;
+    const SweepResult result = run_sweep(grid, options);
+    if (result.stats.scenarios_per_second > 0.0)
+      sink.sample("cells_per_second", result.stats.scenarios_per_second);
+  }});
+
+  // Online-controller replay: the slack controller re-solving every
+  // iteration of a drifting workload.
+  cases.push_back({"controller.replay", [&cache](bench::Sink&) {
+    const Trace& trace = suite_trace(cache, "amr-drift:16:0.9:8");
+    PipelineConfig config = default_pipeline_config(paper_uniform(6));
+    config.controller.kind = controller_by_name("slack");
+    const PipelineResult result = run_pipeline(trace, config);
+    if (result.scaled_time <= 0.0) throw Error("pipeline produced no result");
+  }});
+
+  // Static bounds analyzer (the sweep pruner's inner loop).
+  cases.push_back({"bounds.analyze", [&cache](bench::Sink&) {
+    const Trace& trace = suite_trace(cache, "CG-32");
+    const PipelineConfig config = default_pipeline_config(paper_uniform(6));
+    const bounds::ScenarioBounds result = bounds::analyze(trace, config);
+    if (result.makespan.hi <= 0.0) throw Error("bounds produced no result");
+  }});
+
+  // Trace binary serialization round trip. The process-wide I/O stats
+  // are reset first so the mirrored trace.io.* gauges are per-repetition.
+  cases.push_back({"trace.binary_io", [&cache](bench::Sink&) {
+    const Trace& trace = suite_trace(cache, "CG-32");
+    reset_trace_io_stats();
+    const std::vector<std::uint8_t> buffer = write_trace_binary(trace);
+    const Trace restored = read_trace_binary(buffer);
+    if (restored.total_events() != trace.total_events())
+      throw Error("binary round trip lost events");
+    obs::record_trace_io(obs::default_registry());
+  }});
+
+  // Static trace verification (all four lint passes, deadlock included).
+  cases.push_back({"lint.trace", [&cache](bench::Sink&) {
+    const Trace& trace = suite_trace(cache, "CG-32");
+    const lint::LintReport report = lint::lint_trace(trace);
+    if (report.has_errors()) throw Error("lint found errors in CG-32");
+  }});
+
+  return cases;
+}
+
+std::vector<bench::Case> filter_cases(std::vector<bench::Case> cases,
+                                      const std::string& needle) {
+  if (needle.empty()) return cases;
+  std::vector<bench::Case> kept;
+  for (auto& c : cases)
+    if (c.name.find(needle) != std::string::npos) kept.push_back(std::move(c));
+  PALS_CHECK_MSG(!kept.empty(), "--filter '" << needle
+                                             << "' matches no suite case");
+  return kept;
+}
+
+void append_history(const std::string& path, const bench::Report& report) {
+  DurableFile file = std::filesystem::exists(path)
+                         ? DurableFile::open_append(path)
+                         : DurableFile::create(path);
+  file.append(report.history_line());
+  file.sync();
+}
+
+int run_compare(const CliParser& cli) {
+  const auto& paths = cli.positional();
+  if (paths.size() != 2) {
+    std::cerr << "error: --compare needs exactly two report paths "
+                 "(baseline, candidate)\n";
+    return exit_code(ToolExit::kUsage);
+  }
+  const bench::Report baseline = bench::report_from_file(paths[0]);
+  const bench::Report candidate = bench::report_from_file(paths[1]);
+  bench::CompareOptions options;
+  options.timing_threshold = cli.get_double("timing-threshold", 0.5);
+  options.counters_only = cli.get_flag("counters-only");
+  const bench::CompareResult result =
+      bench::compare_reports(baseline, candidate, options);
+  std::cout << result.to_text();
+  return result.ok ? exit_code(ToolExit::kOk) : exit_code(ToolExit::kError);
+}
+
+int run(int argc, char** argv) {
+  CliParser cli;
+  cli.add_flag("suite", "run the macro-benchmark suite");
+  cli.add_flag("compare", "gate CANDIDATE.json against BASELINE.json");
+  cli.add_flag("list", "list registered suite cases");
+  cli.add_option("out", "full report path (--suite)", "BENCH_suite.json");
+  cli.add_option("counters-out",
+                 "also write the deterministic counters-only section here");
+  cli.add_option("history", "append a one-line trajectory record here");
+  cli.add_option("warmup", "discarded repetitions per case", "1");
+  cli.add_option("repetitions", "measured repetitions per case", "5");
+  cli.add_option("jobs", "worker threads for the sweep case", "1");
+  cli.add_option("filter", "run only cases whose name contains this");
+  cli.add_option("suite-name", "suite label recorded in the report", "macro");
+  cli.add_option("timing-threshold",
+                 "allowed relative timing drift (--compare)", "0.5");
+  cli.add_flag("counters-only", "gate only deterministic counters (--compare)");
+  cli.add_flag("quiet", "suppress per-case progress output");
+  cli.parse(argc, argv);
+
+  TraceCache cache;
+  if (cli.get_flag("list")) {
+    for (const bench::Case& c : build_suite(cache, 1)) std::cout << c.name << '\n';
+    return exit_code(ToolExit::kOk);
+  }
+  if (cli.get_flag("compare")) return run_compare(cli);
+  if (!cli.get_flag("suite")) {
+    std::cerr << cli.usage("pals_bench")
+              << "one of --suite, --compare or --list is required\n";
+    return exit_code(ToolExit::kUsage);
+  }
+
+  bench::RunOptions options;
+  options.methodology.warmup = static_cast<int>(cli.get_int("warmup", 1));
+  options.methodology.repetitions =
+      static_cast<int>(cli.get_int("repetitions", 5));
+  const bool quiet = cli.get_flag("quiet");
+  if (!quiet)
+    options.log = [](const std::string& line) {
+      std::cerr << "pals_bench: " << line << '\n';
+    };
+
+  const int jobs = static_cast<int>(cli.get_int("jobs", 1));
+  const std::vector<bench::Case> cases =
+      filter_cases(build_suite(cache, jobs), cli.get_or("filter", ""));
+
+  bench::Report report = bench::run_suite(cli.get("suite-name"), cases, options);
+
+  atomic_write_file(cli.get("out"), report.to_json());
+  if (cli.has("counters-out"))
+    atomic_write_file(cli.get("counters-out"), report.counters_json());
+  if (cli.has("history")) append_history(cli.get("history"), report);
+
+  if (!quiet) {
+    for (const bench::CaseResult& c : report.cases) {
+      const bench::MetricStats* wall = c.find_timing("wall_seconds");
+      std::cerr << "pals_bench: " << c.name << ": median "
+                << format_fixed(wall->median * 1e3, 3) << " ms (CV "
+                << format_fixed(wall->cv, 3) << (c.unstable ? ", UNSTABLE" : "")
+                << "), " << c.counters.size() << " counter(s)"
+                << (c.counters_deterministic ? "" : " NON-DETERMINISTIC")
+                << '\n';
+    }
+    std::cerr << "pals_bench: peak rss "
+              << report.peak_rss_bytes / (1024ull * 1024ull) << " MiB; report "
+              << cli.get("out") << '\n';
+  }
+
+  if (!report.counters_deterministic()) {
+    std::cerr << "pals_bench: FAIL: deterministic counters drifted across "
+                 "repetitions\n";
+    return exit_code(ToolExit::kError);
+  }
+  return exit_code(ToolExit::kOk);
+}
+
+}  // namespace
+}  // namespace pals
+
+int main(int argc, char** argv) {
+  try {
+    return pals::run(argc, argv);
+  } catch (const pals::Error& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return pals::exit_code(pals::ToolExit::kError);
+  }
+}

@@ -5,6 +5,7 @@
 //   pals_json_check m.json --require replay.events,pool.tasks_executed
 //   pals_json_check t.json --require traceEvents
 //   pals_json_check --journal run/journal.palsj
+//   pals_json_check --bench BENCH_suite.json
 //
 // Exit 0 when the file parses as JSON and every --require key is present;
 // a key counts as present when it appears as an object member anywhere in
@@ -16,11 +17,16 @@
 // record's checksum and semantics, via the same read_journal the resume
 // path uses. A torn trailing record is reported but accepted (exit 0) —
 // that is the crash signature resume repairs; anything else exits 1.
+//
+// --bench validates a pals::obs::bench report (full BENCH_*.json or the
+// counters-only section) by parsing it through bench::report_from_file —
+// any missing or mistyped member exits 1 naming the offending key.
 #include <iostream>
 #include <set>
 #include <string>
 
 #include "analysis/journal.hpp"
+#include "obs/bench.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
 #include "util/json.hpp"
@@ -66,21 +72,40 @@ int check_journal(const std::string& path, bool quiet) {
   return 0;
 }
 
+int check_bench(const std::string& path, bool quiet) {
+  const obs::bench::Report report = obs::bench::report_from_file(path);
+  if (report.schema_version != obs::bench::kSchemaVersion) {
+    std::cerr << path << ": bench schema_version " << report.schema_version
+              << " != expected " << obs::bench::kSchemaVersion << '\n';
+    return 1;
+  }
+  if (!report.counters_deterministic()) {
+    std::cerr << path << ": report records non-deterministic counters\n";
+    return 1;
+  }
+  if (!quiet)
+    std::cout << path << ": valid bench report, suite '" << report.suite
+              << "', " << report.cases.size() << " case(s)\n";
+  return 0;
+}
+
 int run(int argc, char** argv) {
   CliParser cli;
   cli.add_option("require", "comma-separated keys that must be present");
   cli.add_flag("journal", "validate a sweep run journal (.palsj) instead "
                           "of a JSON document");
+  cli.add_flag("bench", "validate a pals::obs::bench report (BENCH_*.json)");
   cli.add_flag("quiet", "no output on success");
   cli.add_flag("help", "show usage");
   cli.parse(argc, argv);
   if (cli.get_flag("help") || cli.positional().size() != 1) {
     std::cout << "usage: pals_json_check [--require k1,k2,...] [--journal] "
-                 "<file>\n";
+                 "[--bench] <file>\n";
     return cli.get_flag("help") ? 0 : 2;
   }
   const std::string path = cli.positional().front();
   if (cli.get_flag("journal")) return check_journal(path, cli.get_flag("quiet"));
+  if (cli.get_flag("bench")) return check_bench(path, cli.get_flag("quiet"));
   const JsonValue document = json_parse_file(path);
 
   std::set<std::string> keys;

@@ -98,6 +98,7 @@ int run(int argc, char** argv) {
   if (cli.has("config")) apply_config_file(options.config, cli.get("config"));
 
   const ProfileReport report = profile_pipeline(trace, options);
+  obs::record_peak_rss(obs::default_registry());
   const obs::MetricsSnapshot snapshot = obs::default_registry().snapshot();
 
   if (cli.has("metrics")) atomic_write_file(cli.get("metrics"), snapshot.to_json());
@@ -134,7 +135,9 @@ int run(int argc, char** argv) {
               << "  scenarios/sec:    "
               << format_fixed(report.pipelines_per_second, 1) << '\n'
               << "  simulated events: " << report.simulated_events << " ("
-              << format_fixed(report.events_per_second / 1e6, 2) << " M/s)\n";
+              << format_fixed(report.events_per_second / 1e6, 2) << " M/s)\n"
+              << "  peak rss:         "
+              << obs::peak_rss_bytes() / (1024ull * 1024ull) << " MiB\n";
     for (const PhaseProfile& phase : report.phases)
       std::cout << "  phase " << phase.name << ": "
                 << format_fixed(phase.seconds * 1e3, 3) << " ms over "

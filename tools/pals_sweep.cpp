@@ -74,10 +74,12 @@
 #include "fault/injector.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/metrics.hpp"
+#include "obs/record.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
 #include "util/exit_codes.hpp"
 #include "util/fsio.hpp"
+#include "util/strings.hpp"
 #include "util/thread_pool.hpp"
 
 namespace pals {
@@ -261,6 +263,18 @@ int run(int argc, char** argv) {
   }
 
   const SweepResult result = run_sweep(grid, options);
+
+  // The live ETA line above is TTY-gated; --progress always gets this
+  // final plain summary line, so CI logs and redirected runs still see
+  // the throughput at a glance.
+  if (cli.get_flag("progress") || cli.get_flag("force-progress")) {
+    std::cerr << "sweep: " << result.stats.scenarios << " cells in "
+              << format_fixed(result.stats.wall_seconds, 2) << " s ("
+              << format_fixed(result.stats.scenarios_per_second, 1)
+              << " cells/s), " << result.stats.pruned_cells << " pruned, "
+              << result.stats.quarantined << " errors, peak rss "
+              << obs::peak_rss_bytes() / (1024ull * 1024ull) << " MiB\n";
+  }
 
   if (cli.has("metrics"))
     atomic_write_file(cli.get("metrics"),
