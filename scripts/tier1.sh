@@ -147,6 +147,27 @@ rm -rf "${RESUME_DIR}"
     --run-dir="${RESUME_DIR}"
 "${ASAN_DIR}/tools/pals_json_check" --journal "${RESUME_DIR}/journal.palsj"
 
+echo "== tier 1: shard supervisor (pals_shepherd) under ASan/UBSan =="
+# The supervisor is fork/exec/waitpid plus signal plumbing — leak- and
+# lifetime-sensitive code a passing exit hides. The leg runs the shard
+# partition/merge/torture suite sanitized, then drives the smoke grid
+# through pals_shepherd with an injected mid-run SIGKILL and requires
+# the merged artifacts byte-identical to an unsharded --jobs=1 run.
+cmake --build "${ASAN_DIR}" -j "${JOBS}" --target test_shard pals_shepherd
+ctest --test-dir "${ASAN_DIR}" --output-on-failure -j "${JOBS}" \
+      -R 'ShardSpec|Partition|ShardMerge|ShepherdTorture'
+SHARD_DIR="${ASAN_DIR}/Testing/tier1-shard"
+rm -rf "${SHARD_DIR}"
+"${ASAN_DIR}/tools/pals_sweep" --grid=configs/shard_smoke.grid --jobs=1 \
+    --quiet --run-dir="${SHARD_DIR}/reference"
+"${ASAN_DIR}/tools/pals_shepherd" --grid=configs/shard_smoke.grid \
+    --shards=3 --jobs=1 --quiet --heartbeat=0.05 \
+    --chaos-kill=1:1 --max-shard-restarts=2 \
+    --backoff-base=0.01 --backoff-cap=0.05 \
+    --run-dir="${SHARD_DIR}/sharded"
+cmp "${SHARD_DIR}/reference/results.csv" "${SHARD_DIR}/sharded/results.csv"
+cmp "${SHARD_DIR}/reference/errors.csv" "${SHARD_DIR}/sharded/errors.csv"
+
 # ThreadSanitizer is the race detector proper, but not every toolchain
 # image ships its runtime — probe before committing to the leg.
 echo "== tier 1: probing for ThreadSanitizer support =="

@@ -104,6 +104,15 @@ std::string pruned_payload(const JournalRecord& record) {
   return os.str();
 }
 
+std::string heartbeat_payload(const JournalRecord& record) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.field(record.shard)
+      .field(static_cast<long long>(record.cells_done))
+      .field(format_roundtrip(record.unix_seconds));
+  return os.str();
+}
+
 JournalRecord parse_record(std::string_view kind, const std::string& index,
                            const std::string& payload) {
   JournalRecord record;
@@ -130,6 +139,14 @@ JournalRecord parse_record(std::string_view kind, const std::string& index,
     record.lb_normalized_time = parse_double(fields[2]);
     record.lb_normalized_energy = parse_double(fields[3]);
     record.dominated_by = static_cast<std::size_t>(parse_int(fields[4]));
+  } else if (kind == "H") {
+    record.kind = JournalRecord::Kind::kHeartbeat;
+    PALS_CHECK_MSG(fields.size() == 3,
+                   "journal heartbeat record: expected 3 csv fields, got "
+                       << fields.size());
+    record.shard = fields[0];
+    record.cells_done = static_cast<std::size_t>(parse_int(fields[1]));
+    record.unix_seconds = parse_double(fields[2]);
   } else {
     record.kind = JournalRecord::Kind::kError;
     PALS_CHECK_MSG(fields.size() == 7, "journal error record: expected 7 csv "
@@ -197,14 +214,17 @@ JournalHeader JournalHeader::from_json_line(const std::string& line) {
 }
 
 std::string JournalRecord::to_line() const {
-  const std::string kind_token =
-      kind == Kind::kRow ? "R" : kind == Kind::kPruned ? "P" : "E";
+  const std::string kind_token = kind == Kind::kRow         ? "R"
+                                 : kind == Kind::kPruned    ? "P"
+                                 : kind == Kind::kHeartbeat ? "H"
+                                                            : "E";
   const std::string index_token = std::to_string(index);
-  const std::string payload = kind == Kind::kRow
-                                  ? row_payload(row)
-                                  : kind == Kind::kPruned
-                                        ? pruned_payload(*this)
-                                        : error_payload(*this);
+  const std::string payload = kind == Kind::kRow ? row_payload(row)
+                              : kind == Kind::kPruned
+                                  ? pruned_payload(*this)
+                              : kind == Kind::kHeartbeat
+                                  ? heartbeat_payload(*this)
+                                  : error_payload(*this);
   return kind_token + ' ' + index_token + ' ' +
          checksum_hex(kind_token, index_token, payload) + ' ' + payload;
 }
@@ -282,8 +302,10 @@ JournalReadReport read_journal(const std::string& path) {
       kind = structured ? line.substr(0, s1) : "";
       index = structured ? line.substr(s1 + 1, s2 - s1 - 1) : "";
       payload = structured ? line.substr(s3 + 1) : "";
+      const bool known_kind =
+          kind == "R" || kind == "E" || kind == "P" || kind == "H";
       const bool intact =
-          structured && (kind == "R" || kind == "E" || kind == "P") &&
+          structured && known_kind &&
           line.substr(s2 + 1, s3 - s2 - 1) == checksum_hex(kind, index, payload);
       if (!intact) {
         if (is_tail) {
@@ -291,7 +313,7 @@ JournalReadReport read_journal(const std::string& path) {
           break;
         }
         if (!structured) throw fail("not a 'kind index checksum payload' record");
-        if (kind != "R" && kind != "E" && kind != "P")
+        if (!known_kind)
           throw fail("unknown record kind '" + kind + "'");
         throw fail("record checksum mismatch (bit corruption)");
       }
@@ -301,6 +323,13 @@ JournalReadReport read_journal(const std::string& path) {
     // inconsistency from here on is real corruption even on the tail.
     try {
       JournalRecord record = parse_record(kind, index, payload);
+      if (record.kind == JournalRecord::Kind::kHeartbeat) {
+        // Liveness evidence, not a cell outcome: heartbeat sequence
+        // numbers are unbounded and may repeat across worker restarts,
+        // so they bypass the per-cell slot/duplicate machinery entirely.
+        report.heartbeats.push_back(std::move(record));
+        continue;
+      }
       PALS_CHECK_MSG(
           record.index < report.header.scenarios,
           "record index " << record.index << " out of range (header declares "

@@ -15,6 +15,15 @@
 //   R <index> <crc32> <csv payload of the result row>      <- per cell
 //   E <index> <crc32> <csv payload of the quarantined error>
 //   P <index> <crc32> <csv payload of the pruned cell>      <- --prune-bounds
+//   H <seq> <crc32> <csv payload of a liveness heartbeat>   <- sharded runs
+//
+// Heartbeat records (docs/sharding.md) are *liveness* evidence, not cell
+// outcomes: a sharded worker appends one every --heartbeat interval so
+// the pals_shepherd supervisor can tell a slow shard from a hung one.
+// Their index is a monotonically increasing sequence number, they carry
+// host wall-clock time, and read_journal collects them separately — they
+// never touch the per-cell slots, so resume and the merged CSVs stay
+// byte-identical whether or not heartbeats were enabled.
 //
 // The checksum covers `<kind> <index> <payload>`; doubles are serialized
 // with format_roundtrip (17 significant digits) so the resumed rows
@@ -53,12 +62,15 @@ struct JournalHeader {
   static JournalHeader from_json_line(const std::string& line);
 };
 
-/// One journaled terminal cell.
+/// One journaled terminal cell — or, for Kind::kHeartbeat, one liveness
+/// beat of a sharded worker (never a cell outcome).
 struct JournalRecord {
-  enum class Kind { kRow, kError, kPruned };
+  enum class Kind { kRow, kError, kPruned, kHeartbeat };
 
   Kind kind = Kind::kRow;
-  std::size_t index = 0;  ///< canonical grid index
+  /// Canonical grid index (kRow/kError/kPruned) or the heartbeat
+  /// sequence number (kHeartbeat).
+  std::size_t index = 0;
 
   /// kind == kRow: the completed cell's result row.
   ExperimentRow row;
@@ -82,6 +94,15 @@ struct JournalRecord {
   double lb_normalized_time = 0.0;
   double lb_normalized_energy = 0.0;
   std::size_t dominated_by = 0;
+
+  /// kind == kHeartbeat: the worker's shard label ("2/5", or "0/1" for
+  /// an unsharded run), how many cells it had completed when the beat
+  /// was written, and the host wall clock (Unix seconds). Host time is
+  /// deliberately confined to this record kind — cell records must stay
+  /// byte-identical across runs, heartbeats exist to carry liveness.
+  std::string shard;
+  std::size_t cells_done = 0;
+  double unix_seconds = 0.0;
 
   /// Serialized record line (no trailing newline).
   std::string to_line() const;
@@ -114,8 +135,12 @@ class JournalWriter {
 
 struct JournalReadReport {
   JournalHeader header;
-  /// Validated records in file order, identical duplicates collapsed.
+  /// Validated *cell* records in file order, identical duplicates
+  /// collapsed. Never contains heartbeats.
   std::vector<JournalRecord> records;
+  /// Heartbeat records in file order (docs/sharding.md). Liveness
+  /// evidence only: resume and the shard merge ignore them.
+  std::vector<JournalRecord> heartbeats;
   /// A torn final record was dropped (crash mid-append); the affected
   /// cell simply re-runs.
   bool tail_dropped = false;

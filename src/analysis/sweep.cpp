@@ -20,6 +20,7 @@
 #include "obs/span.hpp"
 #include "power/gearset.hpp"
 #include "replay/replay.hpp"
+#include "shard/partition.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
 #include "util/fsio.hpp"
@@ -95,6 +96,50 @@ class ProgressMonitor {
   const obs::Counter& completed_;
   std::uint64_t baseline_;
   Clock::time_point start_;
+  std::thread thread_;
+  std::mutex mutex_;
+  std::condition_variable stop_;
+  bool done_ = false;
+};
+
+/// Background liveness beater for SweepOptions::heartbeat_interval_seconds
+/// (docs/sharding.md): wakes every interval and invokes the supplied
+/// journal-append callback. Joined before run_sweep returns, so no beat
+/// can outlive the journal.
+class HeartbeatMonitor {
+ public:
+  HeartbeatMonitor(double interval_seconds, std::function<void()> beat)
+      : beat_(std::move(beat)) {
+    if (interval_seconds <= 0.0 || !beat_) return;
+    active_ = true;
+    thread_ = std::thread([this, interval_seconds] {
+      std::unique_lock<std::mutex> lock(mutex_);
+      while (!done_) {
+        stop_.wait_for(lock, std::chrono::duration<double>(interval_seconds));
+        if (done_) break;
+        lock.unlock();
+        beat_();
+        lock.lock();
+      }
+    });
+  }
+
+  ~HeartbeatMonitor() {
+    if (!active_) return;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      done_ = true;
+    }
+    stop_.notify_all();
+    thread_.join();
+  }
+
+  HeartbeatMonitor(const HeartbeatMonitor&) = delete;
+  HeartbeatMonitor& operator=(const HeartbeatMonitor&) = delete;
+
+ private:
+  std::function<void()> beat_;
+  bool active_ = false;
   std::thread thread_;
   std::mutex mutex_;
   std::condition_variable stop_;
@@ -221,6 +266,9 @@ std::string SweepStats::to_kv() const {
   put("skipped_cells", std::to_string(skipped_cells));
   put("journal_records", std::to_string(journal_records));
   put("pruned_cells", std::to_string(pruned_cells));
+  put("shard_cells_owned", std::to_string(shard_cells_owned));
+  put("shard_cells_foreign", std::to_string(shard_cells_foreign));
+  put("heartbeats_written", std::to_string(heartbeats_written));
   return out;
 }
 
@@ -316,6 +364,13 @@ SweepResult run_sweep(const std::vector<Scenario>& scenarios,
   options.base.validate();
   PALS_CHECK_MSG(options.cell_timeout_seconds >= 0.0,
                  "cell_timeout_seconds must be >= 0 (0 disables the watchdog)");
+  PALS_CHECK_MSG(options.shard_count >= 1, "shard_count must be >= 1");
+  PALS_CHECK_MSG(options.shard_index < options.shard_count,
+                 "shard_index " << options.shard_index
+                     << " out of range (shard_count " << options.shard_count
+                     << ")");
+  PALS_CHECK_MSG(options.heartbeat_interval_seconds >= 0.0,
+                 "heartbeat_interval_seconds must be >= 0 (0 disables)");
   const auto sweep_start = Clock::now();
   obs::Registry& reg = obs::default_registry();
   obs::Registry* span_reg = options.base.observe ? &reg : nullptr;
@@ -342,6 +397,29 @@ SweepResult run_sweep(const std::vector<Scenario>& scenarios,
     scenario_controllers.push_back(
         s.controller.empty() ? ControllerKind::kStatic
                              : controller_by_name(s.controller));
+  }
+
+  // Sharded execution (docs/sharding.md): ownership is a pure function of
+  // the canonical index (or of the workload key when prune_bounds keeps
+  // groups shard-local), so every shard — and the supervisor's merge —
+  // derives the same partition with no coordination. Foreign cells are
+  // never run, journaled or counted as skipped.
+  const shard::ShardSpec shard_spec{options.shard_index, options.shard_count};
+  std::vector<char> owned(scenarios.size(), 1);
+  std::size_t owned_cells = scenarios.size();
+  if (shard_spec.active()) {
+    owned_cells = 0;
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+      const std::size_t home =
+          options.prune_bounds
+              ? shard::shard_of_group(workloads[scenario_workload[i]].key,
+                                      shard_spec.count)
+              : shard::shard_of_cell(i, shard_spec.count);
+      owned[i] = home == shard_spec.index ? 1 : 0;
+      owned_cells += static_cast<std::size_t>(owned[i]);
+    }
+    reg.counter("shard.cells_owned").add(owned_cells);
+    reg.counter("shard.cells_foreign").add(scenarios.size() - owned_cells);
   }
 
   TraceCache private_cache;
@@ -447,6 +525,37 @@ SweepResult run_sweep(const std::vector<Scenario>& scenarios,
   const std::atomic<bool>* cancel = options.cancel;
   std::atomic<std::size_t> skipped{0};
 
+  // Liveness heartbeats (docs/sharding.md): a background thread appends
+  // one "H" record per interval so pals_shepherd can tell a slow shard
+  // from a hung one. Sequence numbers continue past any heartbeats the
+  // resumed journal already holds; the beat deliberately bypasses
+  // on_journal_record (--kill-after counts *cell* records, and a
+  // host-timed beat must not shift that deterministic point).
+  obs::Counter& completed = reg.counter("sweep.scenarios_completed");
+  const std::uint64_t completed_baseline = completed.value();
+  std::size_t heartbeat_seq =
+      options.resume != nullptr ? options.resume->heartbeats.size() : 0;
+  std::size_t heartbeats_written = 0;
+  std::optional<HeartbeatMonitor> heartbeat;
+  if (options.heartbeat_interval_seconds > 0.0 && journal.has_value()) {
+    const std::string shard_label = shard_spec.to_string();
+    heartbeat.emplace(options.heartbeat_interval_seconds, [&, shard_label] {
+      JournalRecord record;
+      record.kind = JournalRecord::Kind::kHeartbeat;
+      record.shard = shard_label;
+      record.unix_seconds =
+          std::chrono::duration<double>(
+              std::chrono::system_clock::now().time_since_epoch())
+              .count();
+      std::lock_guard<std::mutex> lock(journal_mutex);
+      record.index = heartbeat_seq++;
+      record.cells_done =
+          static_cast<std::size_t>(completed.value() - completed_baseline);
+      journal->append(record);
+      ++heartbeats_written;
+    });
+  }
+
   // Phase 1: one trace + baseline replay per unique workload. The
   // baseline depends only on the trace and the platform, so every
   // scenario of the workload shares it. With the opt-in lint hook
@@ -457,7 +566,8 @@ SweepResult run_sweep(const std::vector<Scenario>& scenarios,
   // quarantined — independent workloads still produce results.
   std::vector<char> workload_needed(workloads.size(), 0);
   for (std::size_t i = 0; i < scenarios.size(); ++i)
-    if (done[i] == 0) workload_needed[scenario_workload[i]] = 1;
+    if (done[i] == 0 && owned[i] != 0)
+      workload_needed[scenario_workload[i]] = 1;
   std::size_t baselines_needed = 0;
   for (const char needed : workload_needed)
     baselines_needed += static_cast<std::size_t>(needed);
@@ -508,11 +618,10 @@ SweepResult run_sweep(const std::vector<Scenario>& scenarios,
   // backoff; persistent failures quarantine the cell when keep_going is
   // set and abort the sweep with cell context otherwise.
   std::vector<fault::GuardOutcome> cell_outcomes(scenarios.size());
-  obs::Counter& completed = reg.counter("sweep.scenarios_completed");
   {
     ProgressMonitor progress(options.progress_stream,
                              options.progress_interval_seconds,
-                             scenarios.size(), completed, completed.value());
+                             owned_cells, completed, completed.value());
     PALS_SPAN("sweep.scenarios", span_reg);
     // Durably journal one terminal record. Appends are serialized: the
     // journal is append-only and fsync'd per record, so at most one
@@ -527,6 +636,7 @@ SweepResult run_sweep(const std::vector<Scenario>& scenarios,
         options.on_journal_record(journal->records_appended());
     };
     const auto run_cell = [&](std::size_t i) {
+      if (owned[i] == 0) return;  // another shard's cell (docs/sharding.md)
       if (done[i] != 0) {
         // Resumed from the journal: the slot is already terminal.
         completed.add(1);
@@ -709,6 +819,7 @@ SweepResult run_sweep(const std::vector<Scenario>& scenarios,
     }
   }
   obs::record_thread_pool(pool.stats(), reg);
+  heartbeat.reset();  // join the beater; heartbeats_written is now settled
 
   // Merge the slots in canonical order: successes into rows, failures
   // into errors. Without faults and with healthy workloads every slot is
@@ -757,6 +868,9 @@ SweepResult run_sweep(const std::vector<Scenario>& scenarios,
   stats.resumed_cells = resumed_cells;
   stats.skipped_cells = skipped.load();
   stats.pruned_cells = result.pruned.size();
+  stats.shard_cells_owned = owned_cells;
+  stats.shard_cells_foreign = scenarios.size() - owned_cells;
+  stats.heartbeats_written = heartbeats_written;
   stats.journal_records = journal.has_value() ? journal->records_appended() : 0;
   result.interrupted = stats.skipped_cells > 0;
   if (faults != nullptr || options.keep_going) {

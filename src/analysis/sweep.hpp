@@ -161,6 +161,27 @@ struct SweepOptions {
   /// --interrupt-after use it to die at a deterministic point.
   std::function<void(std::size_t)> on_journal_record;
 
+  // --- Sharded execution (docs/sharding.md) --------------------------------
+
+  /// Deterministic shard partitioning: this process owns only the grid
+  /// cells shard::shard_of_cell (or, with prune_bounds, whole workload
+  /// groups via shard::shard_of_group) assigns to shard_index of
+  /// shard_count. Foreign cells are not run, journaled or counted as
+  /// skipped; the shard's results/errors/pruned cover exactly its own
+  /// subset, and pals_shepherd's merge folds the shards back into the
+  /// unsharded byte-identical artifacts. shard_count == 1 (default)
+  /// disables sharding. Execution-only — excluded from
+  /// sweep_config_hash, so every shard journal (and the unsharded run)
+  /// shares one hash.
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
+  /// Liveness heartbeats (docs/sharding.md): when > 0 and a journal is
+  /// active, a background thread appends one "H" record every interval
+  /// so a supervisor can tell a slow worker from a hung one. Host-time
+  /// dependent, liveness-only; never invokes on_journal_record and
+  /// never affects cell records or merged CSVs. 0 (default) disables.
+  double heartbeat_interval_seconds = 0.0;
+
   // --- Static bounds integration (docs/bounds.md) --------------------------
 
   /// Branch-and-bound cell pruning: before a cell replays, its static
@@ -242,6 +263,11 @@ struct SweepStats {
   std::size_t journal_records = 0; ///< records durably appended this run
   /// Cells skipped by --prune-bounds (docs/bounds.md); deterministic.
   std::size_t pruned_cells = 0;
+  /// Sharded execution accounting (docs/sharding.md); owned/foreign are
+  /// deterministic, heartbeats are host-time driven.
+  std::size_t shard_cells_owned = 0;    ///< cells this shard is assigned
+  std::size_t shard_cells_foreign = 0;  ///< cells owned by other shards
+  std::size_t heartbeats_written = 0;   ///< "H" records appended this run
 
   /// "key = value" lines, parseable by util/kvconfig.hpp.
   std::string to_kv() const;

@@ -15,6 +15,7 @@ std::string to_string(ErrorClass error_class) {
     case ErrorClass::kDeadlock: return "deadlock";
     case ErrorClass::kLint: return "lint";
     case ErrorClass::kResource: return "resource";
+    case ErrorClass::kShardLost: return "shard-lost";
   }
   return "unknown";
 }
@@ -44,6 +45,7 @@ ErrorClass error_class_from_string(const std::string& name) {
   if (name == "deadlock") return ErrorClass::kDeadlock;
   if (name == "lint") return ErrorClass::kLint;
   if (name == "resource") return ErrorClass::kResource;
+  if (name == "shard-lost") return ErrorClass::kShardLost;
   throw Error("unknown error class '" + name + "'");
 }
 

@@ -27,6 +27,8 @@ enum class ErrorClass {
   kDeadlock,   ///< replay deadlock (blocked dependency cycle)
   kLint,       ///< static trace verification failed
   kResource,   ///< allocation failure
+  kShardLost,  ///< shard worker exhausted its restart budget; the cell was
+               ///< quarantined by the supervisor (docs/sharding.md)
 };
 
 std::string to_string(ErrorClass error_class);

@@ -1,0 +1,73 @@
+// Deterministic fold of shard journals into unsharded artifacts
+// (docs/sharding.md).
+//
+// Every shard of a sweep journals its owned cells with the same
+// config_hash and full-grid scenario count as an unsharded run would
+// (sharding is execution-only). The merge validates each journal
+// against the live sweep, drops every record into its canonical grid
+// slot, and re-renders results.csv / errors.csv / pruned.csv from the
+// slots — the same path an in-process sweep takes — so the merged
+// artifacts are byte-identical to a single-process `--jobs=1` run
+// regardless of shard count, crash schedule or retry history.
+//
+// A cell recorded by two journals with identical content is collapsed;
+// conflicting duplicates throw (two shards disagreeing about one cell
+// means the partition was violated — refusing beats guessing). Cells no
+// journal covers are reported in `missing`; the supervisor quarantines
+// them as "shard-lost" when a shard exhausted its restart budget, or
+// leaves them pending on a cooperative interrupt.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analysis/sweep.hpp"
+
+namespace pals {
+namespace shard {
+
+struct MergeReport {
+  /// Successful cells in canonical grid order.
+  std::vector<ExperimentRow> rows;
+  /// Quarantined cells (journaled errors + extra_errors), canonical order.
+  std::vector<ScenarioError> errors;
+  /// Pruned cells, canonical order (only under prune_bounds).
+  std::vector<PrunedCell> pruned;
+  /// Canonical indices no journal (and no extra error) covered.
+  std::vector<std::size_t> missing;
+  /// Journals folded (absent paths are skipped, not errors: a shard that
+  /// died before creating its journal simply contributes nothing).
+  std::size_t journals_read = 0;
+  /// Liveness heartbeats seen across all journals (ignored by the fold).
+  std::size_t heartbeats_seen = 0;
+  /// A torn trailing record was dropped in at least one journal.
+  bool tail_dropped = false;
+
+  bool complete() const { return missing.empty(); }
+};
+
+/// Fold the shard journals at `journal_paths` into canonical-order
+/// results for `scenarios` under `options` (used for the config hash and
+/// the prune_bounds flag — execution-only knobs are ignored, exactly as
+/// sweep_config_hash does). `extra_errors` are supervisor-synthesized
+/// quarantines (shard-lost cells) slotted alongside the journaled ones.
+/// Throws pals::Error on a journal whose header disagrees with the live
+/// sweep, on interior corruption, or on conflicting duplicate cells.
+MergeReport merge_shard_journals(const std::vector<Scenario>& scenarios,
+                                 const SweepOptions& options,
+                                 const std::vector<std::string>& journal_paths,
+                                 const std::vector<ScenarioError>&
+                                     extra_errors = {});
+
+/// Synthesize the quarantine record for a cell whose owning shard was
+/// lost (restart budget exhausted, salvage failed): class "shard-lost",
+/// workload display and variant derived exactly as the sweep engine
+/// would, so the merged errors.csv stays canonical.
+ScenarioError make_shard_lost_error(const std::vector<Scenario>& scenarios,
+                                    int iterations, std::size_t index,
+                                    const std::string& message,
+                                    int attempts);
+
+}  // namespace shard
+}  // namespace pals

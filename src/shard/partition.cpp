@@ -1,0 +1,49 @@
+#include "shard/partition.hpp"
+
+#include "util/error.hpp"
+#include "util/fsio.hpp"
+#include "util/strings.hpp"
+
+namespace pals {
+namespace shard {
+
+ShardSpec ShardSpec::parse(const std::string& text) {
+  const std::size_t slash = text.find('/');
+  PALS_CHECK_MSG(slash != std::string::npos && slash > 0 &&
+                     slash + 1 < text.size(),
+                 "shard spec '" << text << "' is not of the form i/N");
+  ShardSpec spec;
+  spec.index = static_cast<std::size_t>(parse_int(text.substr(0, slash)));
+  spec.count = static_cast<std::size_t>(parse_int(text.substr(slash + 1)));
+  PALS_CHECK_MSG(spec.count >= 1,
+                 "shard spec '" << text << "': shard count must be >= 1");
+  PALS_CHECK_MSG(spec.index < spec.count,
+                 "shard spec '" << text << "': index " << spec.index
+                                << " out of range (count " << spec.count
+                                << ")");
+  return spec;
+}
+
+std::string ShardSpec::to_string() const {
+  return std::to_string(index) + "/" + std::to_string(count);
+}
+
+std::size_t shard_of_cell(std::size_t cell_index, std::size_t shard_count) {
+  PALS_CHECK_MSG(shard_count >= 1, "shard count must be >= 1");
+  if (shard_count == 1) return 0;
+  // Domain-tagged so a cell hash can never collide with a group hash of
+  // the same spelling.
+  const std::string key = "pals-shard-cell|" + std::to_string(cell_index);
+  return static_cast<std::size_t>(fnv1a64(key) % shard_count);
+}
+
+std::size_t shard_of_group(const std::string& workload_key,
+                           std::size_t shard_count) {
+  PALS_CHECK_MSG(shard_count >= 1, "shard count must be >= 1");
+  if (shard_count == 1) return 0;
+  const std::string key = "pals-shard-group|" + workload_key;
+  return static_cast<std::size_t>(fnv1a64(key) % shard_count);
+}
+
+}  // namespace shard
+}  // namespace pals

@@ -1,0 +1,58 @@
+// Deterministic shard partitioning for multi-process sweeps
+// (docs/sharding.md).
+//
+// `pals_sweep --shard i/N` must run a *stable* subset of the canonical
+// grid: the subset may depend only on the cell's canonical index (or,
+// for bound-pruned sweeps, its workload key), never on timing, thread
+// count, or which shards happen to be alive — otherwise two shards
+// could both run a cell (conflicting journals) or both skip it (holes
+// in the merge). The assignment is a pure FNV-1a hash mod N, so:
+//
+//  * every cell belongs to exactly one shard at a given N;
+//  * the assignment is identical in every process that computes it
+//    (worker, supervisor, merge) with no coordination;
+//  * changing N reshuffles the subsets but the *union* is always the
+//    full grid, so merged artifacts are byte-identical across N.
+//
+// Two granularities:
+//
+//  * by cell (the default): cells scatter hash-uniformly across shards.
+//  * by workload group (`--prune-bounds` sweeps): every cell of one
+//    workload lands on the same shard, because a prune decision for
+//    cell i consults the completed earlier cells of i's workload —
+//    keeping the group shard-local keeps the decision sequence exactly
+//    what a single-process run would derive.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace pals {
+namespace shard {
+
+/// A worker's identity: "this process runs shard `index` of `count`".
+/// count == 1 means unsharded (every cell is owned).
+struct ShardSpec {
+  std::size_t index = 0;
+  std::size_t count = 1;
+
+  /// Parse "i/N" (e.g. "2/5"); throws pals::Error unless 0 <= i < N.
+  static ShardSpec parse(const std::string& text);
+
+  bool active() const { return count > 1; }
+  /// "i/N" — the inverse of parse(); also the heartbeat shard label.
+  std::string to_string() const;
+};
+
+/// Owning shard of canonical grid cell `cell_index` at `shard_count`
+/// shards. Pure; shard_count must be >= 1.
+std::size_t shard_of_cell(std::size_t cell_index, std::size_t shard_count);
+
+/// Owning shard of a whole workload group, keyed by the workload's
+/// canonical cache key (WorkloadRef::key). Pure; shard_count must be
+/// >= 1.
+std::size_t shard_of_group(const std::string& workload_key,
+                           std::size_t shard_count);
+
+}  // namespace shard
+}  // namespace pals

@@ -1,0 +1,355 @@
+#include "shard/supervisor.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <ostream>
+#include <thread>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+namespace pals {
+namespace shard {
+
+std::string shard_run_dir(const std::string& run_dir, std::size_t shard) {
+  return run_dir + "/shard-" + std::to_string(shard);
+}
+
+#ifdef _WIN32
+
+SupervisorResult supervise_shards(const SupervisorOptions&) {
+  throw Error("pals_shepherd requires a POSIX host (fork/exec/waitpid)");
+}
+
+#else
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+enum class ShardState {
+  kBackoff,      // waiting for its (re)launch deadline
+  kRunning,
+  kSalvageWait,  // budget exhausted; queued for one salvage attempt
+  kDone,
+  kLost,
+  kInterrupted,
+};
+
+bool terminal(ShardState state) {
+  return state == ShardState::kDone || state == ShardState::kLost ||
+         state == ShardState::kInterrupted;
+}
+
+struct ShardSlot {
+  ShardOutcome outcome;
+  ShardState state = ShardState::kBackoff;
+  pid_t pid = -1;
+  Clock::time_point deadline{};     // kBackoff: relaunch at this instant
+  Clock::time_point last_growth{};  // last observed journal growth
+  std::uintmax_t size_at_launch = 0;
+  std::uintmax_t last_size = 0;
+  bool salvaging = false;  // current run is the one salvage attempt
+  bool stopped = false;    // SIGSTOPped by chaos; watchdog must notice
+  int chaos_kills_left = 0;
+  bool chaos_stop_pending = false;
+};
+
+std::uintmax_t file_size_or_zero(const std::string& path) {
+  std::error_code ec;
+  const std::uintmax_t size = std::filesystem::file_size(path, ec);
+  return ec ? 0 : size;
+}
+
+/// Collapse a wait(2) status onto the shell convention (128 + signal).
+int decode_wait_status(int status) {
+  if (WIFEXITED(status)) return WEXITSTATUS(status);
+  if (WIFSIGNALED(status)) return 128 + WTERMSIG(status);
+  return 128;
+}
+
+pid_t launch_worker(const SupervisorOptions& options, std::size_t shard_index,
+                    bool resume) {
+  const std::string dir = shard_run_dir(options.run_dir, shard_index);
+  std::filesystem::create_directories(dir);
+  std::vector<std::string> args;
+  args.push_back(options.worker_binary);
+  args.insert(args.end(), options.worker_args.begin(),
+              options.worker_args.end());
+  args.push_back("--shard=" + std::to_string(shard_index) + "/" +
+                 std::to_string(options.shards));
+  args.push_back(resume ? "--resume=" + dir : "--run-dir=" + dir);
+  args.push_back("--jobs=" + std::to_string(options.jobs_per_shard));
+  if (options.heartbeat_seconds > 0.0)
+    args.push_back("--heartbeat=" +
+                   format_roundtrip(options.heartbeat_seconds));
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (std::string& arg : args) argv.push_back(arg.data());
+  argv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  PALS_CHECK_MSG(pid >= 0, "fork failed for shard " << shard_index);
+  if (pid == 0) {
+    // Own process group: supervisor signals target the whole worker
+    // (and anything it spawns) without ever touching its siblings, and
+    // a terminal ^C at the shepherd does not reach the workers directly
+    // — the shepherd propagates it as a cooperative SIGTERM drain.
+    ::setpgid(0, 0);
+    const std::string log_path = dir + "/worker.log";
+    const int fd =
+        ::open(log_path.c_str(), O_CREAT | O_WRONLY | O_APPEND, 0644);
+    if (fd >= 0) {
+      ::dup2(fd, STDOUT_FILENO);
+      ::dup2(fd, STDERR_FILENO);
+      if (fd > STDERR_FILENO) ::close(fd);
+    }
+    ::execv(argv[0], argv.data());
+    ::_exit(127);
+  }
+  // Also from the parent, so the group exists before any signal is sent
+  // regardless of who wins the fork/exec race (EACCES after exec is
+  // fine: the child already did it).
+  ::setpgid(pid, pid);
+  return pid;
+}
+
+}  // namespace
+
+SupervisorResult supervise_shards(const SupervisorOptions& options) {
+  PALS_CHECK_MSG(options.shards >= 1, "need at least one shard");
+  PALS_CHECK_MSG(!options.worker_binary.empty(),
+                 "worker binary path is empty");
+  PALS_CHECK_MSG(std::filesystem::exists(options.worker_binary),
+                 "worker binary '" << options.worker_binary
+                                   << "' does not exist");
+  PALS_CHECK_MSG(!options.run_dir.empty(), "run dir is empty");
+  PALS_CHECK_MSG(options.max_shard_restarts >= 0,
+                 "max_shard_restarts must be >= 0");
+  PALS_CHECK_MSG(options.backoff_base_seconds >= 0.0 &&
+                     options.backoff_cap_seconds >= 0.0,
+                 "backoff must be >= 0");
+  PALS_CHECK_MSG(options.poll_seconds > 0.0, "poll_seconds must be > 0");
+  std::filesystem::create_directories(options.run_dir);
+
+  std::vector<ShardSlot> slots(options.shards);
+  for (std::size_t i = 0; i < options.shards; ++i) {
+    slots[i].outcome.shard = i;
+    slots[i].outcome.run_dir = shard_run_dir(options.run_dir, i);
+    slots[i].deadline = Clock::now();  // first launch is immediate
+  }
+  for (const ChaosKill& chaos : options.chaos_kill) {
+    PALS_CHECK_MSG(chaos.shard < options.shards,
+                   "chaos-kill shard " << chaos.shard << " out of range");
+    slots[chaos.shard].chaos_kills_left += chaos.kills;
+  }
+  for (const std::size_t s : options.chaos_stop) {
+    PALS_CHECK_MSG(s < options.shards,
+                   "chaos-stop shard " << s << " out of range");
+    slots[s].chaos_stop_pending = true;
+  }
+
+  // No orphans on any exit path (return or exception): SIGKILL every
+  // process group still alive and reap it.
+  struct Reaper {
+    std::vector<ShardSlot>* slots;
+    ~Reaper() {
+      for (ShardSlot& slot : *slots) {
+        if (slot.pid <= 0) continue;
+        ::kill(-slot.pid, SIGKILL);
+        int status = 0;
+        ::waitpid(slot.pid, &status, 0);
+        slot.pid = -1;
+      }
+    }
+  } reaper{&slots};
+
+  const auto log_line = [&](const std::string& text) {
+    if (options.log == nullptr) return;
+    *options.log << "shepherd: " << text << '\n' << std::flush;
+  };
+  const auto label = [&](std::size_t i) {
+    return std::to_string(i) + "/" + std::to_string(options.shards);
+  };
+  const auto journal_path = [&](std::size_t i) {
+    return shard_run_dir(options.run_dir, i) + "/journal.palsj";
+  };
+  const auto backoff_delay = [&](int restart) {
+    double delay = options.backoff_base_seconds;
+    for (int i = 1; i < restart; ++i) delay *= 2.0;
+    return std::min(delay, options.backoff_cap_seconds);
+  };
+  const auto launch = [&](std::size_t i, bool salvage) {
+    ShardSlot& slot = slots[i];
+    // A worker SIGKILLed before JournalWriter::create committed leaves
+    // no journal; relaunching with --resume would then be refused, so
+    // fall back to a fresh --run-dir in that case.
+    const bool resume = std::filesystem::exists(journal_path(i));
+    slot.pid = launch_worker(options, i, resume);
+    slot.state = ShardState::kRunning;
+    slot.salvaging = salvage;
+    slot.stopped = false;
+    slot.size_at_launch = file_size_or_zero(journal_path(i));
+    slot.last_size = slot.size_at_launch;
+    slot.last_growth = Clock::now();
+  };
+
+  bool draining = false;
+  while (true) {
+    // Cooperative stop: propagate SIGTERM to every running group once;
+    // pending relaunches and salvage attempts are abandoned. Workers
+    // drain in-flight cells into their journals and exit "interrupted".
+    if (!draining && options.cancel != nullptr &&
+        options.cancel->load(std::memory_order_relaxed)) {
+      draining = true;
+      log_line("stop requested; draining shards");
+      for (ShardSlot& slot : slots) {
+        if (slot.state == ShardState::kRunning && slot.pid > 0) {
+          ::kill(-slot.pid, SIGTERM);
+          if (slot.stopped) ::kill(-slot.pid, SIGCONT);
+        } else if (!terminal(slot.state)) {
+          slot.state = ShardState::kInterrupted;
+          slot.outcome.interrupted = true;
+        }
+      }
+    }
+
+    bool all_terminal = true;
+    for (std::size_t i = 0; i < options.shards; ++i) {
+      ShardSlot& slot = slots[i];
+      if (slot.state == ShardState::kRunning) {
+        int status = 0;
+        const pid_t reaped = ::waitpid(slot.pid, &status, WNOHANG);
+        if (reaped == slot.pid) {
+          slot.pid = -1;
+          const int code = decode_wait_status(status);
+          slot.outcome.last_status = code;
+          if (code == 0 || code == 3) {
+            // 3 = completed with quarantined cells: the worker finished
+            // its subset, some cells are journaled as errors. Terminal.
+            slot.state = ShardState::kDone;
+            slot.outcome.completed = true;
+            slot.outcome.salvaged = slot.salvaging;
+            log_line("shard " + label(i) + " completed (exit " +
+                     std::to_string(code) + ")");
+          } else if (code == 4 && draining) {
+            slot.state = ShardState::kInterrupted;
+            slot.outcome.interrupted = true;
+            log_line("shard " + label(i) + " drained");
+          } else if (draining) {
+            // Crashed during the drain: no restarts once stopping.
+            slot.state = ShardState::kInterrupted;
+            slot.outcome.interrupted = true;
+            log_line("shard " + label(i) + " died during drain (status " +
+                     std::to_string(code) + ")");
+          } else if (slot.salvaging) {
+            slot.state = ShardState::kLost;
+            slot.outcome.lost = true;
+            log_line("shard " + label(i) + " salvage failed (status " +
+                     std::to_string(code) + "); shard lost");
+          } else if (slot.outcome.restarts < options.max_shard_restarts) {
+            ++slot.outcome.restarts;
+            const double delay = backoff_delay(slot.outcome.restarts);
+            slot.outcome.backoff_seconds += delay;
+            slot.deadline =
+                Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                   std::chrono::duration<double>(delay));
+            slot.state = ShardState::kBackoff;
+            log_line("shard " + label(i) + " died (status " +
+                     std::to_string(code) + "); restart " +
+                     std::to_string(slot.outcome.restarts) + "/" +
+                     std::to_string(options.max_shard_restarts) + " in " +
+                     format_fixed(delay, 3) + "s");
+          } else if (options.reassign) {
+            slot.state = ShardState::kSalvageWait;
+            log_line("shard " + label(i) +
+                     " exhausted its restart budget (status " +
+                     std::to_string(code) +
+                     "); reassigning its cells to a surviving slot");
+          } else {
+            slot.state = ShardState::kLost;
+            slot.outcome.lost = true;
+            log_line("shard " + label(i) +
+                     " exhausted its restart budget (status " +
+                     std::to_string(code) + "); shard lost");
+          }
+        } else {
+          // Still running: track journal growth, inject chaos, watchdog.
+          const std::uintmax_t size = file_size_or_zero(journal_path(i));
+          if (size > slot.last_size) {
+            slot.last_size = size;
+            slot.last_growth = Clock::now();
+          }
+          if (!slot.stopped && size > slot.size_at_launch) {
+            if (slot.chaos_kills_left > 0) {
+              --slot.chaos_kills_left;
+              ++slot.outcome.chaos_kills;
+              ::kill(-slot.pid, SIGKILL);
+              log_line("chaos: SIGKILL shard " + label(i));
+            } else if (slot.chaos_stop_pending) {
+              slot.chaos_stop_pending = false;
+              slot.stopped = true;
+              ::kill(-slot.pid, SIGSTOP);
+              log_line("chaos: SIGSTOP shard " + label(i));
+            }
+          }
+          if (options.watchdog_seconds > 0.0 &&
+              seconds_since(slot.last_growth) > options.watchdog_seconds) {
+            // Hung (or chaos-stopped): the journal stopped growing even
+            // though heartbeats should keep it moving. SIGKILL works on
+            // stopped processes too.
+            ++slot.outcome.watchdog_kills;
+            slot.stopped = false;
+            ::kill(-slot.pid, SIGKILL);
+            slot.last_growth = Clock::now();  // rearm for the reap
+            log_line("watchdog: shard " + label(i) +
+                     " journal stalled; SIGKILL");
+          }
+        }
+      } else if (slot.state == ShardState::kBackoff) {
+        if (Clock::now() >= slot.deadline) {
+          launch(i, /*salvage=*/false);
+          log_line("shard " + label(i) +
+                   (slot.outcome.restarts > 0 ? " restarted" : " launched"));
+        }
+      } else if (slot.state == ShardState::kSalvageWait) {
+        // The partition is a pure function of the spec, so any process
+        // can finish this shard's subset; run the salvage attempt in a
+        // fresh worker occupying the dead shard's slot.
+        launch(i, /*salvage=*/true);
+        log_line("shard " + label(i) + " salvage attempt started");
+      }
+      if (!terminal(slot.state)) all_terminal = false;
+    }
+    if (all_terminal) break;
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(options.poll_seconds));
+  }
+
+  SupervisorResult result;
+  result.interrupted = draining;
+  for (ShardSlot& slot : slots) {
+    result.degraded = result.degraded || slot.outcome.lost;
+    result.restarts_total += static_cast<std::size_t>(slot.outcome.restarts);
+    result.shards.push_back(std::move(slot.outcome));
+  }
+  return result;
+}
+
+#endif  // _WIN32
+
+}  // namespace shard
+}  // namespace pals

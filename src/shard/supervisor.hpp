@@ -1,0 +1,128 @@
+// Shard supervisor: launch, watch, restart (docs/sharding.md).
+//
+// supervise_shards() forks one `pals_sweep --shard i/N` worker per
+// shard, each in its own process group and its own run directory under
+// the supervisor's parent run dir, and drives them to completion
+// through a small per-shard state machine:
+//
+//   running --crash/hang--> backoff --deadline--> running (--resume)
+//   running --exit 0/3----> done
+//   backoff budget exhausted --> salvage queue --> lost or salvaged
+//
+//  * Crash: the worker exits nonzero or dies on a signal. It restarts
+//    with `--resume` after a capped exponential host-side backoff, up
+//    to max_shard_restarts times.
+//  * Hang: with a watchdog armed, a worker whose journal has not grown
+//    for watchdog_seconds (heartbeats keep a live worker's journal
+//    growing even between slow cells) is SIGKILLed — process group and
+//    all — and takes the same restart path.
+//  * Exhausted budget: with reassignment on, the dead shard's resume is
+//    salvaged once in a surviving slot (the partition is a pure
+//    function, so any process can finish any shard's subset); if that
+//    also fails the shard is lost and its remaining cells are
+//    quarantined as "shard-lost" by the caller.
+//  * Cooperative stop: when the cancel flag rises (pals_shepherd's
+//    SIGINT/SIGTERM handler), every worker group gets SIGTERM, drains
+//    its in-flight cells into its journal and exits `interrupted`; no
+//    orphans survive the supervisor (a scope guard SIGKILLs any
+//    still-running group on every exit path).
+//
+// Chaos hooks (tests): the supervisor knows the worker pids, so the
+// torture tests inject faults here instead of guessing pids —
+// chaos_kill SIGKILLs a shard's group after its journal first grows
+// (i.e. mid-run), chaos_stop SIGSTOPs it once so the watchdog must
+// notice the stall.
+//
+// POSIX-only (fork/exec/waitpid); on other platforms supervise_shards
+// throws.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pals {
+namespace shard {
+
+/// Test hook: SIGKILL shard `shard`'s process group `kills` times, each
+/// time after its journal has grown past the size at (re)launch.
+struct ChaosKill {
+  std::size_t shard = 0;
+  int kills = 1;
+};
+
+struct SupervisorOptions {
+  /// Path to the pals_sweep binary the workers exec.
+  std::string worker_binary;
+  /// Arguments every worker shares (grid, config, fault plan, --quiet,
+  /// ...). The supervisor appends the per-shard --shard/--run-dir (or
+  /// --resume), --jobs and --heartbeat flags itself.
+  std::vector<std::string> worker_args;
+  /// Parent run directory; shard i journals into shard_run_dir(run_dir, i).
+  std::string run_dir;
+  std::size_t shards = 2;
+  /// Worker threads per shard (pals_sweep --jobs).
+  int jobs_per_shard = 1;
+  /// Worker heartbeat interval, seconds (0 disables --heartbeat).
+  double heartbeat_seconds = 0.0;
+  /// Journal-stall watchdog, seconds (0 disables hang detection). Arm
+  /// together with heartbeats, else a slow cell looks like a hang.
+  double watchdog_seconds = 0.0;
+  /// Restarts per shard before its budget is exhausted.
+  int max_shard_restarts = 2;
+  /// Capped exponential backoff between restarts (host-side sleep).
+  double backoff_base_seconds = 0.05;
+  double backoff_cap_seconds = 1.0;
+  /// Salvage an exhausted shard's resume once in a surviving slot before
+  /// declaring it lost.
+  bool reassign = true;
+  /// Supervisor poll interval, seconds.
+  double poll_seconds = 0.02;
+  std::vector<ChaosKill> chaos_kill;
+  /// Test hook: SIGSTOP these shards once, after first journal growth.
+  std::vector<std::size_t> chaos_stop;
+  /// Progress/restart log lines ("shepherd: ..."); null disables.
+  std::ostream* log = nullptr;
+  /// Cooperative stop flag (not owned; may be set from a signal handler).
+  const std::atomic<bool>* cancel = nullptr;
+};
+
+struct ShardOutcome {
+  std::size_t shard = 0;
+  std::string run_dir;
+  int restarts = 0;
+  /// Host backoff scheduled across restarts, seconds.
+  double backoff_seconds = 0.0;
+  /// Final wait status, exit-code convention (128 + N for signal N).
+  int last_status = 0;
+  bool completed = false;    ///< terminal success (exit 0 or 3)
+  bool interrupted = false;  ///< drained after the cooperative stop
+  bool lost = false;         ///< budget exhausted (salvage failed too)
+  bool salvaged = false;     ///< finished by a reassigned salvage run
+  std::size_t watchdog_kills = 0;
+  std::size_t chaos_kills = 0;
+};
+
+struct SupervisorResult {
+  std::vector<ShardOutcome> shards;
+  bool interrupted = false;  ///< the cancel flag stopped the run
+  bool degraded = false;     ///< at least one shard was lost
+  std::size_t restarts_total = 0;
+
+  bool any_lost() const { return degraded; }
+};
+
+/// Shard i's run directory under the supervisor's parent run dir.
+std::string shard_run_dir(const std::string& run_dir, std::size_t shard);
+
+/// Launch and supervise the shard workers; returns when every shard is
+/// terminal (done, lost, or drained after a cooperative stop). Throws
+/// pals::Error on setup failures (unlaunchable worker binary, bad
+/// options) — never because a *worker* failed; worker failures are data
+/// in the result.
+SupervisorResult supervise_shards(const SupervisorOptions& options);
+
+}  // namespace shard
+}  // namespace pals

@@ -22,6 +22,12 @@ enum class ToolExit : int {
   /// finished and were journaled, pending cells were skipped. The run is
   /// resumable with --resume.
   kInterrupted = 4,
+  /// Completed degraded: a supervised shard exhausted its restart budget
+  /// and its remaining cells were quarantined into errors.csv with the
+  /// "shard-lost" class (pals_shepherd; docs/sharding.md). Every other
+  /// cell produced its normal result — the artifacts are complete but
+  /// partial-by-quarantine, never silently missing rows.
+  kDegraded = 5,
 };
 
 constexpr int exit_code(ToolExit code) { return static_cast<int>(code); }

@@ -74,6 +74,16 @@ JournalRecord error_record(std::size_t index) {
   return record;
 }
 
+JournalRecord heartbeat_record(std::size_t seq) {
+  JournalRecord record;
+  record.kind = JournalRecord::Kind::kHeartbeat;
+  record.index = seq;
+  record.shard = "1/3";
+  record.cells_done = seq;
+  record.unix_seconds = 1754600000.25 + static_cast<double>(seq);
+  return record;
+}
+
 /// Write a complete, valid journal and return its path.
 fs::path write_valid_journal(const std::string& name) {
   const fs::path path = temp_journal(name);
@@ -128,6 +138,46 @@ TEST(JournalRecord, ErrorRoundTripPreservesMultilineMessage) {
   EXPECT_EQ(error.retries, expected.retries);
   EXPECT_EQ(error.backoff_seconds, expected.backoff_seconds);
   EXPECT_EQ(error.message, expected.message);
+}
+
+TEST(JournalRecord, HeartbeatRoundTripsAndStaysOutOfCellRecords) {
+  const fs::path path = temp_journal("journal_heartbeat.palsj");
+  fs::remove(path);
+  JournalWriter writer = JournalWriter::create(path.string(), test_header());
+  writer.append(heartbeat_record(0));
+  writer.append(row_record(0));
+  writer.append(heartbeat_record(1));
+  writer.append(error_record(1));
+  const JournalReadReport report = read_journal(path.string());
+  // Heartbeats are liveness evidence, never cell outcomes: they are
+  // collected separately and must not occupy (or shadow) cell slots.
+  ASSERT_EQ(report.records.size(), 2u);
+  ASSERT_EQ(report.heartbeats.size(), 2u);
+  const JournalRecord& beat = report.heartbeats[1];
+  const JournalRecord expected = heartbeat_record(1);
+  EXPECT_EQ(beat.kind, JournalRecord::Kind::kHeartbeat);
+  EXPECT_EQ(beat.index, expected.index);
+  EXPECT_EQ(beat.shard, expected.shard);
+  EXPECT_EQ(beat.cells_done, expected.cells_done);
+  EXPECT_EQ(beat.unix_seconds, expected.unix_seconds);
+}
+
+TEST(JournalRead, HeartbeatSequenceIsUnboundedAndMayRepeat) {
+  // A restarted worker begins a fresh heartbeat sequence in the same
+  // journal, and sequence numbers are not grid indices: neither the
+  // out-of-range check nor duplicate collapsing applies to them.
+  const fs::path path = temp_journal("journal_heartbeat_seq.palsj");
+  fs::remove(path);
+  JournalWriter writer = JournalWriter::create(path.string(), test_header(2));
+  writer.append(heartbeat_record(0));
+  writer.append(heartbeat_record(99));  // >> scenarios
+  JournalRecord repeat = heartbeat_record(0);
+  repeat.cells_done = 7;  // same seq, different beat: both kept
+  writer.append(repeat);
+  const JournalReadReport report = read_journal(path.string());
+  EXPECT_TRUE(report.records.empty());
+  ASSERT_EQ(report.heartbeats.size(), 3u);
+  EXPECT_EQ(report.heartbeats[2].cells_done, 7u);
 }
 
 TEST(JournalRead, TornFinalRecordIsDroppedNotFatal) {
@@ -243,8 +293,9 @@ TEST(JournalRead, MissingFileThrows) {
                Error);
 }
 
-// Committed corpus: checksum-free structural damage (header corruption
-// in every variation). Mirrors tests/trace/corrupt/.
+// Committed corpus: structural damage — header corruption in every
+// variation, plus an interior heartbeat record with a wrong checksum.
+// Mirrors tests/trace/corrupt/.
 TEST(JournalCorpus, EveryFixtureYieldsStructuredError) {
   const fs::path dir =
       fs::path(PALS_SOURCE_DIR) / "tests" / "resume" / "corrupt";
@@ -263,6 +314,28 @@ TEST(JournalCorpus, EveryFixtureYieldsStructuredError) {
       FAIL() << fixture.filename() << " threw a non-pals exception";
     }
   }
+}
+
+// Committed good fixture: a sharded worker's journal with heartbeats
+// interleaved between cell records, including a sequence restart after
+// a worker relaunch. Pins the on-disk spelling of "H" records — a
+// format drift would break pals_shepherd against old run dirs.
+TEST(JournalCorpus, InterleavedHeartbeatFixtureParses) {
+  const fs::path fixture = fs::path(PALS_SOURCE_DIR) / "tests" / "resume" /
+                           "fixtures" / "heartbeat_interleaved.palsj";
+  const JournalReadReport report = read_journal(fixture.string());
+  EXPECT_FALSE(report.tail_dropped);
+  ASSERT_EQ(report.records.size(), 3u);
+  EXPECT_EQ(report.records[0].kind, JournalRecord::Kind::kRow);
+  EXPECT_EQ(report.records[1].kind, JournalRecord::Kind::kError);
+  EXPECT_EQ(report.records[2].kind, JournalRecord::Kind::kRow);
+  ASSERT_EQ(report.heartbeats.size(), 3u);
+  EXPECT_EQ(report.heartbeats[0].shard, "1/3");
+  EXPECT_EQ(report.heartbeats[0].index, 0u);
+  EXPECT_EQ(report.heartbeats[1].index, 1u);
+  // The third beat restarts the sequence: a relaunched worker.
+  EXPECT_EQ(report.heartbeats[2].index, 0u);
+  EXPECT_EQ(report.heartbeats[2].cells_done, 2u);
 }
 
 }  // namespace

@@ -1,0 +1,48 @@
+# End-to-end byte-identity check for sharded sweeps (docs/sharding.md):
+# the same grid run unsharded at --jobs=1, supervised at 2 and 5 shards,
+# and supervised with an injected mid-run SIGKILL must all produce
+# byte-identical results.csv / errors.csv.
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+function(run_step)
+  execute_process(COMMAND ${ARGN} RESULT_VARIABLE code)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "step failed (${code}): ${ARGN}")
+  endif()
+endfunction()
+
+function(expect_same_artifacts dir label)
+  foreach(artifact results.csv errors.csv)
+    execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                    ${WORK_DIR}/shepherd_ref/${artifact} ${dir}/${artifact}
+                    RESULT_VARIABLE diff)
+    if(NOT diff EQUAL 0)
+      message(FATAL_ERROR "${label}: ${artifact} differs from the "
+                          "unsharded --jobs=1 reference")
+    endif()
+  endforeach()
+endfunction()
+
+# Unsharded reference.
+file(REMOVE_RECURSE ${WORK_DIR}/shepherd_ref)
+run_step(${PALS_SWEEP} --grid=${GRID} --jobs=1 --quiet
+         --run-dir=${WORK_DIR}/shepherd_ref)
+
+# Clean supervised runs at two shard counts.
+foreach(shards 2 5)
+  file(REMOVE_RECURSE ${WORK_DIR}/shepherd_s${shards})
+  run_step(${PALS_SHEPHERD} --grid=${GRID} --shards=${shards} --jobs=1
+           --quiet --sweep-bin=${PALS_SWEEP}
+           --run-dir=${WORK_DIR}/shepherd_s${shards})
+  expect_same_artifacts(${WORK_DIR}/shepherd_s${shards} "${shards} shards")
+endforeach()
+
+# Chaos leg: SIGKILL shard 1 mid-run; the supervisor must restart it
+# with --resume and still merge byte-identical artifacts.
+file(REMOVE_RECURSE ${WORK_DIR}/shepherd_chaos)
+run_step(${PALS_SHEPHERD} --grid=${GRID} --shards=3 --jobs=1 --quiet
+         --sweep-bin=${PALS_SWEEP} --heartbeat=0.05
+         --chaos-kill=1:1 --max-shard-restarts=2
+         --backoff-base=0.01 --backoff-cap=0.05
+         --run-dir=${WORK_DIR}/shepherd_chaos)
+expect_same_artifacts(${WORK_DIR}/shepherd_chaos "chaos restart")

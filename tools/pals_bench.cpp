@@ -12,8 +12,8 @@
 //
 // Suite cases cover the hot paths ROADMAP item 3 will optimize: replay
 // throughput, the full DVFS pipeline, the parallel sweep engine, the
-// online-controller replay, the static bounds analyzer, trace binary
-// I/O and the trace linter. Every case carries deterministic work
+// sharded sweep + journal merge, the online-controller replay, the
+// static bounds analyzer, trace binary I/O and the trace linter. Every case carries deterministic work
 // counters from obs::default_registry() alongside its wall-clock
 // statistics; --compare gates byte-exactly on the former and with a
 // relative threshold on the latter. Exit codes: 0 ok, 1 regression /
@@ -34,6 +34,7 @@
 #include "obs/record.hpp"
 #include "power/gearset.hpp"
 #include "replay/replay.hpp"
+#include "shard/merge.hpp"
 #include "trace/binary_io.hpp"
 #include "trace/io.hpp"
 #include "util/cli.hpp"
@@ -97,6 +98,50 @@ std::vector<bench::Case> build_suite(TraceCache& cache, int jobs) {
     const SweepResult result = run_sweep(grid, options);
     if (result.stats.scenarios_per_second > 0.0)
       sink.sample("cells_per_second", result.stats.scenarios_per_second);
+  }});
+
+  // Sharded execution (docs/sharding.md): the same grid split across 3
+  // in-process shard runs — each journaling its owned subset — plus the
+  // shard-journal merge. merged_cells_per_second prices the sharding
+  // overhead (partitioning, journal I/O, merge) against sweep.cells.
+  cases.push_back({"sweep.sharded", [&cache](bench::Sink& sink) {
+    suite_trace(cache, "cg:16:0.9:4");  // pre-warm so rep 1 matches rep N
+    suite_trace(cache, "mg:16:0.9:4");
+    SweepGrid grid;
+    grid.workloads = {"cg:16:0.9:4", "mg:16:0.9:4"};
+    grid.gear_sets = {"uniform-6", "avg-discrete"};
+    grid.iterations = 4;
+    const std::vector<Scenario> scenarios = grid.expand();
+    const std::filesystem::path dir =
+        std::filesystem::temp_directory_path() / "pals_bench_sharded";
+    std::filesystem::remove_all(dir);
+    constexpr std::size_t kShards = 3;
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::string> journals;
+    SweepOptions options;
+    options.jobs = 1;
+    options.iterations = grid.iterations;
+    options.trace_cache = &cache;
+    options.shard_count = kShards;
+    for (std::size_t s = 0; s < kShards; ++s) {
+      const std::filesystem::path shard_dir =
+          dir / ("shard-" + std::to_string(s));
+      std::filesystem::create_directories(shard_dir);
+      options.shard_index = s;
+      options.journal_path = (shard_dir / "journal.palsj").string();
+      run_sweep(scenarios, options);
+      journals.push_back(options.journal_path);
+    }
+    const shard::MergeReport merged =
+        shard::merge_shard_journals(scenarios, options, journals);
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    if (!merged.complete() || merged.rows.size() != scenarios.size())
+      throw Error("sharded sweep merge came back incomplete");
+    if (seconds > 0.0)
+      sink.sample("merged_cells_per_second",
+                  static_cast<double>(merged.rows.size()) / seconds);
   }});
 
   // Online-controller replay: the slack controller re-solving every

@@ -68,7 +68,8 @@ int check_journal(const std::string& path, bool quiet) {
               << report.header.config_hash << ", "
               << report.records.size() << "/" << report.header.scenarios
               << " cells journaled (" << rows << " rows, " << pruned
-              << " pruned, " << errors << " quarantined)\n";
+              << " pruned, " << errors << " quarantined), "
+              << report.heartbeats.size() << " heartbeats\n";
   return 0;
 }
 

@@ -1,0 +1,327 @@
+// pals_shepherd — fault-tolerant sharded sweep supervisor
+// (docs/sharding.md).
+//
+//   pals_shepherd --grid=configs/suite.grid --shards=N --run-dir=DIR
+//                 [--jobs=J] [--config=platform.cfg] [--faults=plan]
+//                 [--max-retries=N] [--keep-going] [--lint]
+//                 [--prune-bounds] [--no-bounds-oracle]
+//                 [--cell-timeout=S] [--heartbeat=S] [--watchdog=S]
+//                 [--max-shard-restarts=N] [--backoff-base=S]
+//                 [--backoff-cap=S] [--no-reassign] [--sweep-bin=PATH]
+//                 [--out=results.csv] [--quiet]
+//
+// Launches N `pals_sweep --shard i/N` workers, each in its own process
+// group and run directory DIR/shard-i, supervises them (liveness via
+// journal heartbeats, crashed or hung shards restart with --resume
+// under capped exponential backoff, exhausted shards are salvaged in a
+// surviving slot or quarantined as "shard-lost"), then folds the shard
+// journals into DIR/results.csv, DIR/errors.csv and (with
+// --prune-bounds) DIR/pruned.csv — byte-identical to an unsharded
+// `pals_sweep --jobs=1` run of the same grid, regardless of shard
+// count, crash schedule or retry history.
+//
+// SIGINT/SIGTERM propagate to the workers as a cooperative drain: each
+// finishes its in-flight cells, journals them and exits; re-running the
+// same pals_shepherd command resumes every shard from its journal.
+//
+// --chaos-kill=SHARD:TIMES[,...] and --chaos-stop=SHARD[,...] are test
+// hooks injecting SIGKILLs / a SIGSTOP stall into the named shards
+// (tests/shard, scripts/tier1.sh).
+//
+// Exit codes (util/exit_codes.hpp): 0 clean, 1 error, 2 usage,
+// 3 completed with quarantined cells, 4 interrupted (re-run to resume),
+// 5 completed degraded (a shard was lost; its remaining cells are in
+// errors.csv as "shard-lost").
+#include <csignal>
+#include <filesystem>
+#include <iostream>
+#include <optional>
+
+#include "analysis/sweep.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/injector.hpp"
+#include "shard/merge.hpp"
+#include "shard/partition.hpp"
+#include "shard/supervisor.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/exit_codes.hpp"
+#include "util/fsio.hpp"
+#include "util/strings.hpp"
+
+namespace pals {
+namespace {
+
+std::atomic<bool> g_cancel{false};
+
+extern "C" void handle_stop_signal(int) { g_cancel.store(true); }
+
+void install_signal_handlers() {
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+}
+
+std::vector<shard::ChaosKill> parse_chaos_kill(const std::string& text) {
+  std::vector<shard::ChaosKill> kills;
+  for (const std::string& field : split(text, ',')) {
+    const std::string item(trim(field));
+    if (item.empty()) continue;
+    const std::size_t colon = item.find(':');
+    PALS_CHECK_MSG(colon != std::string::npos && colon > 0 &&
+                       colon + 1 < item.size(),
+                   "--chaos-kill needs SHARD:TIMES, got '" << item << "'");
+    shard::ChaosKill kill;
+    kill.shard = static_cast<std::size_t>(parse_int(item.substr(0, colon)));
+    kill.kills = static_cast<int>(parse_int(item.substr(colon + 1)));
+    kills.push_back(kill);
+  }
+  return kills;
+}
+
+std::vector<std::size_t> parse_chaos_stop(const std::string& text) {
+  std::vector<std::size_t> stops;
+  for (const std::string& field : split(text, ',')) {
+    const std::string item(trim(field));
+    if (!item.empty())
+      stops.push_back(static_cast<std::size_t>(parse_int(item)));
+  }
+  return stops;
+}
+
+/// Default worker binary: pals_sweep next to this executable.
+std::string sibling_sweep_binary(const char* argv0) {
+  const std::filesystem::path self(argv0);
+  return (self.parent_path() / "pals_sweep").string();
+}
+
+int run(int argc, char** argv) {
+  CliParser cli;
+  cli.add_option("grid", "scenario grid file (key = value)");
+  cli.add_option("shards", "number of shard workers", "2");
+  cli.add_option("run-dir", "parent run directory (shard i journals into "
+                            "DIR/shard-i; merged artifacts land in DIR)");
+  cli.add_option("jobs", "worker threads per shard", "1");
+  cli.add_option("config", "key=value platform/power overrides "
+                           "(forwarded to every shard)");
+  cli.add_option("faults", "fault plan, forwarded to every shard");
+  cli.add_option("max-retries",
+                 "per-cell retries for transient failures", "2");
+  cli.add_flag("keep-going", "forward --keep-going (quarantine failing "
+                             "cells instead of aborting a shard)");
+  cli.add_flag("lint", "forward --lint (statically verify workloads)");
+  cli.add_flag("prune-bounds", "forward --prune-bounds (cells partition "
+                               "by workload group so prune decisions stay "
+                               "shard-local)");
+  cli.add_flag("no-bounds-oracle", "forward --no-bounds-oracle");
+  cli.add_option("cell-timeout", "per-cell watchdog, forwarded", "0");
+  cli.add_option("heartbeat", "worker liveness heartbeat interval, "
+                              "seconds (0 = off)", "0.2");
+  cli.add_option("watchdog", "journal-stall watchdog, seconds (0 = off; "
+                             "arm together with --heartbeat)", "0");
+  cli.add_option("max-shard-restarts",
+                 "restarts per shard before its cells are reassigned or "
+                 "quarantined", "2");
+  cli.add_option("backoff-base", "restart backoff base, seconds", "0.05");
+  cli.add_option("backoff-cap", "restart backoff cap, seconds", "1");
+  cli.add_flag("no-reassign", "skip the salvage attempt for shards that "
+                              "exhaust their restart budget (their cells "
+                              "quarantine immediately)");
+  cli.add_option("poll", "supervisor poll interval, seconds", "0.02");
+  cli.add_option("sweep-bin", "pals_sweep binary the workers exec "
+                              "(default: next to pals_shepherd)");
+  cli.add_option("chaos-kill", "test hook: SIGKILL SHARD:TIMES[,...] "
+                               "after journal growth");
+  cli.add_option("chaos-stop", "test hook: SIGSTOP SHARD[,...] once "
+                               "after journal growth");
+  cli.add_option("out", "also write the merged result rows to this CSV");
+  cli.add_flag("quiet", "skip the per-shard progress log");
+  cli.add_flag("help", "show usage");
+
+  try {
+    cli.parse(argc, argv);
+  } catch (const Error& e) {
+    std::cerr << e.what() << '\n' << cli.usage("pals_shepherd");
+    return exit_code(ToolExit::kUsage);
+  }
+  if (cli.get_flag("help")) {
+    std::cout << cli.usage("pals_shepherd");
+    return exit_code(ToolExit::kOk);
+  }
+  if (!cli.has("grid") || !cli.has("run-dir")) {
+    std::cerr << "need --grid and --run-dir\n" << cli.usage("pals_shepherd");
+    return exit_code(ToolExit::kUsage);
+  }
+
+  // Mirror of the sweep configuration, used only to validate the shard
+  // journals (config hash) and to fold them — execution-only knobs
+  // (jobs, heartbeats, sharding itself) are excluded from the hash, so
+  // this matches every worker's journal header.
+  const SweepGrid grid = SweepGrid::from_file(cli.get("grid"));
+  const std::vector<Scenario> scenarios = grid.expand();
+  SweepOptions sweep_options;
+  sweep_options.iterations = grid.iterations;
+  sweep_options.keep_going = cli.get_flag("keep-going");
+  sweep_options.retry.max_retries =
+      static_cast<int>(cli.get_int("max-retries", 2));
+  sweep_options.prune_bounds = cli.get_flag("prune-bounds");
+  sweep_options.bounds_oracle = !cli.get_flag("no-bounds-oracle");
+  sweep_options.base.lint = cli.get_flag("lint");
+  if (cli.has("config"))
+    apply_config_file(sweep_options.base, cli.get("config"));
+  std::optional<fault::Injector> injector;
+  if (cli.has("faults")) {
+    injector.emplace(fault::FaultPlan::from_file_or_inline(cli.get("faults")));
+    sweep_options.faults = &*injector;
+  }
+
+  shard::SupervisorOptions sup;
+  sup.worker_binary = cli.has("sweep-bin")
+                          ? cli.get("sweep-bin")
+                          : sibling_sweep_binary(argv[0]);
+  sup.run_dir = cli.get("run-dir");
+  sup.shards = static_cast<std::size_t>(cli.get_int("shards", 2));
+  sup.jobs_per_shard = static_cast<int>(cli.get_int("jobs", 1));
+  sup.heartbeat_seconds = cli.get_double("heartbeat", 0.2);
+  sup.watchdog_seconds = cli.get_double("watchdog", 0.0);
+  sup.max_shard_restarts =
+      static_cast<int>(cli.get_int("max-shard-restarts", 2));
+  sup.backoff_base_seconds = cli.get_double("backoff-base", 0.05);
+  sup.backoff_cap_seconds = cli.get_double("backoff-cap", 1.0);
+  sup.reassign = !cli.get_flag("no-reassign");
+  sup.poll_seconds = cli.get_double("poll", 0.02);
+  if (cli.has("chaos-kill"))
+    sup.chaos_kill = parse_chaos_kill(cli.get("chaos-kill"));
+  if (cli.has("chaos-stop"))
+    sup.chaos_stop = parse_chaos_stop(cli.get("chaos-stop"));
+  if (!cli.get_flag("quiet")) sup.log = &std::cerr;
+  sup.cancel = &g_cancel;
+
+  // Everything the workers must agree with this process about rides on
+  // the forwarded flags below; anything result-affecting that is
+  // forwarded incompletely would surface as a config-hash mismatch at
+  // merge time, not as silently different artifacts.
+  sup.worker_args.push_back("--grid=" + cli.get("grid"));
+  sup.worker_args.push_back("--max-retries=" +
+                            std::to_string(sweep_options.retry.max_retries));
+  if (cli.has("config"))
+    sup.worker_args.push_back("--config=" + cli.get("config"));
+  if (cli.has("faults"))
+    sup.worker_args.push_back("--faults=" + cli.get("faults"));
+  if (sweep_options.keep_going) sup.worker_args.push_back("--keep-going");
+  if (sweep_options.base.lint) sup.worker_args.push_back("--lint");
+  if (sweep_options.prune_bounds)
+    sup.worker_args.push_back("--prune-bounds");
+  if (!sweep_options.bounds_oracle)
+    sup.worker_args.push_back("--no-bounds-oracle");
+  if (cli.get_double("cell-timeout", 0.0) > 0.0)
+    sup.worker_args.push_back("--cell-timeout=" + cli.get("cell-timeout"));
+  sup.worker_args.push_back("--quiet");
+
+  install_signal_handlers();
+  const shard::SupervisorResult supervised = shard::supervise_shards(sup);
+
+  std::vector<std::string> journal_paths;
+  journal_paths.reserve(sup.shards);
+  for (std::size_t i = 0; i < sup.shards; ++i)
+    journal_paths.push_back(shard::shard_run_dir(sup.run_dir, i) +
+                            "/journal.palsj");
+
+  shard::MergeReport merged =
+      shard::merge_shard_journals(scenarios, sweep_options, journal_paths);
+  if (supervised.degraded && !supervised.interrupted && !merged.missing.empty()) {
+    // Quarantine every cell of a lost shard that never reached a
+    // terminal record: results stay complete-by-quarantine, never
+    // silently short.
+    std::vector<ScenarioError> lost_cells;
+    for (const std::size_t index : merged.missing) {
+      const std::size_t owner =
+          sweep_options.prune_bounds
+              ? shard::shard_of_group(
+                    resolve_workload(scenarios[index].workload,
+                                     sweep_options.iterations)
+                        .key,
+                    sup.shards)
+              : shard::shard_of_cell(index, sup.shards);
+      const shard::ShardOutcome& outcome = supervised.shards[owner];
+      PALS_CHECK_MSG(outcome.lost, "cell " << index
+                         << " is missing but its shard " << owner
+                         << " was not lost (supervisor bug)");
+      lost_cells.push_back(shard::make_shard_lost_error(
+          scenarios, sweep_options.iterations, index,
+          "shard " + std::to_string(owner) + "/" +
+              std::to_string(sup.shards) +
+              " lost: restart budget exhausted (" +
+              std::to_string(outcome.restarts) + " restarts, last status " +
+              std::to_string(outcome.last_status) + ")",
+          outcome.restarts + 1));
+    }
+    merged = shard::merge_shard_journals(scenarios, sweep_options,
+                                         journal_paths, lost_cells);
+  }
+
+  write_rows_csv(merged.rows, sup.run_dir + "/results.csv");
+  write_errors_csv(merged.errors, sup.run_dir + "/errors.csv");
+  if (sweep_options.prune_bounds)
+    write_pruned_csv(merged.pruned, sup.run_dir + "/pruned.csv");
+  if (cli.has("out")) write_rows_csv(merged.rows, cli.get("out"));
+
+  std::size_t watchdog_kills = 0;
+  std::size_t chaos_kills = 0;
+  std::size_t lost_shards = 0;
+  for (const shard::ShardOutcome& outcome : supervised.shards) {
+    watchdog_kills += outcome.watchdog_kills;
+    chaos_kills += outcome.chaos_kills;
+    lost_shards += outcome.lost ? 1u : 0u;
+  }
+  std::string stats;
+  const auto put = [&stats](const std::string& key, const std::string& value) {
+    stats += key + " = " + value + "\n";
+  };
+  put("shards", std::to_string(sup.shards));
+  put("scenarios", std::to_string(scenarios.size()));
+  put("rows", std::to_string(merged.rows.size()));
+  put("errors", std::to_string(merged.errors.size()));
+  put("pruned", std::to_string(merged.pruned.size()));
+  put("missing", std::to_string(merged.missing.size()));
+  put("journals_read", std::to_string(merged.journals_read));
+  put("heartbeats_seen", std::to_string(merged.heartbeats_seen));
+  put("restarts_total", std::to_string(supervised.restarts_total));
+  put("watchdog_kills", std::to_string(watchdog_kills));
+  put("chaos_kills", std::to_string(chaos_kills));
+  put("lost_shards", std::to_string(lost_shards));
+  put("interrupted", supervised.interrupted ? "1" : "0");
+  put("degraded", supervised.degraded ? "1" : "0");
+  atomic_write_file(sup.run_dir + "/shepherd.stats", stats);
+  std::cout << "# shepherd summary\n" << stats;
+  std::cout << "merged artifacts written to " << sup.run_dir << '\n';
+
+  if (supervised.interrupted) {
+    std::cerr << "shepherd interrupted: " << merged.missing.size()
+              << " cells pending; re-run the same command to resume\n";
+    return exit_code(ToolExit::kInterrupted);
+  }
+  if (supervised.degraded) {
+    std::cerr << "shepherd degraded: " << lost_shards << " shard"
+              << (lost_shards == 1 ? "" : "s")
+              << " lost; shard-lost cells quarantined in errors.csv\n";
+    return exit_code(ToolExit::kDegraded);
+  }
+  PALS_CHECK_MSG(merged.complete(),
+                 merged.missing.size()
+                     << " cells missing after a clean supervised run "
+                        "(supervisor bug)");
+  return exit_code(merged.errors.empty() ? ToolExit::kOk
+                                         : ToolExit::kQuarantined);
+}
+
+}  // namespace
+}  // namespace pals
+
+int main(int argc, char** argv) {
+  try {
+    return pals::run(argc, argv);
+  } catch (const pals::Error& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return pals::exit_code(pals::ToolExit::kError);
+  }
+}

@@ -7,6 +7,7 @@
 //              [--errors=errors.csv] [--run-dir=DIR] [--resume=DIR]
 //              [--cell-timeout=SECONDS] [--pareto=pareto.csv]
 //              [--prune-bounds] [--pruned=pruned.csv] [--no-bounds-oracle]
+//              [--shard=i/N] [--heartbeat=SECONDS]
 //
 // The grid file is key = value (see docs/sweep.md):
 //
@@ -49,8 +50,18 @@
 // run at any --jobs count. SIGINT/SIGTERM drain in-flight cells, write
 // the partial artifacts and exit with the "interrupted" code.
 //
+// Sharded execution (docs/sharding.md): --shard=i/N runs only the
+// deterministic hash-assigned subset of the grid (by cell, or by whole
+// workload group under --prune-bounds), journaling into its own
+// --run-dir; pals_shepherd launches/supervises the N workers and merges
+// the shard journals into byte-identical unsharded artifacts.
+// --heartbeat appends a liveness record to the journal every interval
+// so the supervisor can tell a slow shard from a hung one.
+//
 // Exit codes (util/exit_codes.hpp): 0 clean, 1 error, 2 usage,
-// 3 completed with quarantined cells, 4 interrupted (resumable).
+// 3 completed with quarantined cells, 4 interrupted (resumable),
+// 5 completed degraded (pals_shepherd: a shard exhausted its restart
+// budget and its cells were quarantined as "shard-lost").
 #include <csignal>
 #include <cstdio>
 #include <filesystem>
@@ -75,6 +86,7 @@
 #include "obs/chrome_trace.hpp"
 #include "obs/metrics.hpp"
 #include "obs/record.hpp"
+#include "shard/partition.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
 #include "util/exit_codes.hpp"
@@ -135,6 +147,11 @@ int run(int argc, char** argv) {
   cli.add_option("cell-timeout", "per-cell wall-clock watchdog, seconds "
                                  "(0 = off; expired cells classify as "
                                  "timeouts)", "0");
+  cli.add_option("shard", "run only the deterministic subset i/N of the "
+                          "grid (docs/sharding.md)", "0/1");
+  cli.add_option("heartbeat", "append a liveness heartbeat to the journal "
+                              "every SECONDS (requires --run-dir; 0 = off)",
+                 "0");
   cli.add_option("kill-after", "test hook: SIGKILL self after N journal "
                                "records (requires --run-dir)");
   cli.add_option("interrupt-after", "test hook: simulate ^C after N "
@@ -182,6 +199,12 @@ int run(int argc, char** argv) {
   options.cell_timeout_seconds = cli.get_double("cell-timeout", 0.0);
   PALS_CHECK_MSG(options.cell_timeout_seconds >= 0.0,
                  "--cell-timeout must be >= 0");
+  const shard::ShardSpec shard_spec = shard::ShardSpec::parse(cli.get("shard"));
+  options.shard_index = shard_spec.index;
+  options.shard_count = shard_spec.count;
+  options.heartbeat_interval_seconds = cli.get_double("heartbeat", 0.0);
+  PALS_CHECK_MSG(options.heartbeat_interval_seconds >= 0.0,
+                 "--heartbeat must be >= 0 (0 disables)");
   if (cli.has("errors") && !options.keep_going) {
     std::cerr << "--errors requires --keep-going\n" << cli.usage("pals_sweep");
     return exit_code(ToolExit::kUsage);
@@ -219,6 +242,12 @@ int run(int argc, char** argv) {
   if ((cli.has("kill-after") || cli.has("interrupt-after")) &&
       run_dir.empty()) {
     std::cerr << "--kill-after/--interrupt-after require --run-dir\n"
+              << cli.usage("pals_sweep");
+    return exit_code(ToolExit::kUsage);
+  }
+  if (options.heartbeat_interval_seconds > 0.0 && run_dir.empty()) {
+    std::cerr << "--heartbeat requires --run-dir (heartbeats live in the "
+                 "journal)\n"
               << cli.usage("pals_sweep");
     return exit_code(ToolExit::kUsage);
   }
