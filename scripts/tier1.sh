@@ -168,6 +168,48 @@ rm -rf "${SHARD_DIR}"
 cmp "${SHARD_DIR}/reference/results.csv" "${SHARD_DIR}/sharded/results.csv"
 cmp "${SHARD_DIR}/reference/errors.csv" "${SHARD_DIR}/sharded/errors.csv"
 
+echo "== tier 1: what-if query daemon (pals_serve) under ASan/UBSan =="
+# The daemon is the repo's only long-lived network-facing process:
+# socket lifecycle, admission control, per-request deadlines, LRU
+# eviction and the malformed-request corpus all run sanitized, then the
+# real binaries are choreographed end to end — ready-file handshake,
+# request battery, chaos connections, byte-identity of the served grid
+# against the batch engine, and a SIGTERM drain that must exit 0.
+cmake --build "${ASAN_DIR}" -j "${JOBS}" --target \
+      test_serve pals_serve_tool pals_query
+ctest --test-dir "${ASAN_DIR}" --output-on-failure -j "${JOBS}" \
+      -R 'ParseRequest|ValidateRequestLine|BaselineKey|Responses|ApproxEntryBytes|WarmCache|ServeTorture|QueryEngineErrors|ServeDaemon'
+SERVE_DIR="${ASAN_DIR}/Testing/tier1-serve"
+rm -rf "${SERVE_DIR}"
+mkdir -p "${SERVE_DIR}"
+SERVE_SOCK="${SERVE_DIR}/serve.sock"
+"${ASAN_DIR}/tools/pals_serve" --socket="${SERVE_SOCK}" \
+    --ready-file="${SERVE_DIR}/serve.ready" --jobs=2 --quiet &
+SERVE_PID=$!
+trap 'kill -9 ${SERVE_PID} 2>/dev/null || true' EXIT
+for _ in $(seq 1 200); do
+  [ -f "${SERVE_DIR}/serve.ready" ] && break
+  sleep 0.05
+done
+[ -f "${SERVE_DIR}/serve.ready" ]
+"${ASAN_DIR}/tools/pals_query" --socket="${SERVE_SOCK}" --ping
+"${ASAN_DIR}/tools/pals_json_check" --quiet --serve configs/serve_battery.requests
+"${ASAN_DIR}/tools/pals_query" --socket="${SERVE_SOCK}" \
+    --requests=configs/serve_battery.requests > "${SERVE_DIR}/battery.txt"
+"${ASAN_DIR}/tools/pals_query" --socket="${SERVE_SOCK}" --chaos=8
+"${ASAN_DIR}/tools/pals_query" --socket="${SERVE_SOCK}" --ping
+"${ASAN_DIR}/tools/pals_query" --socket="${SERVE_SOCK}" \
+    --grid=configs/serve_smoke.grid --out="${SERVE_DIR}/served.csv"
+"${ASAN_DIR}/tools/pals_sweep" --grid=configs/serve_smoke.grid --jobs=1 \
+    --quiet --out="${SERVE_DIR}/reference.csv"
+cmp "${SERVE_DIR}/served.csv" "${SERVE_DIR}/reference.csv"
+kill -TERM "${SERVE_PID}"
+SERVE_CODE=0
+wait "${SERVE_PID}" || SERVE_CODE=$?
+trap - EXIT
+[ "${SERVE_CODE}" -eq 0 ]
+[ ! -e "${SERVE_SOCK}" ]
+
 # ThreadSanitizer is the race detector proper, but not every toolchain
 # image ships its runtime — probe before committing to the leg.
 echo "== tier 1: probing for ThreadSanitizer support =="

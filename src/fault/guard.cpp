@@ -4,6 +4,8 @@
 #include <new>
 #include <string_view>
 
+#include "util/backoff.hpp"
+
 namespace pals {
 namespace fault {
 
@@ -50,9 +52,8 @@ ErrorClass error_class_from_string(const std::string& name) {
 }
 
 Seconds RetryPolicy::backoff_delay(int retry) const {
-  Seconds delay = backoff_base;
-  for (int i = 1; i < retry; ++i) delay *= backoff_multiplier;
-  return std::min(delay, backoff_cap);
+  return BackoffPolicy{backoff_base, backoff_multiplier, backoff_cap}
+      .delay(retry);
 }
 
 std::string GuardOutcome::describe() const {

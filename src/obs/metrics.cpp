@@ -58,9 +58,11 @@ std::string to_string(MetricKind kind) {
 }
 
 bool is_host_metric(std::string_view name) {
+  // "serve." counts host-side daemon traffic (admission, shedding, cache
+  // churn) — timing- and client-dependent, so excluded like the rest.
   return starts_with(name, "span.") || starts_with(name, "pool.") ||
-         starts_with(name, "host.") || ends_with(name, ".wall_ns") ||
-         ends_with(name, ".wall_seconds");
+         starts_with(name, "host.") || starts_with(name, "serve.") ||
+         ends_with(name, ".wall_ns") || ends_with(name, ".wall_seconds");
 }
 
 const MetricValue* MetricsSnapshot::find(std::string_view name) const {

@@ -1,0 +1,50 @@
+// Query execution: one serve request -> one byte-exact sweep cell.
+//
+// The engine replicates the sweep engine's cell path exactly —
+// resolve_workload, gear/algorithm/controller lookup, the same
+// PipelineConfig composition as analysis/sweep.cpp make_config, a shared
+// baseline replay, run_pipeline, flatten_result with
+// Scenario::variant_label — so a served row is byte-identical to the row
+// `pals_sweep --jobs=1` writes for the same cell. Any divergence here is
+// a determinism bug, and tests/serve/serve_torture_test.cpp pins it.
+#pragma once
+
+#include "analysis/experiments.hpp"
+#include "core/pipeline.hpp"
+#include "power/gearset.hpp"
+#include "serve/cache.hpp"
+#include "serve/protocol.hpp"
+
+namespace pals {
+namespace serve {
+
+struct QueryEngineOptions {
+  /// Daemon-wide base configuration (defaults + --config overlay); each
+  /// query overlays its own cell axes and platform overrides on a copy.
+  PipelineConfig base = default_pipeline_config(paper_uniform(6));
+  /// Iterations for workloads without an explicit count when the request
+  /// does not set `iterations`.
+  int default_iterations = 10;
+};
+
+class QueryEngine {
+ public:
+  QueryEngine(QueryEngineOptions options, WarmCache& cache)
+      : options_(std::move(options)), cache_(cache) {}
+
+  /// Execute one query under a remaining wall budget of
+  /// `deadline_seconds` (0 = unlimited; threaded into the replay
+  /// engine's wall watchdog). Throws ProtocolError:
+  ///  * kNotFound for an unknown workload/gear set/algorithm/controller,
+  ///  * kBadRequest for platform overrides the models reject,
+  ///  * kDeadlineExceeded when the watchdog expires mid-replay.
+  /// Anything else escapes as pals::Error (the server answers kInternal).
+  ExperimentRow execute(const Request& request, double deadline_seconds);
+
+ private:
+  QueryEngineOptions options_;
+  WarmCache& cache_;
+};
+
+}  // namespace serve
+}  // namespace pals

@@ -6,6 +6,7 @@
 #include <ostream>
 #include <thread>
 
+#include "util/backoff.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
@@ -188,9 +189,9 @@ SupervisorResult supervise_shards(const SupervisorOptions& options) {
     return shard_run_dir(options.run_dir, i) + "/journal.palsj";
   };
   const auto backoff_delay = [&](int restart) {
-    double delay = options.backoff_base_seconds;
-    for (int i = 1; i < restart; ++i) delay *= 2.0;
-    return std::min(delay, options.backoff_cap_seconds);
+    return BackoffPolicy{options.backoff_base_seconds, 2.0,
+                         options.backoff_cap_seconds}
+        .delay(restart);
   };
   const auto launch = [&](std::size_t i, bool salvage) {
     ShardSlot& slot = slots[i];

@@ -1,0 +1,49 @@
+// Capped exponential backoff, shared by every retry loop in the tree.
+//
+// Three subsystems re-derive the same delay schedule — fault::RetryPolicy
+// (simulated-seconds cell retries), the shard supervisor (host-side
+// worker restarts) and pals_query (client-side retry on `overloaded`
+// replies) — so the arithmetic lives here once. The policy is a pure
+// function of the attempt number: delay(k) = min(base * multiplier^(k-1),
+// cap), which keeps every caller exactly as deterministic as its inputs
+// (the fault guard accounts the delays in simulated seconds and never
+// sleeps; the supervisor and the query client sleep for real).
+#pragma once
+
+#include <algorithm>
+
+namespace pals {
+
+struct BackoffPolicy {
+  /// Delay before the first retry. Units are the caller's (simulated or
+  /// host seconds); <= 0 disables backoff entirely (every delay is 0).
+  double base = 0.5;
+  /// Per-retry growth factor (>= 1 for a sane schedule; 1 = constant).
+  double multiplier = 2.0;
+  /// Upper bound on any single delay.
+  double cap = 8.0;
+
+  /// Delay before retry number `retry` (1-based): capped
+  /// base * multiplier^(retry-1). Pure, hence deterministic. Retry
+  /// numbers < 1 yield the base delay (capped), matching the historic
+  /// behaviour of the extracted call sites.
+  double delay(int retry) const {
+    if (base <= 0.0) return 0.0;
+    double value = base;
+    for (int i = 1; i < retry; ++i) {
+      value *= multiplier;
+      if (value >= cap) break;  // monotone beyond the cap; stop early
+    }
+    return std::min(value, cap);
+  }
+
+  /// Total delay accrued by retries 1..n (the budget a caller commits to
+  /// when it configures `n` retries).
+  double total(int retries) const {
+    double sum = 0.0;
+    for (int retry = 1; retry <= retries; ++retry) sum += delay(retry);
+    return sum;
+  }
+};
+
+}  // namespace pals

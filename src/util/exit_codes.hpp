@@ -28,6 +28,12 @@ enum class ToolExit : int {
   /// cell produced its normal result — the artifacts are complete but
   /// partial-by-quarantine, never silently missing rows.
   kDegraded = 5,
+  /// The service is unreachable or refusing work: pals_query found no
+  /// daemon on the socket, or every retry of an `overloaded` /
+  /// `shutting-down` rejection was shed again (docs/serve.md). Retryable
+  /// from the caller's point of view — distinct from kError so scripts
+  /// can back off instead of failing the run.
+  kUnavailable = 6,
 };
 
 constexpr int exit_code(ToolExit code) { return static_cast<int>(code); }

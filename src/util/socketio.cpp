@@ -1,0 +1,272 @@
+#include "util/socketio.hpp"
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <utility>
+
+#include "util/error.hpp"
+
+#ifndef _WIN32
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+namespace pals {
+
+void ignore_sigpipe() {
+#ifndef _WIN32
+  std::signal(SIGPIPE, SIG_IGN);
+#endif
+}
+
+#ifdef _WIN32
+
+UnixStream UnixStream::connect(const std::string&) {
+  throw Error("unix-domain sockets require a POSIX host");
+}
+UnixStream::UnixStream(UnixStream&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), buffer_(std::move(other.buffer_)) {}
+UnixStream& UnixStream::operator=(UnixStream&& other) noexcept {
+  fd_ = std::exchange(other.fd_, -1);
+  buffer_ = std::move(other.buffer_);
+  return *this;
+}
+UnixStream::~UnixStream() = default;
+bool UnixStream::write_all(const std::string&) {
+  throw Error("unix-domain sockets require a POSIX host");
+}
+ReadLineStatus UnixStream::read_line(std::string&, std::size_t, double) {
+  throw Error("unix-domain sockets require a POSIX host");
+}
+void UnixStream::close() {}
+
+UnixListener UnixListener::bind_or_replace(const std::string&, int) {
+  throw Error("unix-domain sockets require a POSIX host");
+}
+UnixListener::UnixListener(UnixListener&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), path_(std::move(other.path_)) {}
+UnixListener& UnixListener::operator=(UnixListener&& other) noexcept {
+  fd_ = std::exchange(other.fd_, -1);
+  path_ = std::move(other.path_);
+  return *this;
+}
+UnixListener::~UnixListener() = default;
+UnixStream UnixListener::accept(double) {
+  throw Error("unix-domain sockets require a POSIX host");
+}
+void UnixListener::close() {}
+
+#else
+
+namespace {
+
+sockaddr_un make_address(const std::string& path) {
+  sockaddr_un address{};
+  address.sun_family = AF_UNIX;
+  PALS_CHECK_MSG(path.size() < sizeof(address.sun_path),
+                 "socket path '" << path << "' exceeds the AF_UNIX limit of "
+                                 << sizeof(address.sun_path) - 1 << " bytes");
+  std::memcpy(address.sun_path, path.c_str(), path.size() + 1);
+  return address;
+}
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw Error(what + ": " + std::strerror(errno));
+}
+
+/// poll() one fd for readability; true when readable, false on timeout.
+/// A timeout <= 0 blocks indefinitely.
+bool wait_readable(int fd, double timeout_seconds) {
+  pollfd pfd{fd, POLLIN, 0};
+  const int timeout_ms =
+      timeout_seconds <= 0.0
+          ? -1
+          : static_cast<int>(timeout_seconds * 1000.0) + 1;
+  while (true) {
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready > 0) return true;
+    if (ready == 0) return false;
+    if (errno == EINTR) continue;
+    throw_errno("poll failed");
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// UnixStream
+
+UnixStream UnixStream::connect(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket failed");
+  const sockaddr_un address = make_address(path);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&address),
+                sizeof(address)) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("connect to '" + path + "' failed");
+  }
+  return UnixStream(fd);
+}
+
+UnixStream::UnixStream(UnixStream&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), buffer_(std::move(other.buffer_)) {}
+
+UnixStream& UnixStream::operator=(UnixStream&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    buffer_ = std::move(other.buffer_);
+  }
+  return *this;
+}
+
+UnixStream::~UnixStream() { close(); }
+
+void UnixStream::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+bool UnixStream::write_all(const std::string& data) {
+  PALS_CHECK_MSG(fd_ >= 0, "write on a closed stream");
+  std::size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n = ::send(fd_, data.data() + written,
+                             data.size() - written, MSG_NOSIGNAL);
+    if (n >= 0) {
+      written += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EPIPE || errno == ECONNRESET) return false;
+    throw_errno("socket write failed");
+  }
+  return true;
+}
+
+ReadLineStatus UnixStream::read_line(std::string& line, std::size_t max_bytes,
+                                     double timeout_seconds) {
+  PALS_CHECK_MSG(fd_ >= 0, "read on a closed stream");
+  line.clear();
+  char chunk[4096];
+  while (true) {
+    // Serve a complete line straight from the buffer first.
+    if (const std::size_t eol = buffer_.find('\n');
+        eol != std::string::npos) {
+      line.assign(buffer_, 0, eol);
+      buffer_.erase(0, eol + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return ReadLineStatus::kLine;
+    }
+    if (buffer_.size() > max_bytes) return ReadLineStatus::kOversize;
+    if (!wait_readable(fd_, timeout_seconds)) return ReadLineStatus::kTimeout;
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      line = buffer_;  // expose the mid-line remainder for diagnostics
+      buffer_.clear();
+      return ReadLineStatus::kEof;
+    }
+    if (errno == EINTR) continue;
+    if (errno == ECONNRESET) {
+      line = buffer_;
+      buffer_.clear();
+      return ReadLineStatus::kEof;
+    }
+    throw_errno("socket read failed");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// UnixListener
+
+UnixListener UnixListener::bind_or_replace(const std::string& path,
+                                           int backlog) {
+  PALS_CHECK_MSG(!path.empty(), "socket path is empty");
+  struct stat st {};
+  if (::lstat(path.c_str(), &st) == 0) {
+    PALS_CHECK_MSG(S_ISSOCK(st.st_mode),
+                   "'" << path << "' exists and is not a socket; refusing "
+                       << "to replace it");
+    // Live daemon or stale crash leftover? Only a connect() can tell.
+    const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (probe < 0) throw_errno("socket failed");
+    const sockaddr_un address = make_address(path);
+    const int connected = ::connect(
+        probe, reinterpret_cast<const sockaddr*>(&address), sizeof(address));
+    ::close(probe);
+    PALS_CHECK_MSG(connected != 0, "a daemon is already serving on '"
+                                       << path << "'");
+    if (::unlink(path.c_str()) != 0 && errno != ENOENT)
+      throw_errno("unlink stale socket '" + path + "' failed");
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket failed");
+  const sockaddr_un address = make_address(path);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&address),
+             sizeof(address)) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("bind '" + path + "' failed");
+  }
+  if (::listen(fd, backlog) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    ::unlink(path.c_str());
+    errno = saved;
+    throw_errno("listen on '" + path + "' failed");
+  }
+  return UnixListener(fd, path);
+}
+
+UnixListener::UnixListener(UnixListener&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), path_(std::move(other.path_)) {}
+
+UnixListener& UnixListener::operator=(UnixListener&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    path_ = std::move(other.path_);
+  }
+  return *this;
+}
+
+UnixListener::~UnixListener() { close(); }
+
+void UnixListener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+    ::unlink(path_.c_str());
+  }
+}
+
+UnixStream UnixListener::accept(double timeout_seconds) {
+  PALS_CHECK_MSG(fd_ >= 0, "accept on a closed listener");
+  if (!wait_readable(fd_, timeout_seconds)) return UnixStream();
+  const int fd = ::accept(fd_, nullptr, nullptr);
+  if (fd < 0) {
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK ||
+        errno == ECONNABORTED)
+      return UnixStream();
+    throw_errno("accept failed");
+  }
+  return UnixStream(fd);
+}
+
+#endif  // _WIN32
+
+}  // namespace pals

@@ -1,0 +1,230 @@
+// serve/protocol.hpp: request parsing (including the committed torture
+// corpus in tests/serve/corrupt/), response rendering/round-tripping and
+// the baseline-key fingerprint the warm cache shards on.
+#include "serve/protocol.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/experiments.hpp"
+
+namespace pals {
+namespace serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+Request parse(const std::string& line) { return parse_request(line); }
+
+TEST(ParseRequest, MinimalQueryGetsScenarioDefaults) {
+  const Request request =
+      parse(R"({"schema":"pals-serve-v1","workload":"cg:8:0.9:2"})");
+  EXPECT_EQ(request.kind, RequestKind::kQuery);
+  EXPECT_EQ(request.workload, "cg:8:0.9:2");
+  EXPECT_EQ(request.gear_set, "uniform-6");
+  EXPECT_EQ(request.algorithm, "max");
+  EXPECT_EQ(request.controller, "static");
+  EXPECT_DOUBLE_EQ(request.beta, 0.5);
+  EXPECT_EQ(request.iterations, 0);
+  EXPECT_DOUBLE_EQ(request.deadline_ms, 0.0);
+  EXPECT_TRUE(request.faults.empty());
+  EXPECT_TRUE(request.platform.empty());
+}
+
+TEST(ParseRequest, FullQueryRoundTripsEveryField) {
+  const Request request = parse(
+      R"({"schema":"pals-serve-v1","kind":"query","id":"q7",)"
+      R"("workload":"lu:8:0.92:2","gear_set":"avg-discrete",)"
+      R"("algorithm":"avg","controller":"dynamic_max","beta":0.25,)"
+      R"("iterations":3,"deadline_ms":1500,)"
+      R"("faults":"seed=1; node_slowdown:rank=0,t=0,factor=2",)"
+      R"("platform":{"latency":1e-5,"bandwidth":2.5e8}})");
+  EXPECT_EQ(request.id, "q7");
+  EXPECT_EQ(request.workload, "lu:8:0.92:2");
+  EXPECT_EQ(request.gear_set, "avg-discrete");
+  EXPECT_EQ(request.algorithm, "avg");
+  EXPECT_EQ(request.controller, "dynamic_max");
+  EXPECT_DOUBLE_EQ(request.beta, 0.25);
+  EXPECT_EQ(request.iterations, 3);
+  EXPECT_DOUBLE_EQ(request.deadline_ms, 1500.0);
+  ASSERT_EQ(request.platform.size(), 2u);
+  EXPECT_EQ(request.platform[0].first, "latency");
+  EXPECT_DOUBLE_EQ(request.platform[1].second, 2.5e8);
+}
+
+TEST(ParseRequest, ControlKindsNeedNoWorkload) {
+  EXPECT_EQ(parse(R"({"schema":"pals-serve-v1","kind":"ping"})").kind,
+            RequestKind::kPing);
+  EXPECT_EQ(parse(R"({"schema":"pals-serve-v1","kind":"stats"})").kind,
+            RequestKind::kStats);
+  EXPECT_EQ(parse(R"({"schema":"pals-serve-v1","kind":"shutdown"})").kind,
+            RequestKind::kShutdown);
+}
+
+TEST(ParseRequest, OversizeLineIsRejectedBeforeParsing) {
+  std::string line = R"({"schema":"pals-serve-v1","workload":")";
+  line += std::string(kMaxRequestBytes, 'x');
+  line += R"("})";
+  try {
+    parse(line);
+    FAIL() << "oversize line accepted";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.code, ErrorCode::kBadRequest);
+  }
+}
+
+TEST(ParseRequest, RejectedRequestStillEchoesItsId) {
+  // The id is recovered before validation so the client can correlate
+  // the bad-request response with its outstanding request.
+  try {
+    parse(R"({"schema":"pals-serve-v1","id":"q9","beta":"hot",)"
+          R"("workload":"cg:8:0.9:2"})");
+    FAIL() << "bad beta accepted";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.code, ErrorCode::kBadRequest);
+    EXPECT_EQ(e.id, "q9");
+  }
+}
+
+TEST(ParseRequest, EveryCorpusFileIsRejectedAsBadRequest) {
+  const fs::path corpus =
+      fs::path(PALS_SOURCE_DIR) / "tests" / "serve" / "corrupt";
+  ASSERT_TRUE(fs::is_directory(corpus));
+  std::size_t files = 0;
+  for (const auto& entry : fs::directory_iterator(corpus)) {
+    if (!entry.is_regular_file()) continue;
+    ++files;
+    std::ifstream in(entry.path());
+    std::string line;
+    std::getline(in, line);
+    try {
+      parse(line);
+      ADD_FAILURE() << entry.path().filename() << " was accepted: " << line;
+    } catch (const ProtocolError& e) {
+      EXPECT_EQ(e.code, ErrorCode::kBadRequest)
+          << entry.path().filename() << " rejected with the wrong code";
+    }
+  }
+  EXPECT_GE(files, 10u) << "torture corpus went missing";
+}
+
+TEST(BaselineKey, SharedAcrossCellAxesDistinctAcrossBaselineAxes) {
+  Request a = parse(R"({"schema":"pals-serve-v1","workload":"cg:8:0.9:2",)"
+                    R"("gear_set":"uniform-6","beta":0.3})");
+  Request b = parse(R"({"schema":"pals-serve-v1","workload":"cg:8:0.9:2",)"
+                    R"("gear_set":"avg-discrete","algorithm":"avg",)"
+                    R"("controller":"dynamic_max","beta":0.7})");
+  // Gear set / algorithm / controller / beta never touch the baseline.
+  EXPECT_EQ(a.baseline_key("cg:8:0.9:2"), b.baseline_key("cg:8:0.9:2"));
+  // The workload key, platform overrides and fault plan all do.
+  EXPECT_NE(a.baseline_key("cg:8:0.9:2"), a.baseline_key("lu:8:0.92:2"));
+  Request with_platform =
+      parse(R"({"schema":"pals-serve-v1","workload":"cg:8:0.9:2",)"
+            R"("platform":{"latency":1e-5}})");
+  EXPECT_NE(with_platform.baseline_key("cg:8:0.9:2"),
+            a.baseline_key("cg:8:0.9:2"));
+  Request with_faults =
+      parse(R"({"schema":"pals-serve-v1","workload":"cg:8:0.9:2",)"
+            R"("faults":"seed=1; node_slowdown:rank=0,t=0,factor=2"})");
+  EXPECT_NE(with_faults.baseline_key("cg:8:0.9:2"),
+            a.baseline_key("cg:8:0.9:2"));
+}
+
+ExperimentRow sample_row() {
+  ExperimentRow row;
+  row.instance = "CG-8";
+  row.variant = "uniform-6/MAX/b0.30";
+  row.load_balance = 0.9;
+  row.parallel_efficiency = 0.85;
+  row.normalized_energy = 0.75;
+  row.normalized_time = 1.05;
+  row.normalized_edp = 0.7875;
+  row.overclocked_fraction = 0.0;
+  return row;
+}
+
+TEST(Responses, QueryOkCarriesTheExactCsvDataLine) {
+  const ExperimentRow row = sample_row();
+  const std::string line = render_query_ok("q1", row, 12.5);
+  const ParsedResponse response = parse_response(line);
+  EXPECT_TRUE(response.ok);
+  EXPECT_EQ(response.id, "q1");
+  EXPECT_EQ(response.raw, line);
+  EXPECT_EQ(response.csv, csv_data_line(row));
+  // The csv member is the byte-identity payload: exactly the data line
+  // (header and trailing newline stripped) of the batch CSV writer.
+  const std::string batch = rows_to_csv({row});
+  const std::string expected = batch.substr(
+      batch.find('\n') + 1, batch.find_last_not_of("\r\n") - batch.find('\n'));
+  EXPECT_EQ(response.csv, expected);
+}
+
+TEST(Responses, PongStatsAndShutdownRoundTrip) {
+  const ParsedResponse pong = parse_response(render_pong("p1"));
+  EXPECT_TRUE(pong.ok);
+  EXPECT_TRUE(pong.has_pong);
+  EXPECT_EQ(pong.id, "p1");
+
+  const ParsedResponse stats = parse_response(
+      render_stats("s1", {{"accepted", 3}, {"shed", 1}}));
+  EXPECT_TRUE(stats.ok);
+  EXPECT_TRUE(stats.has_stats);
+
+  const ParsedResponse ack = parse_response(render_shutdown_ack("d1"));
+  EXPECT_TRUE(ack.ok);
+  EXPECT_EQ(ack.id, "d1");
+}
+
+TEST(Responses, ErrorRoundTripsEveryCode) {
+  for (const ErrorCode code :
+       {ErrorCode::kBadRequest, ErrorCode::kNotFound, ErrorCode::kOverloaded,
+        ErrorCode::kDeadlineExceeded, ErrorCode::kShuttingDown,
+        ErrorCode::kInternal}) {
+    const ParsedResponse response =
+        parse_response(render_error("e1", code, "why \"quoted\"\n"));
+    EXPECT_FALSE(response.ok);
+    EXPECT_EQ(response.code, code);
+    EXPECT_EQ(response.message, "why \"quoted\"\n");
+    EXPECT_EQ(response.id, "e1");
+  }
+}
+
+TEST(Responses, StructurallyInvalidLinesAreRejected) {
+  for (const char* line : {
+           "",                                            // empty
+           "pong",                                        // not JSON
+           "[1]",                                         // not an object
+           R"({"id":"x","status":"ok"})",                 // no schema
+           R"({"schema":"pals-serve-v1","id":"x"})",      // no status
+           R"({"schema":"pals-serve-v1","status":"meh"})",  // bad status
+           // error responses need code + message, with a known code
+           R"({"schema":"pals-serve-v1","status":"error"})",
+           R"({"schema":"pals-serve-v1","status":"error","code":"weird",)"
+           R"("message":"m"})",
+       }) {
+    EXPECT_THROW(parse_response(line), ProtocolError) << line;
+  }
+}
+
+TEST(ValidateRequestLine, AcceptsTheShippedBattery) {
+  const fs::path battery =
+      fs::path(PALS_SOURCE_DIR) / "configs" / "serve_battery.requests";
+  std::ifstream in(battery);
+  ASSERT_TRUE(in.is_open());
+  std::string line;
+  std::size_t valid = 0;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    EXPECT_NO_THROW(validate_request_line(line)) << line;
+    ++valid;
+  }
+  EXPECT_GE(valid, 5u);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace pals

@@ -1,0 +1,28 @@
+# SIGPIPE robustness of the long-running tools: piping a tool into a
+# consumer that exits immediately (`head -n 0`) closes the pipe long
+# before the tool's stdout writes land. A tool that does not ignore
+# SIGPIPE dies with signal 13 (shell status 141); the contract is that
+# every long-running tool survives the broken pipe and finishes with its
+# own exit status.
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+function(expect_survives_broken_pipe label)
+  string(JOIN " " command ${ARGN})
+  execute_process(
+    COMMAND bash -c "set -o pipefail; ${command} | head -n 0"
+    RESULT_VARIABLE code)
+  if(code EQUAL 141)
+    message(FATAL_ERROR "${label}: killed by SIGPIPE (141) writing into a "
+                        "closed pipe")
+  endif()
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "${label}: exited ${code}")
+  endif()
+endfunction()
+
+file(REMOVE_RECURSE ${WORK_DIR}/sigpipe_shepherd)
+expect_survives_broken_pipe(pals_sweep
+  ${PALS_SWEEP} --grid=${GRID} --jobs=2)
+expect_survives_broken_pipe(pals_shepherd
+  ${PALS_SHEPHERD} --grid=${GRID} --shards=2 --jobs=1
+  --sweep-bin=${PALS_SWEEP} --run-dir=${WORK_DIR}/sigpipe_shepherd)

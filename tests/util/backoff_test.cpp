@@ -1,0 +1,75 @@
+// BackoffPolicy (util/backoff.hpp): the one delay schedule shared by the
+// fault guard, the shard supervisor and the pals_query retry loop.
+#include "util/backoff.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pals {
+namespace {
+
+TEST(BackoffPolicy, DelayGrowsGeometricallyFromBase) {
+  const BackoffPolicy policy{0.5, 2.0, 100.0};
+  EXPECT_DOUBLE_EQ(policy.delay(1), 0.5);
+  EXPECT_DOUBLE_EQ(policy.delay(2), 1.0);
+  EXPECT_DOUBLE_EQ(policy.delay(3), 2.0);
+  EXPECT_DOUBLE_EQ(policy.delay(4), 4.0);
+}
+
+TEST(BackoffPolicy, DelayIsCapped) {
+  const BackoffPolicy policy{0.5, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(policy.delay(3), 2.0);   // below the cap
+  EXPECT_DOUBLE_EQ(policy.delay(4), 3.0);   // 4.0 clipped to the cap
+  EXPECT_DOUBLE_EQ(policy.delay(50), 3.0);  // stays there forever
+}
+
+TEST(BackoffPolicy, HugeRetryNumbersDoNotOverflow) {
+  // The early break once the cap is crossed keeps delay(10^9) finite
+  // (a naive pow would overflow to inf long before).
+  const BackoffPolicy policy{1.0, 2.0, 8.0};
+  EXPECT_DOUBLE_EQ(policy.delay(1000000000), 8.0);
+}
+
+TEST(BackoffPolicy, NonPositiveBaseDisablesBackoff) {
+  const BackoffPolicy zero{0.0, 2.0, 8.0};
+  EXPECT_DOUBLE_EQ(zero.delay(1), 0.0);
+  EXPECT_DOUBLE_EQ(zero.delay(7), 0.0);
+  EXPECT_DOUBLE_EQ(zero.total(5), 0.0);
+  const BackoffPolicy negative{-1.0, 2.0, 8.0};
+  EXPECT_DOUBLE_EQ(negative.delay(3), 0.0);
+}
+
+TEST(BackoffPolicy, RetryNumbersBelowOneYieldTheBaseDelay) {
+  // Matches the historic behaviour of the extracted call sites.
+  const BackoffPolicy policy{0.5, 2.0, 8.0};
+  EXPECT_DOUBLE_EQ(policy.delay(0), 0.5);
+  EXPECT_DOUBLE_EQ(policy.delay(-3), 0.5);
+}
+
+TEST(BackoffPolicy, MultiplierOneIsConstant) {
+  const BackoffPolicy policy{0.25, 1.0, 8.0};
+  EXPECT_DOUBLE_EQ(policy.delay(1), 0.25);
+  EXPECT_DOUBLE_EQ(policy.delay(9), 0.25);
+}
+
+TEST(BackoffPolicy, BaseAboveCapIsClippedEverywhere) {
+  const BackoffPolicy policy{10.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(policy.delay(1), 4.0);
+  EXPECT_DOUBLE_EQ(policy.delay(2), 4.0);
+}
+
+TEST(BackoffPolicy, TotalSumsTheSchedule) {
+  const BackoffPolicy policy{0.5, 2.0, 3.0};
+  // 0.5 + 1.0 + 2.0 + 3.0 + 3.0
+  EXPECT_DOUBLE_EQ(policy.total(5), 9.5);
+  EXPECT_DOUBLE_EQ(policy.total(0), 0.0);
+}
+
+TEST(BackoffPolicy, DefaultsMatchTheDocumentedSchedule) {
+  const BackoffPolicy policy;
+  EXPECT_DOUBLE_EQ(policy.delay(1), 0.5);
+  EXPECT_DOUBLE_EQ(policy.delay(2), 1.0);
+  EXPECT_DOUBLE_EQ(policy.delay(5), 8.0);  // capped at 8
+}
+
+}  // namespace
+}  // namespace pals

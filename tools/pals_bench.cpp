@@ -13,7 +13,8 @@
 // Suite cases cover the hot paths ROADMAP item 3 will optimize: replay
 // throughput, the full DVFS pipeline, the parallel sweep engine, the
 // sharded sweep + journal merge, the online-controller replay, the
-// static bounds analyzer, trace binary I/O and the trace linter. Every case carries deterministic work
+// static bounds analyzer, trace binary I/O, the trace linter and the
+// serve daemon's in-process query path. Every case carries deterministic work
 // counters from obs::default_registry() alongside its wall-clock
 // statistics; --compare gates byte-exactly on the former and with a
 // relative threshold on the latter. Exit codes: 0 ok, 1 regression /
@@ -34,6 +35,8 @@
 #include "obs/record.hpp"
 #include "power/gearset.hpp"
 #include "replay/replay.hpp"
+#include "serve/cache.hpp"
+#include "serve/query.hpp"
 #include "shard/merge.hpp"
 #include "trace/binary_io.hpp"
 #include "trace/io.hpp"
@@ -179,6 +182,37 @@ std::vector<bench::Case> build_suite(TraceCache& cache, int jobs) {
     const Trace& trace = suite_trace(cache, "CG-32");
     const lint::LintReport report = lint::lint_trace(trace);
     if (report.has_errors()) throw Error("lint found errors in CG-32");
+  }});
+
+  // The serve daemon's query path (docs/serve.md), in process and without
+  // the socket: a cold warm-cache fill (trace build + baseline replay)
+  // plus four cache-hit queries. A fresh cache per repetition keeps the
+  // deterministic replay counters identical from rep 1 to rep N; the
+  // serve.* counters themselves are host metrics and excluded anyway.
+  cases.push_back({"serve.query", [](bench::Sink& sink) {
+    serve::WarmCache warm(0);
+    serve::QueryEngineOptions options;
+    options.default_iterations = 4;
+    serve::QueryEngine engine(options, warm);
+    const auto start = std::chrono::steady_clock::now();
+    int queries = 0;
+    for (const char* gear_set : {"uniform-6", "avg-discrete"}) {
+      for (const double beta : {0.3, 0.5}) {
+        serve::Request request;
+        request.workload = "cg:16:0.9:4";
+        request.gear_set = gear_set;
+        request.beta = beta;
+        const ExperimentRow row = engine.execute(request, 0.0);
+        if (row.normalized_time <= 0.0)
+          throw Error("serve query produced no result");
+        ++queries;
+      }
+    }
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    if (seconds > 0.0)
+      sink.sample("queries_per_second", queries / seconds);
   }});
 
   return cases;

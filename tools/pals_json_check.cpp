@@ -21,12 +21,21 @@
 // --bench validates a pals::obs::bench report (full BENCH_*.json or the
 // counters-only section) by parsing it through bench::report_from_file —
 // any missing or mistyped member exits 1 naming the offending key.
+//
+// --serve / --serve-responses validate a line-delimited pals-serve-v1
+// transcript (docs/serve.md): every non-empty, non-comment line must be
+// a structurally valid request (respectively response) — the same
+// parsers the daemon and pals_query use, so a battery file that passes
+// here is guaranteed to be answered (or rejected) structurally, never
+// crash the daemon's parser.
+#include <fstream>
 #include <iostream>
 #include <set>
 #include <string>
 
 #include "analysis/journal.hpp"
 #include "obs/bench.hpp"
+#include "serve/protocol.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
 #include "util/json.hpp"
@@ -90,23 +99,65 @@ int check_bench(const std::string& path, bool quiet) {
   return 0;
 }
 
+/// Validate a line-delimited serve transcript; `responses` picks which
+/// side of the protocol the lines must satisfy.
+int check_serve(const std::string& path, bool responses, bool quiet) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    std::cerr << path << ": cannot open\n";
+    return 1;
+  }
+  std::string line;
+  std::size_t line_number = 0;
+  std::size_t checked = 0;
+  int invalid = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    ++checked;
+    try {
+      if (responses)
+        (void)serve::parse_response(line);
+      else
+        serve::validate_request_line(line);
+    } catch (const serve::ProtocolError& e) {
+      std::cerr << path << ":" << line_number << ": invalid "
+                << (responses ? "response" : "request") << ": " << e.what()
+                << '\n';
+      ++invalid;
+    }
+  }
+  if (invalid > 0) return 1;
+  if (!quiet)
+    std::cout << path << ": " << checked << " valid pals-serve-v1 "
+              << (responses ? "response" : "request") << " line(s)\n";
+  return 0;
+}
+
 int run(int argc, char** argv) {
   CliParser cli;
   cli.add_option("require", "comma-separated keys that must be present");
   cli.add_flag("journal", "validate a sweep run journal (.palsj) instead "
                           "of a JSON document");
   cli.add_flag("bench", "validate a pals::obs::bench report (BENCH_*.json)");
+  cli.add_flag("serve", "validate a file of pals-serve-v1 request lines");
+  cli.add_flag("serve-responses",
+               "validate a file of pals-serve-v1 response lines");
   cli.add_flag("quiet", "no output on success");
   cli.add_flag("help", "show usage");
   cli.parse(argc, argv);
   if (cli.get_flag("help") || cli.positional().size() != 1) {
     std::cout << "usage: pals_json_check [--require k1,k2,...] [--journal] "
-                 "[--bench] <file>\n";
+                 "[--bench] [--serve] [--serve-responses] <file>\n";
     return cli.get_flag("help") ? 0 : 2;
   }
   const std::string path = cli.positional().front();
   if (cli.get_flag("journal")) return check_journal(path, cli.get_flag("quiet"));
   if (cli.get_flag("bench")) return check_bench(path, cli.get_flag("quiet"));
+  if (cli.get_flag("serve") || cli.get_flag("serve-responses"))
+    return check_serve(path, cli.get_flag("serve-responses"),
+                       cli.get_flag("quiet"));
   const JsonValue document = json_parse_file(path);
 
   std::set<std::string> keys;

@@ -1,0 +1,160 @@
+// pals_serve — the crash-only what-if query daemon (docs/serve.md).
+//
+//   pals_serve --socket=/tmp/pals.sock [--jobs=N] [--queue-limit=N]
+//              [--cache-bytes=BYTES] [--default-deadline-ms=MS]
+//              [--max-deadline-ms=MS] [--idle-timeout=SECONDS]
+//              [--config=platform.cfg] [--iterations=N]
+//              [--ready-file=PATH] [--metrics=m.json] [--quiet]
+//              [--debug-stall-ms=MS]
+//
+// A single-process, multi-threaded service over a Unix-domain socket
+// speaking line-delimited JSON (serve/protocol.hpp): clients ask what-if
+// questions — "this workload, that gear set/controller/β, these platform
+// overrides, this fault plan" — and get the byte-exact row a batch
+// `pals_sweep --jobs=1` would produce, answered from an in-memory warm
+// cache of parsed traces and memoized baseline replays.
+//
+// Robustness properties:
+//  * admission control with explicit shedding (--queue-limit; excess
+//    connections get a retryable `overloaded` response, serve.shed
+//    counts them);
+//  * per-request deadlines threaded into the replay engine's wall-clock
+//    watchdog (structured `deadline-exceeded` instead of a wedged
+//    worker);
+//  * a memory budget on the warm cache (--cache-bytes; LRU eviction,
+//    serve.evictions);
+//  * crash-only lifecycle: SIGINT/SIGTERM finish in-flight requests,
+//    answer everyone else `shutting-down` and exit 0; after a SIGKILL
+//    the next start detects the stale socket and replaces it.
+//
+// --ready-file is written (atomically, containing the socket path) once
+// the daemon is listening, so scripts wait for readiness instead of
+// racing the bind. --debug-stall-ms is a test hook that stalls each
+// query before the replay, making overload and deadline expiry
+// reproducible on a fast machine.
+//
+// Exit codes: 0 clean drain, 1 error (e.g. a live daemon already owns
+// the socket), 2 usage.
+#include <atomic>
+#include <csignal>
+#include <iostream>
+
+#include "analysis/experiments.hpp"
+#include "obs/metrics.hpp"
+#include "serve/server.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/exit_codes.hpp"
+#include "util/fsio.hpp"
+#include "util/socketio.hpp"
+
+namespace pals {
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+extern "C" void handle_stop_signal(int) { g_stop.store(true); }
+
+int run(int argc, char** argv) {
+  CliParser cli;
+  cli.add_option("socket", "Unix-domain socket path to serve on");
+  cli.add_option("jobs", "worker threads (0 = hardware concurrency)", "0");
+  cli.add_option("queue-limit",
+                 "max connections admitted concurrently; excess is shed "
+                 "with a retryable `overloaded` response", "32");
+  cli.add_option("cache-bytes",
+                 "warm-cache memory budget in bytes (0 = unlimited)",
+                 "268435456");
+  cli.add_option("default-deadline-ms",
+                 "wall budget of queries that set no deadline_ms "
+                 "(0 = unlimited)", "30000");
+  cli.add_option("max-deadline-ms",
+                 "hard cap on any requested deadline (0 = uncapped)",
+                 "300000");
+  cli.add_option("idle-timeout",
+                 "close a connection after SECONDS without a request",
+                 "30");
+  cli.add_option("config", "key=value platform/power overrides applied "
+                           "to every query's base configuration");
+  cli.add_option("iterations", "default iteration count for workloads "
+                               "without an explicit one", "10");
+  cli.add_option("ready-file", "write this file (containing the socket "
+                               "path) once listening");
+  cli.add_option("metrics", "write the final metrics snapshot (JSON) "
+                            "after the drain");
+  cli.add_option("debug-stall-ms", "test hook: stall each query this "
+                                   "long before replaying", "0");
+  cli.add_flag("quiet", "no serving/drained log lines");
+  cli.add_flag("help", "show usage");
+  try {
+    cli.parse(argc, argv);
+  } catch (const Error& e) {
+    std::cerr << e.what() << '\n' << cli.usage("pals_serve");
+    return exit_code(ToolExit::kUsage);
+  }
+  if (cli.get_flag("help")) {
+    std::cout << cli.usage("pals_serve");
+    return exit_code(ToolExit::kOk);
+  }
+  if (!cli.has("socket")) {
+    std::cerr << "need --socket\n" << cli.usage("pals_serve");
+    return exit_code(ToolExit::kUsage);
+  }
+
+  ignore_sigpipe();
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+
+  serve::ServerOptions options;
+  options.socket_path = cli.get("socket");
+  options.jobs = static_cast<int>(cli.get_int("jobs", 0));
+  options.queue_limit = static_cast<int>(cli.get_int("queue-limit", 32));
+  PALS_CHECK_MSG(options.queue_limit >= 1, "--queue-limit must be >= 1");
+  options.cache_bytes =
+      static_cast<std::size_t>(cli.get_int("cache-bytes", 268435456));
+  options.default_deadline_seconds =
+      cli.get_double("default-deadline-ms", 30000.0) / 1000.0;
+  options.max_deadline_seconds =
+      cli.get_double("max-deadline-ms", 300000.0) / 1000.0;
+  options.idle_timeout_seconds = cli.get_double("idle-timeout", 30.0);
+  options.debug_stall_seconds =
+      cli.get_double("debug-stall-ms", 0.0) / 1000.0;
+  PALS_CHECK_MSG(options.default_deadline_seconds >= 0.0 &&
+                     options.max_deadline_seconds >= 0.0 &&
+                     options.debug_stall_seconds >= 0.0,
+                 "deadlines and stalls must be >= 0");
+  options.query.default_iterations =
+      static_cast<int>(cli.get_int("iterations", 10));
+  PALS_CHECK_MSG(options.query.default_iterations > 0,
+                 "--iterations must be > 0");
+  if (cli.has("config")) apply_config_file(options.query.base, cli.get("config"));
+  if (!cli.get_flag("quiet")) options.log = &std::cerr;
+  options.stop = &g_stop;
+  if (cli.has("ready-file")) {
+    const std::string ready_file = cli.get("ready-file");
+    const std::string socket_path = options.socket_path;
+    options.on_ready = [ready_file, socket_path] {
+      atomic_write_file(ready_file, socket_path + "\n");
+    };
+  }
+
+  serve::Server server(std::move(options));
+  server.run();
+
+  if (cli.has("metrics"))
+    atomic_write_file(cli.get("metrics"),
+                      obs::default_registry().snapshot().to_json());
+  return exit_code(ToolExit::kOk);
+}
+
+}  // namespace
+}  // namespace pals
+
+int main(int argc, char** argv) {
+  try {
+    return pals::run(argc, argv);
+  } catch (const pals::Error& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return pals::exit_code(pals::ToolExit::kError);
+  }
+}

@@ -47,6 +47,7 @@
 #include "util/error.hpp"
 #include "util/exit_codes.hpp"
 #include "util/fsio.hpp"
+#include "util/socketio.hpp"
 #include "util/strings.hpp"
 
 namespace pals {
@@ -59,6 +60,9 @@ extern "C" void handle_stop_signal(int) { g_cancel.store(true); }
 void install_signal_handlers() {
   std::signal(SIGINT, handle_stop_signal);
   std::signal(SIGTERM, handle_stop_signal);
+  // Survive a consumer that closes the pipe early (| head): shard
+  // supervision must reach its merge/epilogue, not die on SIGPIPE.
+  ignore_sigpipe();
 }
 
 std::vector<shard::ChaosKill> parse_chaos_kill(const std::string& text) {

@@ -91,6 +91,7 @@
 #include "util/error.hpp"
 #include "util/exit_codes.hpp"
 #include "util/fsio.hpp"
+#include "util/socketio.hpp"
 #include "util/strings.hpp"
 #include "util/thread_pool.hpp"
 
@@ -107,6 +108,11 @@ extern "C" void handle_stop_signal(int) { g_cancel.store(true); }
 void install_signal_handlers() {
   std::signal(SIGINT, handle_stop_signal);
   std::signal(SIGTERM, handle_stop_signal);
+  // A long sweep piped into `head` (or any consumer that exits early)
+  // must not die with SIGPIPE mid-run — the journal and run-dir
+  // artifacts still need their graceful epilogue. Writes to the closed
+  // pipe fail with EPIPE instead, which stream output tolerates.
+  ignore_sigpipe();
 }
 
 int run(int argc, char** argv) {
